@@ -1,0 +1,78 @@
+// Data exploration example: the paper's Section 8 points out that "SPNs
+// naturally provide a notion of correlated clusters that can also be used
+// for suggesting interesting patterns in data exploration". This example
+// learns an ensemble over the Flights data and prints the top-level row
+// clusters each RSPN discovered — population shares and the attributes
+// that make each cluster distinctive — without running a single query.
+//
+// Run with: go run ./examples/explore
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"repro/internal/ensemble"
+	"repro/internal/schema"
+	"repro/internal/table"
+)
+
+func main() {
+	// A customer base with two planted populations: young budget ASIA
+	// shoppers and older premium EUROPE shoppers.
+	s := &schema.Schema{Tables: []*schema.Table{{
+		Name: "customer", PrimaryKey: "c_id",
+		Columns: []schema.Column{
+			{Name: "c_id", Kind: schema.IntKind},
+			{Name: "c_age", Kind: schema.IntKind},
+			{Name: "c_region", Kind: schema.IntKind},
+			{Name: "c_spend", Kind: schema.FloatKind},
+		},
+	}}}
+	cust := table.New(s.Table("customer"))
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		if rng.Float64() < 0.35 {
+			cust.AppendRow(table.Int(i), table.Int(55+rng.Intn(30)),
+				table.Int(0), table.Float(4000+rng.Float64()*3000))
+		} else {
+			cust.AppendRow(table.Int(i), table.Int(18+rng.Intn(20)),
+				table.Int(1), table.Float(200+rng.Float64()*500))
+		}
+	}
+	tables := map[string]*table.Table{"customer": cust}
+	cfg := ensemble.DefaultConfig()
+	cfg.MaxSamples = 20000
+	ens, err := ensemble.Build(s, tables, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range ens.RSPNs {
+		fmt.Printf("RSPN over %s — discovered row clusters:\n", strings.Join(r.Tables, " |x| "))
+		for i, c := range r.Model.Clusters() {
+			fmt.Printf("  cluster %d: %.1f%% of rows\n", i+1, c.Weight*100)
+			shown := 0
+			for _, col := range c.Columns {
+				if strings.HasPrefix(col.Name, "__") || col.Distinctive < 0.15 {
+					continue
+				}
+				fmt.Printf("    %-14s mean %8.1f  (%.1f σ from population", col.Name, col.Mean, col.Distinctive)
+				if col.TopShare > 0.3 {
+					fmt.Printf("; top value %g covers %.0f%%", col.TopValue, col.TopShare*100)
+				}
+				fmt.Println(")")
+				shown++
+				if shown >= 4 {
+					break
+				}
+			}
+			if shown == 0 {
+				fmt.Println("    (no attribute deviates notably from the population)")
+			}
+		}
+	}
+	fmt.Println("\nThese clusters come straight from the learned model's sum nodes —")
+	fmt.Println("the same structure that answers COUNT/AVG/SUM queries in microseconds.")
+}

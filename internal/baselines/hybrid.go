@@ -1,0 +1,102 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/ml"
+	"repro/internal/query"
+)
+
+// Hybrid combines the data-driven and workload-driven worlds, the
+// direction Section 8 of the paper proposes for future work ("a
+// workload-driven model for a learned query optimizer might use the
+// cardinality estimates of our model as input features"). It trains a
+// small residual MLP on executed queries whose features are the MCSN-style
+// query encoding *plus* DeepDB's log-estimate; the network learns the
+// data-driven model's systematic residuals on the observed workload and
+// falls back to the DeepDB estimate out of distribution.
+type Hybrid struct {
+	deepdb func(q query.Query) (float64, error)
+	featur func(q query.Query) []float64
+	net    *ml.MLP
+	// TrainTime is the residual-model fitting time (the expensive query
+	// execution is shared with whatever labelled the workload).
+	TrainTime time.Duration
+}
+
+// NewHybrid trains the residual model. deepdb provides the data-driven
+// estimate, featurize the query encoding (an MCSN's featurizer works), and
+// oracle labels the training queries.
+func NewHybrid(train []query.Query, deepdb func(query.Query) (float64, error),
+	featurize func(query.Query) []float64, oracle Oracle, seed int64) (*Hybrid, error) {
+	var feats [][]float64
+	var targets []float64
+	for _, q := range train {
+		est, err := deepdb(q)
+		if err != nil {
+			return nil, err
+		}
+		truth, err := oracle(q)
+		if err != nil {
+			return nil, err
+		}
+		if est < 1 {
+			est = 1
+		}
+		if truth < 1 {
+			truth = 1
+		}
+		feats = append(feats, append(featurize(q), math.Log(est)))
+		// The target is the log residual: log(true) - log(estimate).
+		targets = append(targets, math.Log(truth)-math.Log(est))
+	}
+	if len(feats) < 10 {
+		return nil, fmt.Errorf("baselines: only %d hybrid training queries", len(feats))
+	}
+	cfg := ml.DefaultMLPConfig()
+	cfg.Hidden = []int{32, 32}
+	cfg.Epochs = 30
+	cfg.Seed = seed
+	start := time.Now()
+	net, err := ml.FitMLP(feats, targets, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Hybrid{deepdb: deepdb, featur: featurize, net: net, TrainTime: time.Since(start)}, nil
+}
+
+// Name implements CardinalityEstimator.
+func (h *Hybrid) Name() string { return "Hybrid" }
+
+// EstimateCardinality returns DeepDB's estimate corrected by the learned
+// residual, with the correction clamped so an out-of-distribution residual
+// cannot destroy the data-driven estimate (at most one order of magnitude).
+func (h *Hybrid) EstimateCardinality(q query.Query) (float64, error) {
+	base, err := h.deepdb(q)
+	if err != nil {
+		return 0, err
+	}
+	if base < 1 {
+		base = 1
+	}
+	resid := h.net.Predict(append(h.featur(q), math.Log(base)))
+	const maxCorrection = 2.302585092994046 // ln(10)
+	if resid > maxCorrection {
+		resid = maxCorrection
+	}
+	if resid < -maxCorrection {
+		resid = -maxCorrection
+	}
+	est := base * math.Exp(resid)
+	if est < 1 {
+		est = 1
+	}
+	return est, nil
+}
+
+// Featurizer exposes MCSN's query encoding for reuse by the hybrid.
+func (m *MCSN) Featurizer() func(query.Query) []float64 {
+	return m.featurize
+}

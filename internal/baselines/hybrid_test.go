@@ -1,0 +1,103 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ensemble"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func TestHybridAtLeastCompetitiveWithDeepDB(t *testing.T) {
+	f := getFixture(t)
+	cfg := ensemble.DefaultConfig()
+	cfg.MaxSamples = 15000
+	cfg.BudgetFactor = 0
+	ens, err := ensemble.Build(f.schema, f.tables, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.New(ens)
+	deepdb := func(q query.Query) (float64, error) {
+		e, err := eng.EstimateCardinality(q)
+		return e.Value, err
+	}
+	// Featurizer from an (untrained-use) MCSN built on a small workload.
+	trainNamed := workload.SyntheticIMDb(f.tables, 200, 2, 4, 31)
+	var train []query.Query
+	for _, n := range trainNamed {
+		train = append(train, n.Query)
+	}
+	mcsn, err := NewMCSN(f.schema, f.tables, train, f.oracle.Cardinality, DefaultMCSNConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHybrid(train, deepdb, mcsn.Featurizer(), f.oracle.Cardinality, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TrainTime <= 0 {
+		t.Fatal("train time not measured")
+	}
+	// On a held-out workload the hybrid must not be dramatically worse
+	// than raw DeepDB (the residual correction is clamped), and both must
+	// be sane.
+	test := workload.SyntheticIMDb(f.tables, 40, 2, 5, 32)
+	var hq, dq []float64
+	for _, n := range test {
+		truth, err := f.oracle.Cardinality(n.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		he, err := h.EstimateCardinality(n.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		de, err := deepdb(n.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hq = append(hq, query.QError(he, truth))
+		dq = append(dq, query.QError(de, truth))
+	}
+	if median(hq) > 2*median(dq)+0.5 {
+		t.Fatalf("hybrid median q-error %.2f much worse than DeepDB %.2f", median(hq), median(dq))
+	}
+	if median(hq) > 5 {
+		t.Fatalf("hybrid median q-error %.2f too high", median(hq))
+	}
+}
+
+func TestHybridClampsResidual(t *testing.T) {
+	f := getFixture(t)
+	// A degenerate "DeepDB" returning a constant, with a tiny workload:
+	// the clamped residual keeps estimates within a factor 10 of the base.
+	deepdb := func(q query.Query) (float64, error) { return 100, nil }
+	featurize := func(q query.Query) []float64 { return []float64{float64(len(q.Tables))} }
+	var train []query.Query
+	for _, n := range workload.SyntheticIMDb(f.tables, 50, 2, 3, 33) {
+		train = append(train, n.Query)
+	}
+	h, err := NewHybrid(train, deepdb, featurize, f.oracle.Cardinality, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := train[0]
+	est, err := h.EstimateCardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 10 || est > 1000 {
+		t.Fatalf("clamped estimate %v outside [10, 1000]", est)
+	}
+}
+
+func TestHybridNeedsTrainingData(t *testing.T) {
+	deepdb := func(q query.Query) (float64, error) { return 1, nil }
+	featurize := func(q query.Query) []float64 { return []float64{1} }
+	oracle := func(q query.Query) (float64, error) { return 1, nil }
+	if _, err := NewHybrid(nil, deepdb, featurize, oracle, 1); err == nil {
+		t.Fatal("expected error for empty workload")
+	}
+}

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The bench package's own tests run a subset of the experiment runners at a
+// reduced scale and assert the headline *shapes* the paper reports — who
+// wins and roughly by how much — not absolute numbers.
+
+var (
+	testSuiteOnce sync.Once
+	testSuite     *Suite
+)
+
+func getSuite() *Suite {
+	testSuiteOnce.Do(func() {
+		sc := SmallScale()
+		// Shrink further: these tests only check shapes.
+		sc.IMDbTitles = 1500
+		sc.FlightsRows = 10000
+		sc.SSBFactor = 0.003
+		sc.TrainQueries = 150
+		sc.SynthQueries = 20
+		sc.GridPerCell = 2
+		testSuite = NewSuite(sc)
+	})
+	return testSuite
+}
+
+func TestFigure1Shape(t *testing.T) {
+	rep, err := getSuite().RunFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DeepDB must beat MCSN at every unseen join size (the headline claim).
+	for _, nt := range []string{"4", "5", "6"} {
+		dd := rep.Metrics["deepdb_"+nt]
+		mc := rep.Metrics["mcsn_"+nt]
+		if dd >= mc {
+			t.Errorf("join size %s: DeepDB %.2f not better than MCSN %.2f", nt, dd, mc)
+		}
+		if dd > 3 {
+			t.Errorf("join size %s: DeepDB median %.2f too high", nt, dd)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rep, err := getSuite().RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd := rep.Metrics["deepdbours_median"]
+	if dd > 2 {
+		t.Errorf("DeepDB JOB-light median %.2f, want < 2 (paper: 1.27)", dd)
+	}
+	// DeepDB's tail must beat the workload-driven model's and random
+	// sampling's.
+	if rep.Metrics["deepdbours_p95"] >= rep.Metrics["mcsn_p95"] {
+		t.Errorf("DeepDB p95 %.2f not better than MCSN %.2f",
+			rep.Metrics["deepdbours_p95"], rep.Metrics["mcsn_p95"])
+	}
+	if rep.Metrics["deepdbours_p95"] >= rep.Metrics["randomsampling_p95"] {
+		t.Errorf("DeepDB p95 %.2f not better than random sampling %.2f",
+			rep.Metrics["deepdbours_p95"], rep.Metrics["randomsampling_p95"])
+	}
+}
+
+func TestTable2UpdatesKeepAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("update sweep is slow")
+	}
+	s := getSuite()
+	med0, _, _, err := s.updatesRun("random", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med40, _, _, err := s.updatesRun("random", 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim: updates do not blow up the error (1.22 -> 1.37).
+	if med40 > med0*2.5 {
+		t.Errorf("median after 40%% updates %.2f vs %.2f before: degraded too much", med40, med0)
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	rep, err := getSuite().RunFigure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DBEst's cumulative time must be monotonically non-decreasing across
+	// queries and grow over the workload (new templates keep appearing).
+	prev := -1.0
+	grew := false
+	for _, row := range rep.Rows[1:] {
+		fields := strings.Fields(row)
+		if len(fields) < 3 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		if v < prev {
+			t.Errorf("DBEst cumulative time decreased: %v after %v", v, prev)
+		}
+		if v > prev {
+			grew = true
+		}
+		prev = v
+	}
+	if !grew {
+		t.Error("DBEst cumulative time never grew")
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	rep, err := getSuite().RunFigure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DeepDB's RMSE must be within a small factor of the trained models on
+	// the strongly-determined targets (the "competitive" claim).
+	for _, target := range []string{"f_air_time", "f_taxi_in", "f_taxi_out"} {
+		dd := rep.Metrics[target+"_deepdb"]
+		tree := rep.Metrics[target+"_tree"]
+		if dd > 3*tree {
+			t.Errorf("%s: DeepDB RMSE %.2f vs tree %.2f — not competitive", target, dd, tree)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{ID: "x", Title: "t"}
+	rep.addRow("hello %d", 42)
+	rep.metric("m", 1)
+	out := rep.String()
+	if !strings.Contains(out, "hello 42") || !strings.Contains(out, "== x: t ==") {
+		t.Fatalf("report rendering wrong: %q", out)
+	}
+}
+
+func TestPercentileHelpers(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if m := medianOf(xs); m != 3 {
+		t.Fatalf("median = %v", m)
+	}
+	if m := maxOf(xs); m != 5 {
+		t.Fatalf("max = %v", m)
+	}
+	if p := percentile(xs, 0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile = %v", p)
+	}
+}

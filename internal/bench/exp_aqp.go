@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// aqpSystem is anything that can answer an AQP query.
+type aqpSystem interface {
+	Name() string
+	Execute(q query.Query) (query.Result, error)
+}
+
+// timedAQP runs one query against one system, returning the average
+// relative error against the oracle and the latency. ok=false marks "no
+// result" (the system produced no qualifying groups while the truth has
+// some).
+func timedAQP(sys aqpSystem, truth query.Result, q query.Query) (rel float64, latency time.Duration, ok bool, err error) {
+	start := time.Now()
+	res, err := sys.Execute(q)
+	latency = time.Since(start)
+	if err != nil {
+		return 0, latency, false, err
+	}
+	if len(res.Groups) == 0 && len(truth.Groups) > 0 {
+		return 0, latency, false, nil
+	}
+	return query.AvgRelativeError(res, truth), latency, true, nil
+}
+
+// RunFigure9 regenerates Figure 9: average relative error and latency on
+// the Flights queries for VerdictDB, TABLESAMPLE and DeepDB.
+func (s *Suite) RunFigure9() (*Report, error) {
+	sc, tabs, oracle, eng, err := s.f.flights()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "fig9", Title: "Flights AQP: avg relative Error and Latency (paper: DeepDB lowest error, <=31ms latency)"}
+	verdict := baselines.NewVerdictDB(sc, tabs, 0.01, 5000, 71)
+	tsample := baselines.NewTableSample(sc, tabs, 0.01, 72)
+	deep := aqpAdapter{name: "DeepDB", exec: func(q query.Query) (query.Result, error) {
+		res, err := eng.Execute(q)
+		if err != nil {
+			return query.Result{}, err
+		}
+		return res.ToResult(), nil
+	}}
+	systems := []aqpSystem{verdict, tsample, deep}
+	rep.addRow("%-6s %-12s %12s %12s", "query", "system", "rel err %", "latency ms")
+	for _, n := range workload.FlightsQueries() {
+		truth, err := oracle.Execute(n.Query)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", n.Label, err)
+		}
+		for _, sys := range systems {
+			rel, lat, ok, err := timedAQP(sys, truth, n.Query)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", n.Label, sys.Name(), err)
+			}
+			if !ok {
+				rep.addRow("%-6s %-12s %12s %12.1f", n.Label, sys.Name(), "no result", ms(lat))
+				continue
+			}
+			rep.addRow("%-6s %-12s %12.2f %12.1f", n.Label, sys.Name(), rel*100, ms(lat))
+			rep.metric(n.Label+"_"+strings2key(sys.Name())+"_rel", rel*100)
+			rep.metric(n.Label+"_"+strings2key(sys.Name())+"_ms", ms(lat))
+		}
+	}
+	return rep, nil
+}
+
+// aqpAdapter lifts a closure into an aqpSystem.
+type aqpAdapter struct {
+	name string
+	exec func(q query.Query) (query.Result, error)
+}
+
+func (a aqpAdapter) Name() string                                { return a.name }
+func (a aqpAdapter) Execute(q query.Query) (query.Result, error) { return a.exec(q) }
+
+// RunFigure10 regenerates Figure 10: relative errors on the SSB queries for
+// VerdictDB, Wander Join, TABLESAMPLE and DeepDB, with "no result" marks.
+func (s *Suite) RunFigure10() (*Report, error) {
+	sc, tabs, oracle, eng, err := s.f.ssb()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "fig10", Title: "SSB AQP: avg relative Error (paper: DeepDB < 6% everywhere; samplers often >100% or no result)"}
+	verdict := baselines.NewVerdictDB(sc, tabs, 0.01, 20000, 81)
+	tsample := baselines.NewTableSample(sc, tabs, 0.01, 82)
+	wander := baselines.NewWanderJoin(sc, tabs, 3000, 83)
+	deep := aqpAdapter{name: "DeepDB", exec: func(q query.Query) (query.Result, error) {
+		res, err := eng.Execute(q)
+		if err != nil {
+			return query.Result{}, err
+		}
+		return res.ToResult(), nil
+	}}
+	systems := []aqpSystem{verdict, wander, tsample, deep}
+	rep.addRow("%-6s %-12s %12s %12s", "query", "system", "rel err %", "latency ms")
+	for _, n := range workload.SSBQueries() {
+		truth, err := oracle.Execute(n.Query)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", n.Label, err)
+		}
+		for _, sys := range systems {
+			rel, lat, ok, err := timedAQP(sys, truth, n.Query)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", n.Label, sys.Name(), err)
+			}
+			if !ok {
+				rep.addRow("%-6s %-12s %12s %12.1f", n.Label, sys.Name(), "no result", ms(lat))
+				rep.metric(n.Label+"_"+strings2key(sys.Name())+"_noresult", 1)
+				continue
+			}
+			rep.addRow("%-6s %-12s %12.2f %12.1f", n.Label, sys.Name(), rel*100, ms(lat))
+			rep.metric(n.Label+"_"+strings2key(sys.Name())+"_rel", rel*100)
+		}
+	}
+	return rep, nil
+}
+
+// RunFigure11 regenerates Figure 11: DeepDB's predicted relative confidence
+// interval length versus the sample-based ground truth, on Flights and SSB.
+func (s *Suite) RunFigure11() (*Report, error) {
+	rep := &Report{ID: "fig11", Title: "Relative Confidence Interval Length: sample-based vs DeepDB (paper: close except F5.2-style sums)"}
+	rep.addRow("%-6s %16s %12s", "query", "sample-based %", "DeepDB %")
+	run := func(getter func() (sRes *suiteAQP, err error), queries []workload.Named) error {
+		sa, err := getter()
+		if err != nil {
+			return err
+		}
+		for _, n := range queries {
+			if len(n.Query.GroupBy) > 0 {
+				// The figure reports ungrouped aggregates; grouped queries
+				// are evaluated on their ungrouped core.
+				n.Query.GroupBy = nil
+			}
+			truthCI, enough, err := sa.sampleCI.RelativeCILength(n.Query)
+			if err != nil {
+				return fmt.Errorf("%s: %w", n.Label, err)
+			}
+			if !enough {
+				rep.addRow("%-6s %16s %12s", n.Label, "(<10 samples)", "-")
+				continue
+			}
+			res, err := sa.eng.Execute(n.Query)
+			if err != nil {
+				return fmt.Errorf("%s: %w", n.Label, err)
+			}
+			if len(res.Groups) == 0 || res.Groups[0].Estimate.Value == 0 {
+				rep.addRow("%-6s %16.2f %12s", n.Label, truthCI*100, "no result")
+				continue
+			}
+			g := res.Groups[0]
+			deepCI := (g.Estimate.Value - g.CILow) / g.Estimate.Value
+			rep.addRow("%-6s %16.2f %12.2f", n.Label, truthCI*100, deepCI*100)
+			rep.metric(n.Label+"_sample", truthCI*100)
+			rep.metric(n.Label+"_deepdb", deepCI*100)
+		}
+		return nil
+	}
+	if err := run(s.flightsAQP, workload.FlightsQueries()); err != nil {
+		return nil, err
+	}
+	if err := run(s.ssbAQP, workload.SSBQueries()); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// suiteAQP bundles an engine with a sample-based CI oracle.
+type suiteAQP struct {
+	eng      *core.Engine
+	sampleCI *baselines.SampleBasedCI
+}
+
+func (s *Suite) flightsAQP() (*suiteAQP, error) {
+	sc, tabs, _, eng, err := s.f.flights()
+	if err != nil {
+		return nil, err
+	}
+	return &suiteAQP{
+		eng:      eng,
+		sampleCI: baselines.NewSampleBasedCI(sc, tabs, s.f.scale.MaxSamples, 91),
+	}, nil
+}
+
+func (s *Suite) ssbAQP() (*suiteAQP, error) {
+	sc, tabs, _, eng, err := s.f.ssb()
+	if err != nil {
+		return nil, err
+	}
+	return &suiteAQP{
+		eng:      eng,
+		sampleCI: baselines.NewSampleBasedCI(sc, tabs, s.f.scale.MaxSamples, 92),
+	}, nil
+}
+
+// RunFigure12 regenerates Figure 12: cumulative training time of DBEst's
+// per-query models vs DeepDB's one-time ensemble over the SSB queries.
+func (s *Suite) RunFigure12() (*Report, error) {
+	sc, tabs, _, _, err := s.f.ssb()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "fig12", Title: "Cumulative Training Time: DBEst per-query models vs DeepDB one-time ensemble"}
+	dbest := baselines.NewDBEst(sc, tabs, 10000)
+	deepMS := ms(s.f.ssbEns.BuildTime)
+	rep.addRow("%-6s %16s %16s", "query", "DBEst cum ms", "DeepDB cum ms")
+	for _, n := range workload.SSBQueries() {
+		if _, err := dbest.Prepare(n.Query); err != nil {
+			return nil, fmt.Errorf("%s: %w", n.Label, err)
+		}
+		rep.addRow("%-6s %16.0f %16.0f", n.Label, ms(dbest.CumulativeTraining), deepMS)
+		rep.metric(n.Label+"_dbest_ms", ms(dbest.CumulativeTraining))
+	}
+	rep.metric("deepdb_ms", deepMS)
+	return rep, nil
+}

@@ -1,0 +1,368 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/ensemble"
+	"repro/internal/exact"
+	"repro/internal/query"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// trainMCSN builds the workload-driven baseline on <=3-join training
+// queries, the setup of Section 6.1.
+func (s *Suite) trainMCSN() (*baselines.MCSN, error) {
+	sc, tabs, oracle, _, err := s.f.imdb()
+	if err != nil {
+		return nil, err
+	}
+	train := workload.SyntheticIMDb(tabs, s.f.scale.TrainQueries, 2, 3, 77)
+	var qs []query.Query
+	for _, n := range train {
+		qs = append(qs, n.Query)
+	}
+	return baselines.NewMCSN(sc, tabs, qs, oracle.Cardinality, baselines.DefaultMCSNConfig())
+}
+
+// RunTable1 regenerates Table 1: JOB-light q-errors for DeepDB, MCSN,
+// Postgres, IBJS and random sampling.
+func (s *Suite) RunTable1() (*Report, error) {
+	sc, tabs, oracle, eng, err := s.f.imdb()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "table1", Title: "Estimation Errors for the JOB-light Benchmark"}
+	queries := workload.JOBLight(tabs, 5)
+
+	mcsn, err := s.trainMCSN()
+	if err != nil {
+		return nil, err
+	}
+	pg, err := baselines.NewPostgres(sc, tabs)
+	if err != nil {
+		return nil, err
+	}
+	ibjs := baselines.NewIBJS(sc, tabs, 1000, 9)
+	rs, err := baselines.NewRandomSampling(sc, tabs, 0.1, 10)
+	if err != nil {
+		return nil, err
+	}
+	systems := []struct {
+		name string
+		est  func(query.Query) (float64, error)
+	}{
+		{"DeepDB (ours)", func(q query.Query) (float64, error) {
+			e, err := eng.EstimateCardinality(q)
+			return e.Value, err
+		}},
+		{"MCSN", mcsn.EstimateCardinality},
+		{"Postgres", pg.EstimateCardinality},
+		{"IBJS", ibjs.EstimateCardinality},
+		{"Random Sampling", rs.EstimateCardinality},
+	}
+	rep.addRow("%-16s %8s %8s %8s %10s   (paper: median/95th — DeepDB 1.27/3.16, MCSN 3.22/143, Postgres 6.84/817, IBJS 1.67/333, RS 5.05/10371)",
+		"system", "median", "90th", "95th", "max")
+	for _, sys := range systems {
+		qes, err := qErrors(oracle, sys.est, queries)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sys.name, err)
+		}
+		med, p90, p95, mx := medianOf(qes), percentile(qes, 0.9), percentile(qes, 0.95), maxOf(qes)
+		rep.addRow("%-16s %8.2f %8.2f %8.2f %10.2f", sys.name, med, p90, p95, mx)
+		key := strings2key(sys.name)
+		rep.metric(key+"_median", med)
+		rep.metric(key+"_p95", p95)
+	}
+	return rep, nil
+}
+
+func strings2key(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+32)
+		}
+	}
+	return string(out)
+}
+
+// RunFigure1 regenerates Figure 1: median q-error per join size (4-6
+// tables) for MCSN (trained on <=3 joins) vs DeepDB.
+func (s *Suite) RunFigure1() (*Report, error) {
+	_, tabs, oracle, eng, err := s.f.imdb()
+	if err != nil {
+		return nil, err
+	}
+	mcsn, err := s.trainMCSN()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "fig1", Title: "Cardinality Estimation Errors per Join Size (paper: DeepDB an order of magnitude below MCSN)"}
+	rep.addRow("%-8s %12s %12s", "tables", "MCSN", "DeepDB")
+	for nt := 4; nt <= 6; nt++ {
+		queries := workload.SyntheticIMDb(tabs, s.f.scale.SynthQueries, nt, nt, int64(100+nt))
+		mq, err := qErrors(oracle, mcsn.EstimateCardinality, queries)
+		if err != nil {
+			return nil, err
+		}
+		dq, err := qErrors(oracle, func(q query.Query) (float64, error) {
+			e, err := eng.EstimateCardinality(q)
+			return e.Value, err
+		}, queries)
+		if err != nil {
+			return nil, err
+		}
+		rep.addRow("%-8d %12.2f %12.2f", nt, medianOf(mq), medianOf(dq))
+		rep.metric(fmt.Sprintf("mcsn_%d", nt), medianOf(mq))
+		rep.metric(fmt.Sprintf("deepdb_%d", nt), medianOf(dq))
+	}
+	return rep, nil
+}
+
+// RunFigure7 regenerates Figure 7: the median q-error grid over join sizes
+// 4-6 and predicate counts 1-5.
+func (s *Suite) RunFigure7() (*Report, error) {
+	_, tabs, oracle, eng, err := s.f.imdb()
+	if err != nil {
+		return nil, err
+	}
+	mcsn, err := s.trainMCSN()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "fig7", Title: "Median q-errors per Join Size (4-6) and #Filter Predicates (1-5)"}
+	rep.addRow("%-8s %12s %12s", "cell", "MCSN", "DeepDB")
+	grid := workload.SyntheticIMDbGrid(tabs, s.f.scale.GridPerCell, 55)
+	for nt := 4; nt <= 6; nt++ {
+		for np := 1; np <= 5; np++ {
+			key := fmt.Sprintf("%d-%d", nt, np)
+			queries := grid[key]
+			mq, err := qErrors(oracle, mcsn.EstimateCardinality, queries)
+			if err != nil {
+				return nil, err
+			}
+			dq, err := qErrors(oracle, func(q query.Query) (float64, error) {
+				e, err := eng.EstimateCardinality(q)
+				return e.Value, err
+			}, queries)
+			if err != nil {
+				return nil, err
+			}
+			rep.addRow("%-8s %12.2f %12.2f", key, medianOf(mq), medianOf(dq))
+			rep.metric("mcsn_"+key, medianOf(mq))
+			rep.metric("deepdb_"+key, medianOf(dq))
+		}
+	}
+	return rep, nil
+}
+
+// RunTable2 regenerates Table 2: q-errors after updating the ensemble with
+// held-out fractions of the data, for a random and a temporal (production
+// year) split. Budget factor 0, like the paper.
+func (s *Suite) RunTable2() (*Report, error) {
+	rep := &Report{ID: "table2", Title: "Estimation Errors for JOB-light after Updates (paper: medians stay within 1.22-1.41)"}
+	rep.addRow("%-10s %-8s %8s %8s %8s", "split", "held", "median", "90th", "95th")
+	for _, split := range []string{"random", "temporal"} {
+		for _, frac := range []float64{0, 0.05, 0.10, 0.20, 0.40} {
+			med, p90, p95, err := s.updatesRun(split, frac)
+			if err != nil {
+				return nil, fmt.Errorf("split %s %.0f%%: %w", split, frac*100, err)
+			}
+			rep.addRow("%-10s %-8.0f%% %7.2f %8.2f %8.2f", split, frac*100, med, p90, p95)
+			rep.metric(fmt.Sprintf("%s_%.0f_median", split, frac*100), med)
+		}
+	}
+	return rep, nil
+}
+
+// updatesRun learns on (1-frac) of the IMDb data, inserts the held-out
+// tuples through ensemble.Insert, and evaluates JOB-light.
+func (s *Suite) updatesRun(split string, frac float64) (med, p90, p95 float64, err error) {
+	scale := s.f.scale
+	sc, full := datagen.IMDb(datagen.IMDbConfig{Titles: scale.IMDbTitles / 2, Seed: 21})
+	oracle := exact.New(sc, full)
+	rng := rand.New(rand.NewSource(31))
+
+	// Decide which title ids are held out.
+	titleTab := full["title"]
+	heldTitle := make(map[float64]bool)
+	switch split {
+	case "random":
+		for i := 0; i < titleTab.NumRows(); i++ {
+			if rng.Float64() < frac {
+				heldTitle[titleTab.Column("t_id").Data[i]] = true
+			}
+		}
+	case "temporal":
+		// Hold out the newest fraction by production year.
+		years := titleTab.Column("t_production_year")
+		var ys []float64
+		for i := 0; i < titleTab.NumRows(); i++ {
+			if !years.IsNull(i) {
+				ys = append(ys, years.Data[i])
+			}
+		}
+		cut := percentile(ys, 1-frac)
+		for i := 0; i < titleTab.NumRows(); i++ {
+			if !years.IsNull(i) && years.Data[i] >= cut && frac > 0 {
+				heldTitle[titleTab.Column("t_id").Data[i]] = true
+			}
+		}
+	}
+	// Build initial tables without held-out titles and their children.
+	initial := map[string]*table.Table{}
+	heldRows := map[string][]int{}
+	for name, t := range full {
+		fkCol := ""
+		if name != "title" {
+			fkCol = sc.Table(name).ForeignKeys[0].Column
+		}
+		var keep []int
+		for i := 0; i < t.NumRows(); i++ {
+			var id float64
+			if name == "title" {
+				id = t.Column("t_id").Data[i]
+			} else {
+				id = t.Column(fkCol).Data[i]
+			}
+			if heldTitle[id] {
+				heldRows[name] = append(heldRows[name], i)
+			} else {
+				keep = append(keep, i)
+			}
+		}
+		initial[name] = t.Select(keep)
+	}
+	cfg := ensembleConfig(scale.MaxSamples, 0) // budget factor 0, like the paper
+	ens, err := ensemble.Build(sc, initial, cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	// Insert held-out rows: titles first (One side), then children.
+	order := []string{"title", "movie_companies", "cast_info", "movie_info", "movie_info_idx", "movie_keyword"}
+	for _, name := range order {
+		t := full[name]
+		for _, r := range heldRows[name] {
+			vals := map[string]table.Value{}
+			for _, c := range t.Cols {
+				vals[c.Meta.Name] = c.Get(r)
+			}
+			if err := ens.Insert(name, vals); err != nil {
+				return 0, 0, 0, fmt.Errorf("inserting into %s: %w", name, err)
+			}
+		}
+	}
+	eng := core.New(ens)
+	queries := workload.JOBLight(full, 5)
+	qes, err := qErrors(oracle, func(q query.Query) (float64, error) {
+		e, err := eng.EstimateCardinality(q)
+		return e.Value, err
+	}, queries)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return medianOf(qes), percentile(qes, 0.9), percentile(qes, 0.95), nil
+}
+
+// RunFigure8 regenerates Figure 8: q-error and training time versus the
+// ensemble budget factor, and versus the per-RSPN sample size.
+func (s *Suite) RunFigure8() (*Report, error) {
+	scale := s.f.scale
+	sc, tabs := datagen.IMDb(datagen.IMDbConfig{Titles: scale.IMDbTitles / 2, Seed: 41})
+	oracle := exact.New(sc, tabs)
+	queries := workload.SyntheticIMDb(tabs, scale.SynthQueries, 3, 6, 61)
+	rep := &Report{ID: "fig8", Title: "Q-errors and Training Time vs Budget Factor and Sample Size (paper: saturates at B=0.5; larger samples help)"}
+
+	rep.addRow("%-18s %10s %14s", "budget factor", "median q", "train time")
+	for _, b := range []float64{0, 0.5, 1, 2, 3} {
+		ens, err := ensemble.Build(sc, tabs, ensembleConfig(scale.MaxSamples, b))
+		if err != nil {
+			return nil, err
+		}
+		eng := core.New(ens)
+		qes, err := qErrors(oracle, func(q query.Query) (float64, error) {
+			e, err := eng.EstimateCardinality(q)
+			return e.Value, err
+		}, queries)
+		if err != nil {
+			return nil, err
+		}
+		rep.addRow("%-18.1f %10.2f %13.0fms", b, medianOf(qes), ms(ens.BuildTime))
+		rep.metric(fmt.Sprintf("budget_%.1f_q", b), medianOf(qes))
+		rep.metric(fmt.Sprintf("budget_%.1f_ms", b), ms(ens.BuildTime))
+	}
+
+	rep.addRow("%-18s %10s %14s", "samples per RSPN", "median q", "train time")
+	for _, n := range []int{1000, 5000, 20000, 60000} {
+		ens, err := ensemble.Build(sc, tabs, ensembleConfig(n, 0.5))
+		if err != nil {
+			return nil, err
+		}
+		eng := core.New(ens)
+		qes, err := qErrors(oracle, func(q query.Query) (float64, error) {
+			e, err := eng.EstimateCardinality(q)
+			return e.Value, err
+		}, queries)
+		if err != nil {
+			return nil, err
+		}
+		rep.addRow("%-18d %10.2f %13.0fms", n, medianOf(qes), ms(ens.BuildTime))
+		rep.metric(fmt.Sprintf("samples_%d_q", n), medianOf(qes))
+		rep.metric(fmt.Sprintf("samples_%d_ms", n), ms(ens.BuildTime))
+	}
+	return rep, nil
+}
+
+// RunTrainingTime regenerates the Section 6.1 training-time comparison,
+// including the cheap single-table-only ensemble and its JOB-light errors.
+func (s *Suite) RunTrainingTime() (*Report, error) {
+	sc, tabs, oracle, _, err := s.f.imdb()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "traintime", Title: "Training Times and the cheap Single-Table Strategy (paper: DeepDB 48min vs MCSN 34h data prep; single-table median 1.98)"}
+	// Base ensemble time is in the shared fixture.
+	if s.f.imdbEns != nil {
+		rep.addRow("DeepDB base+optimized ensemble: %.0fms", ms(s.f.imdbEns.BuildTime))
+		rep.metric("deepdb_ms", ms(s.f.imdbEns.BuildTime))
+	}
+	mcsn, err := s.trainMCSN()
+	if err != nil {
+		return nil, err
+	}
+	rep.addRow("MCSN training-data execution: %.0fms + network fit: %.0fms",
+		ms(mcsn.TrainingDataTime), ms(mcsn.TrainTime))
+	rep.metric("mcsn_data_ms", ms(mcsn.TrainingDataTime))
+
+	// Single-table-only ensemble.
+	cfg := ensembleConfig(s.f.scale.MaxSamples, 0)
+	cfg.SingleTableOnly = true
+	start := time.Now()
+	singles, err := ensemble.Build(sc, tabs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	singleTime := time.Since(start)
+	eng := core.New(singles)
+	queries := workload.JOBLight(tabs, 5)
+	qes, err := qErrors(oracle, func(q query.Query) (float64, error) {
+		e, err := eng.EstimateCardinality(q)
+		return e.Value, err
+	}, queries)
+	if err != nil {
+		return nil, err
+	}
+	rep.addRow("single-table-only ensemble: %.0fms, JOB-light median %.2f, 90th %.2f, 95th %.2f, max %.2f",
+		ms(singleTime), medianOf(qes), percentile(qes, 0.9), percentile(qes, 0.95), maxOf(qes))
+	rep.metric("single_median", medianOf(qes))
+	return rep, nil
+}

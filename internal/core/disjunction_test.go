@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/query"
+)
+
+func TestDisjunctionExactMatchesPaperData(t *testing.T) {
+	s, tabs := figure5(t)
+	oracle := exact.New(s, tabs)
+	// region = EU OR age >= 80: customers 1, 2 (EU) plus 3 (age 80) = 3.
+	q := query.Query{Aggregate: query.Count, Tables: []string{"customer"},
+		Disjunction: []query.Predicate{
+			{Column: "c_region", Op: query.Eq, Value: float64(tabs["customer"].Column("c_region").Lookup("EUROPE"))},
+			{Column: "c_age", Op: query.Ge, Value: 80},
+		}}
+	res, err := oracle.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scalar() != 3 {
+		t.Fatalf("exact OR count = %v, want 3", res.Scalar())
+	}
+}
+
+func TestDisjunctionEngineInclusionExclusion(t *testing.T) {
+	e, _, tabs := exactEnsemble(t, false)
+	eu := euCode(tabs)
+	q := query.Query{Aggregate: query.Count, Tables: []string{"customer"},
+		Disjunction: []query.Predicate{
+			{Column: "c_region", Op: query.Eq, Value: eu},
+			{Column: "c_age", Op: query.Ge, Value: 80},
+		}}
+	est, err := e.EstimateCardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// count(EU) + count(age>=80) - count(EU && age>=80) = 2 + 1 - 0 = 3.
+	if math.Abs(est.Value-3) > 1e-9 {
+		t.Fatalf("OR estimate = %v, want 3", est.Value)
+	}
+}
+
+func TestDisjunctionOverlappingTerms(t *testing.T) {
+	e, _, tabs := exactEnsemble(t, false)
+	eu := euCode(tabs)
+	// Overlapping disjuncts: EU (2 customers) OR age >= 50 (customers 2, 3).
+	// Union = {1, 2, 3} = 3; naive addition would give 4.
+	q := query.Query{Aggregate: query.Count, Tables: []string{"customer"},
+		Disjunction: []query.Predicate{
+			{Column: "c_region", Op: query.Eq, Value: eu},
+			{Column: "c_age", Op: query.Ge, Value: 50},
+		}}
+	est, err := e.EstimateCardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Value-3) > 1e-9 {
+		t.Fatalf("overlapping OR estimate = %v, want 3 (inclusion-exclusion)", est.Value)
+	}
+}
+
+func TestDisjunctionWithConjunctsAndJoin(t *testing.T) {
+	e, _, tabs := exactEnsemble(t, true)
+	online := onlineCode(tabs)
+	store := float64(tabs["orders"].Column("o_channel").Lookup("STORE"))
+	// All four orders have channel ONLINE or STORE: count = 4.
+	q := query.Query{Aggregate: query.Count, Tables: []string{"customer", "orders"},
+		Disjunction: []query.Predicate{
+			{Column: "o_channel", Op: query.Eq, Value: online},
+			{Column: "o_channel", Op: query.Eq, Value: store},
+		}}
+	est, err := e.EstimateCardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Value-4) > 1e-9 {
+		t.Fatalf("join OR estimate = %v, want 4", est.Value)
+	}
+	// Conjunct + disjunction: EU AND (ONLINE OR STORE) = customer 1's two
+	// orders = 2.
+	q.Filters = []query.Predicate{{Column: "c_region", Op: query.Eq, Value: euCode(tabs)}}
+	est, err = e.EstimateCardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Value-2) > 1e-9 {
+		t.Fatalf("conjunct+OR estimate = %v, want 2", est.Value)
+	}
+}
+
+func TestDisjunctionAvgAndSum(t *testing.T) {
+	e, _, tabs := exactEnsemble(t, false)
+	eu := euCode(tabs)
+	// AVG(age) over EU OR age>=80 = (20+50+80)/3 = 50.
+	q := query.Query{Aggregate: query.Avg, AggColumn: "c_age", Tables: []string{"customer"},
+		Disjunction: []query.Predicate{
+			{Column: "c_region", Op: query.Eq, Value: eu},
+			{Column: "c_age", Op: query.Ge, Value: 80},
+		}}
+	res, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Groups[0].Estimate.Value; math.Abs(got-50) > 1e-9 {
+		t.Fatalf("OR AVG = %v, want 50", got)
+	}
+	q.Aggregate = query.Sum
+	res, err = e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Groups[0].Estimate.Value; math.Abs(got-150) > 1e-9 {
+		t.Fatalf("OR SUM = %v, want 150", got)
+	}
+}
+
+func TestDisjunctionAgainstOracleOnChain(t *testing.T) {
+	eng, oracle := buildChainEngine(t, 0)
+	q := query.Query{Aggregate: query.Count, Tables: []string{"customer", "orders"},
+		Filters: []query.Predicate{{Column: "c_age", Op: query.Lt, Value: 60}},
+		Disjunction: []query.Predicate{
+			{Column: "o_channel", Op: query.Eq, Value: 0},
+			{Column: "o_channel", Op: query.Eq, Value: 2},
+		}}
+	truth, err := oracle.Cardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := eng.EstimateCardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qe := query.QError(est.Value, truth); qe > 2 {
+		t.Fatalf("OR q-error %.2f (est %.1f true %.1f)", qe, est.Value, truth)
+	}
+}
+
+func TestParseOrGroup(t *testing.T) {
+	q, err := query.Parse("SELECT COUNT(*) FROM t WHERE a >= 5 AND (b = 1 OR b = 2 OR c > 9)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Filters) != 1 || len(q.Disjunction) != 3 {
+		t.Fatalf("parsed filters=%d disjuncts=%d", len(q.Filters), len(q.Disjunction))
+	}
+	if _, err := query.Parse("SELECT COUNT(*) FROM t WHERE (a=1 OR a=2) AND (b=1 OR b=2)", nil); err == nil {
+		t.Fatal("two OR-groups should be rejected")
+	}
+}
+
+func TestDisjunctionValidation(t *testing.T) {
+	var many []query.Predicate
+	for i := 0; i < 9; i++ {
+		many = append(many, query.Predicate{Column: "a", Op: query.Eq, Value: float64(i)})
+	}
+	q := query.Query{Aggregate: query.Count, Tables: []string{"t"}, Disjunction: many}
+	if err := q.Validate(); err == nil {
+		t.Fatal("expected error for oversized disjunction")
+	}
+}

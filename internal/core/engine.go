@@ -1,0 +1,548 @@
+// Package core is DeepDB's probabilistic query compilation engine
+// (Section 4 of the paper). It translates COUNT, SUM and AVG queries with
+// conjunctive predicates, FK equi-joins and GROUP BY into products of
+// expectations and probabilities evaluated on an ensemble of RSPNs:
+//
+//   - Case 1: an RSPN exactly matches the query's tables — Theorem 1 with
+//     an empty factor set.
+//   - Case 2: an RSPN covers a superset of the tables — Theorem 1 with
+//     1/F' tuple-factor normalization.
+//   - Case 3: no single RSPN covers the query — Theorem 2 combines several
+//     RSPNs across bridge FK edges, assuming conditional independence.
+//
+// The engine also derives variances for every estimate (Section 5.1) and
+// turns them into confidence intervals.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ensemble"
+	"repro/internal/query"
+	"repro/internal/rspn"
+	"repro/internal/spn"
+	"repro/internal/stats"
+)
+
+// Strategy selects how the engine picks RSPNs for a query.
+type Strategy int
+
+const (
+	// StrategyRDCGreedy picks the RSPN handling the filter predicates with
+	// the highest sum of pairwise RDC values (the paper's choice).
+	StrategyRDCGreedy Strategy = iota
+	// StrategyMedian enumerates all covering RSPNs and uses the median of
+	// their predictions (the alternative the paper evaluated and
+	// rejected); it falls back to greedy when fewer than two RSPNs cover
+	// the query.
+	StrategyMedian
+)
+
+// Engine evaluates queries against an RSPN ensemble.
+type Engine struct {
+	Ens      *ensemble.Ensemble
+	Strategy Strategy
+	// ConfidenceLevel for intervals, default 0.95.
+	ConfidenceLevel float64
+}
+
+// New returns an engine with the paper's defaults.
+func New(ens *ensemble.Ensemble) *Engine {
+	return &Engine{Ens: ens, Strategy: StrategyRDCGreedy, ConfidenceLevel: 0.95}
+}
+
+// Estimate is a point estimate with its variance (Section 5.1).
+type Estimate struct {
+	Value    float64
+	Variance float64
+}
+
+// ConfidenceInterval returns the two-sided interval at the given level
+// under the normality assumption of Section 5.1.
+func (e Estimate) ConfidenceInterval(level float64) (lo, hi float64) {
+	z := stats.ConfidenceZ(level)
+	sd := math.Sqrt(math.Max(0, e.Variance))
+	return e.Value - z*sd, e.Value + z*sd
+}
+
+// mulEstimate multiplies two independent estimates, propagating variance
+// with V(XY) = V(X)V(Y) + V(X)E(Y)^2 + V(Y)E(X)^2.
+func mulEstimate(a, b Estimate) Estimate {
+	return Estimate{
+		Value:    a.Value * b.Value,
+		Variance: stats.ProductVariance(a.Value, a.Variance, b.Value, b.Variance),
+	}
+}
+
+// divEstimate divides estimate a by an independent estimate b via the delta
+// method.
+func divEstimate(a, b Estimate) Estimate {
+	if b.Value == 0 {
+		return Estimate{}
+	}
+	v := a.Value / b.Value
+	rel := 0.0
+	if a.Value != 0 {
+		rel += a.Variance / (a.Value * a.Value)
+	}
+	rel += b.Variance / (b.Value * b.Value)
+	return Estimate{Value: v, Variance: v * v * rel}
+}
+
+// scaleEstimate multiplies an estimate by an exact constant.
+func scaleEstimate(a Estimate, c float64) Estimate {
+	return Estimate{Value: a.Value * c, Variance: a.Variance * c * c}
+}
+
+// EstimateCardinality estimates COUNT(*) over the query's join with its
+// filters — the cardinality-estimation task of Section 6.1. Group-by and
+// aggregate settings on q are ignored.
+func (e *Engine) EstimateCardinality(q query.Query) (Estimate, error) {
+	if err := q.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if _, err := e.Ens.Schema.JoinTree(q.Tables); err != nil {
+		return Estimate{}, err
+	}
+	if len(q.Disjunction) > 0 {
+		return e.estimateDisjunctiveCount(q)
+	}
+	return e.estimateCount(q.Tables, q.Filters, e.effectiveOuter(q))
+}
+
+// effectiveOuter returns the outer tables that still behave as outer after
+// SQL WHERE semantics: a predicate on an outer table's column eliminates
+// its padded rows, so the table reverts to inner-join behaviour.
+func (e *Engine) effectiveOuter(q query.Query) []string {
+	var out []string
+	for _, ot := range q.OuterTables {
+		filtered := false
+		for _, f := range q.Filters {
+			if e.columnOwner(f.Column, []string{ot}) != "" {
+				filtered = true
+				break
+			}
+		}
+		if !filtered {
+			out = append(out, ot)
+		}
+	}
+	return out
+}
+
+// estimateCount dispatches between the single-RSPN cases and Theorem 2.
+func (e *Engine) estimateCount(tables []string, filters []query.Predicate, outer []string) (Estimate, error) {
+	covering := e.Ens.Covering(tables)
+	if len(covering) > 0 {
+		if e.Strategy == StrategyMedian && len(covering) > 1 {
+			return e.medianCount(covering, tables, filters, outer)
+		}
+		r := e.pickCovering(covering, filters)
+		return e.theorem1(r, tables, filters, outer, nil)
+	}
+	return e.theorem2(tables, filters, outer)
+}
+
+// medianCount evaluates every covering RSPN and returns the median value
+// (variance taken from the median member).
+func (e *Engine) medianCount(covering []*rspn.RSPN, tables []string, filters []query.Predicate, outer []string) (Estimate, error) {
+	var ests []Estimate
+	for _, r := range covering {
+		est, err := e.theorem1(r, tables, filters, outer, nil)
+		if err != nil {
+			return Estimate{}, err
+		}
+		ests = append(ests, est)
+	}
+	sort.Slice(ests, func(i, j int) bool { return ests[i].Value < ests[j].Value })
+	return ests[len(ests)/2], nil
+}
+
+// pickCovering implements the greedy execution strategy of Section 4.1:
+// choose the RSPN that handles the filter predicates with the highest sum
+// of pairwise RDC values; ties prefer smaller models.
+func (e *Engine) pickCovering(covering []*rspn.RSPN, filters []query.Predicate) *rspn.RSPN {
+	best := covering[0]
+	bestScore := math.Inf(-1)
+	for _, r := range covering {
+		score := e.filterScore(r, filters)
+		// Smaller models dilute single-table marginals less; subtract a
+		// tiny penalty per extra table as the tie-breaker.
+		score -= 1e-6 * float64(len(r.Tables))
+		if score > bestScore {
+			best, bestScore = r, score
+		}
+	}
+	return best
+}
+
+// filterScore sums the pairwise attribute RDC values over the filter
+// columns the RSPN can resolve.
+func (e *Engine) filterScore(r *rspn.RSPN, filters []query.Predicate) float64 {
+	var cols []string
+	for _, f := range filters {
+		if r.ResolvesColumn(f.Column) {
+			cols = append(cols, f.Column)
+		}
+	}
+	score := 0.001 * float64(len(cols)) // resolving more filters is better
+	for i := 0; i < len(cols); i++ {
+		for j := i + 1; j < len(cols); j++ {
+			score += e.Ens.AttrRDC[ensemble.AttrKey(cols[i], cols[j])]
+		}
+	}
+	return score
+}
+
+// theorem1 evaluates |J| * E(1/F' * 1_C * prod N_T) on one RSPN for a query
+// over a subset of the RSPN's tables (Cases 1 and 2), with the variance
+// derivation of Section 5.1. extraFns lets Theorem 2 multiply bridge tuple
+// factors into the expectation.
+func (e *Engine) theorem1(r *rspn.RSPN, tables []string, filters []query.Predicate, outer []string, extraFns map[string]spn.Fn) (Estimate, error) {
+	fns := map[string]spn.Fn{}
+	for _, c := range r.InverseFactorColumns(tables) {
+		fns[c] = spn.FnInv
+	}
+	for c, fn := range extraFns {
+		fns[c] = fn
+	}
+	// Outer tables keep padded rows: their indicator constraint is
+	// dropped, so a row missing the outer side still counts once.
+	inner := intersect(subtract(tables, outer), r.Tables)
+	term := rspn.Term{Fns: fns, Filters: filters, InnerTables: inner}
+	full, err := r.Expectation(term)
+	if err != nil {
+		return Estimate{}, err
+	}
+	variance, err := e.termVariance(r, term, full)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return scaleEstimate(Estimate{Value: full, Variance: variance}, r.FullSize), nil
+}
+
+// termVariance computes the estimator variance of E[term] following
+// Section 5.1: the expectation is split into P(C) * E(G | C); the
+// probability part is binomial over the model's training sample, the
+// conditional part uses Koenig-Huygens with the squared term, and the two
+// combine with the product-variance formula.
+func (e *Engine) termVariance(r *rspn.RSPN, term rspn.Term, full float64) (float64, error) {
+	n := r.Model.RowCount
+	if n <= 1 {
+		return 0, nil
+	}
+	probTerm := term
+	probTerm.Fns = nil
+	p, err := r.Expectation(probTerm)
+	if err != nil {
+		return 0, err
+	}
+	varP := stats.BinomialVariance(p, int(n))
+	if len(term.Fns) == 0 {
+		return varP, nil
+	}
+	if p <= 0 {
+		return 0, nil
+	}
+	sqTerm := term
+	sqTerm.Fns = map[string]spn.Fn{}
+	for c, fn := range term.Fns {
+		sqTerm.Fns[c] = squareFn(fn)
+	}
+	sq, err := r.Expectation(sqTerm)
+	if err != nil {
+		return 0, err
+	}
+	condMean := full / p
+	condVar := sq/p - condMean*condMean
+	if condVar < 0 {
+		condVar = 0
+	}
+	nC := n * p
+	varCond := condVar / math.Max(1, nC)
+	return stats.ProductVariance(p, varP, condMean, varCond), nil
+}
+
+// squareFn maps each moment function to its square.
+func squareFn(fn spn.Fn) spn.Fn {
+	switch fn {
+	case spn.FnIdent:
+		return spn.FnSquare
+	case spn.FnInv:
+		return spn.FnInvSquare
+	case spn.FnOne:
+		return spn.FnOne
+	default:
+		// Squares of squares are not needed by any compilation.
+		return fn
+	}
+}
+
+// theorem2 combines multiple RSPNs (Case 3). The best-scoring RSPN answers
+// the largest connected sub-query it covers, extended across each bridge FK
+// edge by multiplying the bridge tuple factor; every remaining branch
+// contributes the ratio (estimated count of the branch) / (size of its
+// bridgehead table), the Theorem 2 correction under conditional
+// independence.
+func (e *Engine) theorem2(tables []string, filters []query.Predicate, outer []string) (Estimate, error) {
+	r := e.pickPartial(tables, filters)
+	if r == nil {
+		return Estimate{}, fmt.Errorf("core: no RSPN covers any of tables %v", tables)
+	}
+	sl := e.connectedCovered(tables, r)
+	if len(sl) == 0 {
+		return Estimate{}, fmt.Errorf("core: internal: empty coverage for %v", tables)
+	}
+	rest := subtract(tables, sl)
+	branches, err := e.branchComponents(rest, sl)
+	if err != nil {
+		return Estimate{}, err
+	}
+	// Bridge factors multiply into the left expectation when the branch
+	// head is on the Many side of its bridge edge. A fully-outer branch
+	// (all its tables outer-joined, hence unfiltered after WHERE
+	// normalization) multiplies by max(F, 1): rows without partners still
+	// appear once.
+	outerSet := toSet(outer)
+	extraFns := map[string]spn.Fn{}
+	for _, br := range branches {
+		if !br.headIsMany {
+			continue
+		}
+		col := tableTupleFactor(br)
+		if !r.HasColumn(col) {
+			return Estimate{}, fmt.Errorf("core: RSPN %v lacks bridge factor column %s", r.Tables, col)
+		}
+		if branchAllOuter(br, outerSet) {
+			extraFns[col] = spn.FnMax1
+		} else {
+			extraFns[col] = spn.FnIdent
+		}
+	}
+	left, err := e.theorem1(r, sl, filtersFor(e, sl, filters), intersect(outer, sl), extraFns)
+	if err != nil {
+		return Estimate{}, err
+	}
+	result := left
+	for _, br := range branches {
+		if branchAllOuter(br, outerSet) {
+			// Unfiltered outer branch: the max(F,1) factor above already
+			// accounts for the padded multiplicity; no selectivity ratio.
+			continue
+		}
+		num, err := e.estimateCount(br.tables, filtersFor(e, br.tables, filters), intersect(outer, br.tables))
+		if err != nil {
+			return Estimate{}, err
+		}
+		den := float64(e.Ens.Tables[br.head].NumRows())
+		if den == 0 {
+			return Estimate{Value: 0}, nil
+		}
+		result = mulEstimate(result, scaleEstimate(num, 1/den))
+	}
+	return result, nil
+}
+
+// branchAllOuter reports whether every table of the branch is outer-joined.
+func branchAllOuter(br branch, outer map[string]bool) bool {
+	for _, t := range br.tables {
+		if !outer[t] {
+			return false
+		}
+	}
+	return len(br.tables) > 0
+}
+
+// branch is one connected component of the query tables left uncovered,
+// attached to the covered set through a bridge FK edge.
+type branch struct {
+	tables []string
+	// head is the branch table adjacent to the covered set.
+	head string
+	// headIsMany reports whether head is the Many side of the bridge edge
+	// (then the covered side's tuple factor F_{s<-head} extends the count;
+	// otherwise the FK points from the covered side to head and each
+	// covered row has at most one partner).
+	headIsMany bool
+	// bridgeOne/bridgeMany name the edge for factor-column lookup.
+	bridgeOne, bridgeMany string
+}
+
+func tableTupleFactor(br branch) string {
+	return "__fk_" + br.bridgeOne + "<-" + br.bridgeMany
+}
+
+// branchComponents splits the uncovered tables into connected components
+// and finds each component's bridge to the covered set.
+func (e *Engine) branchComponents(rest, covered []string) ([]branch, error) {
+	if len(rest) == 0 {
+		return nil, nil
+	}
+	inRest := toSet(rest)
+	inCovered := toSet(covered)
+	seen := map[string]bool{}
+	var out []branch
+	for _, start := range rest {
+		if seen[start] {
+			continue
+		}
+		// BFS within rest.
+		comp := []string{start}
+		seen[start] = true
+		for i := 0; i < len(comp); i++ {
+			for _, edge := range e.Ens.Schema.NeighborEdges(comp[i]) {
+				var nb string
+				if edge.Many == comp[i] {
+					nb = edge.One
+				} else {
+					nb = edge.Many
+				}
+				if inRest[nb] && !seen[nb] {
+					seen[nb] = true
+					comp = append(comp, nb)
+				}
+			}
+		}
+		// Find the bridge edge to the covered set.
+		var br *branch
+		for _, t := range comp {
+			for _, edge := range e.Ens.Schema.NeighborEdges(t) {
+				var other string
+				headIsMany := false
+				if edge.Many == t {
+					other = edge.One
+					headIsMany = true
+				} else {
+					other = edge.Many
+				}
+				if inCovered[other] {
+					br = &branch{tables: comp, head: t, headIsMany: headIsMany,
+						bridgeOne: edge.One, bridgeMany: edge.Many}
+					break
+				}
+			}
+			if br != nil {
+				break
+			}
+		}
+		if br == nil {
+			return nil, fmt.Errorf("core: tables %v not FK-adjacent to covered set %v", comp, covered)
+		}
+		out = append(out, *br)
+	}
+	return out, nil
+}
+
+// pickPartial chooses the RSPN for Theorem 2's left side: highest filter
+// score, with coverage count as the dominant term so the recursion shrinks.
+func (e *Engine) pickPartial(tables []string, filters []query.Predicate) *rspn.RSPN {
+	var best *rspn.RSPN
+	bestScore := math.Inf(-1)
+	for _, r := range e.Ens.RSPNs {
+		cov := len(e.connectedCovered(tables, r))
+		if cov == 0 {
+			continue
+		}
+		score := float64(cov) + e.filterScore(r, filters)
+		if score > bestScore {
+			best, bestScore = r, score
+		}
+	}
+	return best
+}
+
+// connectedCovered returns the largest connected (in the FK graph) subset
+// of the query tables that the RSPN covers.
+func (e *Engine) connectedCovered(tables []string, r *rspn.RSPN) []string {
+	covered := map[string]bool{}
+	for _, t := range tables {
+		if r.HasTable(t) {
+			covered[t] = true
+		}
+	}
+	if len(covered) == 0 {
+		return nil
+	}
+	var bestComp []string
+	seen := map[string]bool{}
+	for t := range covered {
+		if seen[t] {
+			continue
+		}
+		comp := []string{t}
+		seen[t] = true
+		for i := 0; i < len(comp); i++ {
+			for _, edge := range e.Ens.Schema.NeighborEdges(comp[i]) {
+				var nb string
+				if edge.Many == comp[i] {
+					nb = edge.One
+				} else {
+					nb = edge.Many
+				}
+				if covered[nb] && !seen[nb] {
+					seen[nb] = true
+					comp = append(comp, nb)
+				}
+			}
+		}
+		if len(comp) > len(bestComp) {
+			bestComp = comp
+		}
+	}
+	sort.Strings(bestComp)
+	return bestComp
+}
+
+// filtersFor keeps the predicates whose column belongs to one of the given
+// tables.
+func filtersFor(e *Engine, tables []string, filters []query.Predicate) []query.Predicate {
+	var out []query.Predicate
+	for _, f := range filters {
+		if e.columnOwner(f.Column, tables) != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// columnOwner returns which of the tables owns the column ("" if none).
+func (e *Engine) columnOwner(col string, tables []string) string {
+	for _, tn := range tables {
+		if t := e.Ens.Tables[tn]; t != nil && t.Column(col) != nil {
+			return tn
+		}
+	}
+	return ""
+}
+
+func intersect(a, b []string) []string {
+	set := toSet(b)
+	var out []string
+	for _, x := range a {
+		if set[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func subtract(a, b []string) []string {
+	set := toSet(b)
+	var out []string
+	for _, x := range a {
+		if !set[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func toSet(xs []string) map[string]bool {
+	m := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		m[x] = true
+	}
+	return m
+}

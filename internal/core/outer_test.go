@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/query"
+)
+
+// Outer-join semantics (Section 4.2): on the Figure 5 data,
+// customer LEFT JOIN orders has 5 rows (customer 2 kept with NULL order),
+// while the inner join has 4.
+
+func TestExactOuterJoinCount(t *testing.T) {
+	s, tabs := figure5(t)
+	oracle := exact.New(s, tabs)
+	q := query.Query{Aggregate: query.Count,
+		Tables: []string{"customer", "orders"}, OuterTables: []string{"orders"}}
+	res, err := oracle.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scalar() != 5 {
+		t.Fatalf("LEFT JOIN count = %v, want 5", res.Scalar())
+	}
+	// A WHERE predicate on the outer side reverts to inner semantics.
+	online := float64(tabs["orders"].Column("o_channel").Lookup("ONLINE"))
+	qf := q
+	qf.Filters = []query.Predicate{{Column: "o_channel", Op: query.Eq, Value: online}}
+	res, err = oracle.Execute(qf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scalar() != 2 {
+		t.Fatalf("filtered LEFT JOIN count = %v, want 2", res.Scalar())
+	}
+}
+
+func TestEngineOuterJoinCase1(t *testing.T) {
+	// Joint RSPN covers both tables: dropping the orders indicator gives
+	// the exact left-join count.
+	e, _, _ := exactEnsemble(t, true)
+	q := query.Query{Aggregate: query.Count,
+		Tables: []string{"customer", "orders"}, OuterTables: []string{"orders"}}
+	est, err := e.EstimateCardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Value-5) > 1e-9 {
+		t.Fatalf("LEFT JOIN estimate (Case 1) = %v, want 5", est.Value)
+	}
+}
+
+func TestEngineOuterJoinCase3(t *testing.T) {
+	// Single-table RSPNs: the outer branch multiplies max(F, 1) on the
+	// customer RSPN: max(2,1)+max(0,1)+max(2,1) = 5.
+	e, _, _ := exactEnsemble(t, false)
+	q := query.Query{Aggregate: query.Count,
+		Tables: []string{"customer", "orders"}, OuterTables: []string{"orders"}}
+	est, err := e.EstimateCardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Value-5) > 1e-9 {
+		t.Fatalf("LEFT JOIN estimate (Case 3) = %v, want 5", est.Value)
+	}
+}
+
+func TestEngineOuterJoinWithInnerFilter(t *testing.T) {
+	// Filter on the preserved (customer) side: EU customers keep their
+	// padded row -> rows (c1,o1), (c1,o2), (c2,NULL) = 3.
+	for _, joint := range []bool{true, false} {
+		e, _, tabs := exactEnsemble(t, joint)
+		q := query.Query{Aggregate: query.Count,
+			Tables: []string{"customer", "orders"}, OuterTables: []string{"orders"},
+			Filters: []query.Predicate{{Column: "c_region", Op: query.Eq, Value: euCode(tabs)}}}
+		est, err := e.EstimateCardinality(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est.Value-3) > 1e-9 {
+			t.Fatalf("joint=%v: filtered LEFT JOIN estimate = %v, want 3", joint, est.Value)
+		}
+	}
+}
+
+func TestEngineOuterFilterOnOuterSideRevertsToInner(t *testing.T) {
+	for _, joint := range []bool{true, false} {
+		e, _, tabs := exactEnsemble(t, joint)
+		q := query.Query{Aggregate: query.Count,
+			Tables: []string{"customer", "orders"}, OuterTables: []string{"orders"},
+			Filters: []query.Predicate{{Column: "o_channel", Op: query.Eq, Value: onlineCode(tabs)}}}
+		est, err := e.EstimateCardinality(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est.Value-2) > 1e-9 {
+			t.Fatalf("joint=%v: estimate = %v, want 2 (WHERE kills padded rows)", joint, est.Value)
+		}
+	}
+}
+
+func TestOuterTableValidation(t *testing.T) {
+	e, _, _ := exactEnsemble(t, true)
+	q := query.Query{Aggregate: query.Count, Tables: []string{"customer"},
+		OuterTables: []string{"orders"}}
+	if _, err := e.EstimateCardinality(q); err == nil {
+		t.Fatal("expected validation error: outer table not in table list")
+	}
+}
+
+func TestOuterJoinAgainstOracle(t *testing.T) {
+	// Statistical check on the generated 3-table chain: LEFT JOIN counts
+	// from the model track the oracle.
+	eng, oracle := buildChainEngine(t, 0)
+	q := query.Query{Aggregate: query.Count,
+		Tables: []string{"customer", "orders"}, OuterTables: []string{"orders"},
+		Filters: []query.Predicate{{Column: "c_region", Op: query.Eq, Value: 1}}}
+	truth, err := oracle.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := eng.EstimateCardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qe := query.QError(est.Value, truth.Scalar()); qe > 2 {
+		t.Fatalf("outer-join q-error %.2f (est %.1f true %.1f)", qe, est.Value, truth.Scalar())
+	}
+}

@@ -1,0 +1,112 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/schema"
+	"repro/internal/table"
+)
+
+// FlightsConfig scales the Flights generator.
+type FlightsConfig struct {
+	Rows int
+	Seed int64
+}
+
+// DefaultFlightsConfig is laptop-scale.
+func DefaultFlightsConfig() FlightsConfig { return FlightsConfig{Rows: 100000, Seed: 1} }
+
+// FlightsSchema is the single-table flight-delays schema the paper's AQP
+// and ML experiments use (Kaggle US DoT flight delays).
+func FlightsSchema() *schema.Schema {
+	return &schema.Schema{Tables: []*schema.Table{
+		{Name: "flights", PrimaryKey: "f_id", Columns: []schema.Column{
+			{Name: "f_id", Kind: schema.IntKind},
+			{Name: "f_month", Kind: schema.IntKind},
+			{Name: "f_day_of_week", Kind: schema.IntKind},
+			{Name: "f_carrier", Kind: schema.IntKind},
+			{Name: "f_origin", Kind: schema.IntKind},
+			{Name: "f_dest", Kind: schema.IntKind},
+			{Name: "f_distance", Kind: schema.FloatKind},
+			{Name: "f_dep_delay", Kind: schema.FloatKind},
+			{Name: "f_taxi_out", Kind: schema.FloatKind},
+			{Name: "f_taxi_in", Kind: schema.FloatKind},
+			{Name: "f_air_time", Kind: schema.FloatKind},
+			{Name: "f_arr_delay", Kind: schema.FloatKind},
+		}},
+	}}
+}
+
+// Flights generates the delay table with the structure the real data is
+// known for:
+//   - 14 carriers and ~300 airports, both zipf-skewed;
+//   - departure delay is heavy-tailed and depends on carrier, origin
+//     congestion and month (winter/summer peaks);
+//   - air time is distance/speed plus noise; taxi times depend on airport
+//     congestion;
+//   - arrival delay = departure delay + taxi and airtime deviations —
+//     strongly correlated columns, which is what makes the ML and AQP
+//     tasks non-trivial.
+func Flights(cfg FlightsConfig) (*schema.Schema, map[string]*table.Table) {
+	if cfg.Rows <= 0 {
+		cfg = DefaultFlightsConfig()
+	}
+	s := FlightsSchema()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := table.New(s.Table("flights"))
+	const nCarriers, nAirports = 14, 300
+	// Per-carrier delay propensity and per-airport congestion.
+	carrierDelay := make([]float64, nCarriers+1)
+	for i := range carrierDelay {
+		carrierDelay[i] = rng.Float64() * 12
+	}
+	airportCongestion := make([]float64, nAirports+1)
+	for i := range airportCongestion {
+		airportCongestion[i] = rng.Float64()
+	}
+	for i := 0; i < cfg.Rows; i++ {
+		month := 1 + rng.Intn(12)
+		dow := 1 + rng.Intn(7)
+		carrier := zipfInt(rng, nCarriers, 1.8)
+		origin := zipfInt(rng, nAirports, 2.2)
+		dest := zipfInt(rng, nAirports, 2.2)
+		for dest == origin {
+			dest = zipfInt(rng, nAirports, 2.2)
+		}
+		distance := 150 + 2500*math.Pow(rng.Float64(), 1.7)
+		seasonal := 0.0
+		if month == 12 || month == 1 || month == 6 || month == 7 {
+			seasonal = 6
+		}
+		congestion := airportCongestion[origin]
+		// Heavy-tailed departure delay: mostly near zero, occasional big.
+		depDelay := carrierDelay[carrier]*0.5 + seasonal + congestion*10 - 5 + rng.NormFloat64()*5
+		if rng.Float64() < 0.08 {
+			depDelay += rng.ExpFloat64() * 60 // tail
+		}
+		taxiOut := 8 + congestion*25 + rng.NormFloat64()*3
+		if taxiOut < 1 {
+			taxiOut = 1
+		}
+		taxiIn := 4 + airportCongestion[dest]*12 + rng.NormFloat64()*2
+		if taxiIn < 1 {
+			taxiIn = 1
+		}
+		airTime := distance/7.5 + 15 + rng.NormFloat64()*8
+		// Arrival delay: departure delay propagates, taxi adds, en-route
+		// makes up a little.
+		arrDelay := depDelay + (taxiOut-15)*0.8 + (taxiIn-8)*0.5 - 4 + rng.NormFloat64()*8
+		t.AppendRow(
+			table.Int(i), table.Int(month), table.Int(dow), table.Int(carrier),
+			table.Int(origin), table.Int(dest),
+			table.Float(math.Round(distance)),
+			table.Float(math.Round(depDelay)),
+			table.Float(math.Round(taxiOut)),
+			table.Float(math.Round(taxiIn)),
+			table.Float(math.Round(airTime)),
+			table.Float(math.Round(arrDelay)),
+		)
+	}
+	return s, map[string]*table.Table{"flights": t}
+}

@@ -1,0 +1,98 @@
+package ensemble
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/rspn"
+	"repro/internal/schema"
+	"repro/internal/table"
+)
+
+// persisted is the serializable subset of an ensemble: models and
+// statistics, but not the live base tables (those are reattached on load,
+// like a database reopening its files).
+type persisted struct {
+	Schema  *schema.Schema
+	RSPNs   []*rspn.RSPN
+	AttrRDC map[string]float64
+	PairDep map[string]float64
+	Config  Config
+}
+
+// Save writes the ensemble's models and statistics to w in gob format.
+func (e *Ensemble) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(persisted{
+		Schema:  e.Schema,
+		RSPNs:   e.RSPNs,
+		AttrRDC: e.AttrRDC,
+		PairDep: e.PairDep,
+		Config:  e.cfg,
+	})
+}
+
+// Load reads an ensemble written by Save and reattaches the live base
+// tables (which must already carry their tuple-factor columns; pass the
+// same tables that Build produced, or freshly loaded ones).
+func Load(r io.Reader, tables map[string]*table.Table) (*Ensemble, error) {
+	var p persisted
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("ensemble: decoding: %w", err)
+	}
+	for _, m := range p.RSPNs {
+		if err := m.Model.Root.Validate(); err != nil {
+			return nil, fmt.Errorf("ensemble: invalid model after load: %w", err)
+		}
+	}
+	// Freshly loaded base tables (e.g. from CSV) lack the synthetic
+	// tuple-factor columns Build added; re-derive them so updates keep
+	// working after a load.
+	for _, rel := range p.Schema.Relationships() {
+		one, many := tables[rel.One], tables[rel.Many]
+		if one == nil || many == nil {
+			return nil, fmt.Errorf("ensemble: missing base table for relationship %s", rel.ID())
+		}
+		if one.Column(table.TupleFactorColumn(rel)) == nil {
+			if err := table.AddTupleFactor(one, many, rel); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Ensemble{
+		Schema:  p.Schema,
+		RSPNs:   p.RSPNs,
+		AttrRDC: p.AttrRDC,
+		PairDep: p.PairDep,
+		Tables:  tables,
+		cfg:     p.Config,
+		rng:     rand.New(rand.NewSource(p.Config.Seed)),
+		pkIndex: make(map[string]map[float64]int),
+		fkIndex: make(map[string]map[float64][]int),
+	}, nil
+}
+
+// SaveFile writes the ensemble to a file.
+func (e *Ensemble) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := e.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an ensemble from a file.
+func LoadFile(path string, tables map[string]*table.Table) (*Ensemble, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, tables)
+}

@@ -1,0 +1,407 @@
+package ensemble
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/rspn"
+	"repro/internal/schema"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// Insert absorbs a new base-table row into the ensemble (Section 5.2): the
+// base table and its tuple factors are updated exactly, and every RSPN
+// covering the table receives the corresponding join rows through
+// Algorithm 1, subsampled at the RSPN's training sample rate. values maps
+// column names to cell values; missing columns become NULL.
+func (e *Ensemble) Insert(tableName string, values map[string]table.Value) error {
+	t, ok := e.Tables[tableName]
+	if !ok {
+		return fmt.Errorf("ensemble: unknown table %s", tableName)
+	}
+	meta := e.Schema.Table(tableName)
+
+	// 1. Append to the base table (tuple factors of a brand-new row are 0).
+	row := make([]table.Value, len(t.Cols))
+	for i, c := range t.Cols {
+		if v, ok := values[c.Meta.Name]; ok {
+			row[i] = v
+		} else if strings.HasPrefix(c.Meta.Name, "__fk_") {
+			row[i] = table.Int(0)
+		} else {
+			row[i] = table.Null()
+		}
+	}
+	t.AppendRow(row...)
+	newIdx := t.NumRows() - 1
+	e.indexInsert(tableName, newIdx)
+
+	// 2. Bump the tuple factor of every referenced One-side row.
+	var bumps []factorBump
+	for _, fk := range meta.ForeignKeys {
+		rel := schema.Relationship{Many: tableName, ManyColumn: fk.Column, One: fk.RefTable, OneColumn: fk.RefColumn}
+		fkCol := t.Column(fk.Column)
+		if fkCol.IsNull(newIdx) {
+			bumps = append(bumps, factorBump{rel: rel, row: -1})
+			continue
+		}
+		oneRow, ok := e.lookupPK(fk.RefTable, fkCol.Data[newIdx])
+		if !ok {
+			bumps = append(bumps, factorBump{rel: rel, row: -1})
+			continue
+		}
+		fCol := e.Tables[fk.RefTable].Column(table.TupleFactorColumn(rel))
+		old := fCol.Data[oneRow]
+		fCol.Data[oneRow] = old + 1
+		bumps = append(bumps, factorBump{rel: rel, row: oneRow, oldF: old})
+	}
+
+	// 3. Update every RSPN containing the table.
+	for _, r := range e.RSPNs {
+		if !r.HasTable(tableName) {
+			continue
+		}
+		if err := e.applyInsert(r, tableName, newIdx, bumps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyInsert pushes the join rows created by the new base row into one
+// RSPN. For a single-table RSPN this is the row itself. For a join RSPN the
+// new row is extended across the join tree: One-ward lookups are exact;
+// when the referenced One-side row previously had no partner on this edge,
+// its padded row is removed and replaced by the now-complete row.
+func (e *Ensemble) applyInsert(r *rspn.RSPN, tableName string, rowIdx int, bumps []factorBump) error {
+	apply := r.SampleRate >= 1 || e.rng.Float64() < r.SampleRate
+	if len(r.Tables) == 1 {
+		vec, err := e.modelRow(r, map[string]int{tableName: rowIdx})
+		if err != nil {
+			return err
+		}
+		return r.Insert(vec, apply)
+	}
+	// Collect the rows of every RSPN table reachable One-ward from the
+	// inserted row (Many-ward sides stay NULL: a fresh row has no
+	// referencing partners yet, and partner enumeration for pre-existing
+	// Many branches is approximated by the padded form — see DESIGN.md).
+	present := map[string]int{tableName: rowIdx}
+	if err := e.extendOneWard(r, tableName, rowIdx, present); err != nil {
+		return err
+	}
+	vec, err := e.modelRow(r, present)
+	if err != nil {
+		return err
+	}
+	// If an edge of this RSPN connects the inserted table (Many side) to a
+	// One-side row that previously had factor 0, the join used to contain a
+	// padded row for it; replace it.
+	for _, b := range bumps {
+		if b.row < 0 || b.oldF != 0 || !r.HasTable(b.rel.One) || !edgeInRSPN(r, b.rel) {
+			continue
+		}
+		padded := map[string]int{b.rel.One: b.row}
+		if err := e.extendOneWard(r, b.rel.One, b.row, padded); err != nil {
+			return err
+		}
+		padVec, err := e.modelRow(r, padded)
+		if err != nil {
+			return err
+		}
+		// The padded row carried the pre-bump factor (0 -> clamped 1).
+		if i := r.Model.ColumnIndex(table.TupleFactorColumn(b.rel)); i >= 0 {
+			padVec[i] = 1
+		}
+		if err := r.Delete(padVec, apply); err != nil {
+			return err
+		}
+	}
+	return r.Insert(vec, apply)
+}
+
+// factorBump records a tuple-factor change on a One-side row caused by
+// inserting or deleting a Many-side row.
+type factorBump struct {
+	rel  schema.Relationship
+	row  int // row index in the One table, -1 when dangling
+	oldF float64
+}
+
+// extendOneWard walks the RSPN's join edges from the given table toward
+// referenced (One-side) tables, resolving the concrete partner rows.
+func (e *Ensemble) extendOneWard(r *rspn.RSPN, from string, rowIdx int, present map[string]int) error {
+	for _, edge := range r.Edges {
+		if edge.Many != from {
+			continue
+		}
+		if _, done := present[edge.One]; done {
+			continue
+		}
+		fkCol := e.Tables[from].Column(edge.ManyColumn)
+		if fkCol == nil || fkCol.IsNull(rowIdx) {
+			continue
+		}
+		oneRow, ok := e.lookupPK(edge.One, fkCol.Data[rowIdx])
+		if !ok {
+			continue
+		}
+		present[edge.One] = oneRow
+		if err := e.extendOneWard(r, edge.One, oneRow, present); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// modelRow assembles the model-column vector for a join row in which the
+// given tables are present (others padded NULL with indicator 0). Tuple-
+// factor columns of present tables are clamped to >= 1 for join RSPNs,
+// matching the training-data convention.
+func (e *Ensemble) modelRow(r *rspn.RSPN, present map[string]int) ([]float64, error) {
+	vec := make([]float64, len(r.Model.Columns))
+	isJoin := len(r.Tables) > 1
+	for i, colName := range r.Model.Columns {
+		switch {
+		case strings.HasPrefix(colName, "__nt_"):
+			tn := strings.TrimPrefix(colName, "__nt_")
+			if _, ok := present[tn]; ok {
+				vec[i] = 1
+			} else {
+				vec[i] = 0
+			}
+		default:
+			owner, rowIdx, ok := e.findOwner(r, colName, present)
+			if !ok {
+				vec[i] = math.NaN()
+				if isJoin && strings.HasPrefix(colName, "__fk_") {
+					vec[i] = 1 // padded rows count themselves once
+				}
+				continue
+			}
+			col := e.Tables[owner].Column(colName)
+			if col.IsNull(rowIdx) {
+				vec[i] = math.NaN()
+				continue
+			}
+			v := col.Data[rowIdx]
+			if isJoin && strings.HasPrefix(colName, "__fk_") && v < 1 {
+				v = 1
+			}
+			vec[i] = v
+		}
+	}
+	return vec, nil
+}
+
+// findOwner locates which present table owns the named column.
+func (e *Ensemble) findOwner(r *rspn.RSPN, colName string, present map[string]int) (string, int, bool) {
+	for tn, rowIdx := range present {
+		if e.Tables[tn].Column(colName) != nil {
+			return tn, rowIdx, true
+		}
+	}
+	return "", 0, false
+}
+
+func edgeInRSPN(r *rspn.RSPN, rel schema.Relationship) bool {
+	for _, edge := range r.Edges {
+		if edge.ID() == rel.ID() {
+			return true
+		}
+	}
+	return false
+}
+
+// Delete removes a base-table row (located by primary key) from the
+// ensemble: base table rows are kept but tombstoned out of indexes, tuple
+// factors are decremented, and covering RSPNs receive the inverse update.
+// Only single-table RSPNs and 2-table join RSPNs delete their join rows
+// exactly; larger joins apply the single-row approximation.
+func (e *Ensemble) Delete(tableName string, pk float64) error {
+	t, ok := e.Tables[tableName]
+	if !ok {
+		return fmt.Errorf("ensemble: unknown table %s", tableName)
+	}
+	meta := e.Schema.Table(tableName)
+	if meta.PrimaryKey == "" {
+		return fmt.Errorf("ensemble: table %s has no primary key", tableName)
+	}
+	rowIdx, ok := e.lookupPK(tableName, pk)
+	if !ok {
+		return fmt.Errorf("ensemble: %s: no row with pk %v", tableName, pk)
+	}
+	// Reverse the tuple-factor bumps.
+	var bumps []factorBump
+	for _, fk := range meta.ForeignKeys {
+		rel := schema.Relationship{Many: tableName, ManyColumn: fk.Column, One: fk.RefTable, OneColumn: fk.RefColumn}
+		fkCol := t.Column(fk.Column)
+		if fkCol.IsNull(rowIdx) {
+			continue
+		}
+		oneRow, ok := e.lookupPK(fk.RefTable, fkCol.Data[rowIdx])
+		if !ok {
+			continue
+		}
+		fCol := e.Tables[fk.RefTable].Column(table.TupleFactorColumn(rel))
+		fCol.Data[oneRow]--
+		bumps = append(bumps, factorBump{rel: rel, row: oneRow, oldF: fCol.Data[oneRow] + 1})
+	}
+	for _, r := range e.RSPNs {
+		if !r.HasTable(tableName) {
+			continue
+		}
+		apply := r.SampleRate >= 1 || e.rng.Float64() < r.SampleRate
+		present := map[string]int{tableName: rowIdx}
+		if len(r.Tables) > 1 {
+			if err := e.extendOneWard(r, tableName, rowIdx, present); err != nil {
+				return err
+			}
+		}
+		vec, err := e.modelRow(r, present)
+		if err != nil {
+			return err
+		}
+		// The join row being deleted carried the pre-decrement factor.
+		for _, b := range bumps {
+			if r.HasTable(b.rel.One) && edgeInRSPN(r, b.rel) {
+				if i := r.Model.ColumnIndex(table.TupleFactorColumn(b.rel)); i >= 0 {
+					vec[i] = math.Max(1, b.oldF)
+				}
+			}
+		}
+		if err := r.Delete(vec, apply); err != nil {
+			return err
+		}
+		// A One-side partner left without any Many partner regains its
+		// padded row.
+		for _, b := range bumps {
+			if b.oldF != 1 || !r.HasTable(b.rel.One) || !edgeInRSPN(r, b.rel) {
+				continue
+			}
+			padded := map[string]int{b.rel.One: b.row}
+			if err := e.extendOneWard(r, b.rel.One, b.row, padded); err != nil {
+				return err
+			}
+			padVec, err := e.modelRow(r, padded)
+			if err != nil {
+				return err
+			}
+			if err := r.Insert(padVec, apply); err != nil {
+				return err
+			}
+		}
+	}
+	e.indexDelete(tableName, rowIdx)
+	return nil
+}
+
+// ---- primary/foreign key indexes ----
+
+func (e *Ensemble) lookupPK(tableName string, pk float64) (int, bool) {
+	idx, ok := e.pkIndex[tableName]
+	if !ok {
+		idx = e.buildPKIndex(tableName)
+	}
+	row, ok := idx[pk]
+	return row, ok
+}
+
+func (e *Ensemble) buildPKIndex(tableName string) map[float64]int {
+	t := e.Tables[tableName]
+	meta := e.Schema.Table(tableName)
+	idx := make(map[float64]int, t.NumRows())
+	if meta.PrimaryKey != "" {
+		pkCol := t.Column(meta.PrimaryKey)
+		for i := 0; i < t.NumRows(); i++ {
+			if !pkCol.IsNull(i) {
+				idx[pkCol.Data[i]] = i
+			}
+		}
+	}
+	e.pkIndex[tableName] = idx
+	return idx
+}
+
+func (e *Ensemble) indexInsert(tableName string, rowIdx int) {
+	meta := e.Schema.Table(tableName)
+	if meta.PrimaryKey == "" {
+		return
+	}
+	idx, ok := e.pkIndex[tableName]
+	if !ok {
+		e.buildPKIndex(tableName)
+		return
+	}
+	pkCol := e.Tables[tableName].Column(meta.PrimaryKey)
+	if !pkCol.IsNull(rowIdx) {
+		idx[pkCol.Data[rowIdx]] = rowIdx
+	}
+}
+
+func (e *Ensemble) indexDelete(tableName string, rowIdx int) {
+	meta := e.Schema.Table(tableName)
+	if meta.PrimaryKey == "" {
+		return
+	}
+	if idx, ok := e.pkIndex[tableName]; ok {
+		pkCol := e.Tables[tableName].Column(meta.PrimaryKey)
+		if !pkCol.IsNull(rowIdx) {
+			delete(idx, pkCol.Data[rowIdx])
+		}
+	}
+}
+
+// ---- Section 5.2: cyclic staleness check ----
+
+// StalenessReport lists RSPNs whose underlying dependency structure has
+// drifted: a table pair whose correlation crossed the RDC threshold in
+// either direction since construction.
+type StalenessReport struct {
+	// Stale maps the RSPN index in the ensemble to a description of the
+	// drifted dependency.
+	Stale map[int]string
+}
+
+// CheckStaleness recomputes the pairwise dependency values on the current
+// base tables and flags RSPNs whose construction decision would change —
+// the trigger the paper uses to schedule background regeneration.
+func (e *Ensemble) CheckStaleness() (StalenessReport, error) {
+	rdcCfg := stats.RDCConfig{K: 10, Scale: 1.0 / 6.0, Seed: e.cfg.Seed}
+	rep := StalenessReport{Stale: map[int]string{}}
+	for i, r := range e.RSPNs {
+		if len(r.Tables) < 2 {
+			// A single-table RSPN becomes stale when its table is now
+			// strongly correlated with an FK neighbor.
+			for _, rel := range e.Schema.NeighborEdges(r.Tables[0]) {
+				dep, err := e.crossTableDependency([]string{rel.One, rel.Many}, rel.One, rel.Many, rdcCfg)
+				if err != nil {
+					return rep, err
+				}
+				if dep > e.cfg.RDCThreshold {
+					rep.Stale[i] = fmt.Sprintf("new dependency %s (%0.2f > %0.2f)", rel.ID(), dep, e.cfg.RDCThreshold)
+					break
+				}
+			}
+			continue
+		}
+		for ai := 0; ai < len(r.Tables); ai++ {
+			for bi := ai + 1; bi < len(r.Tables); bi++ {
+				a, b := r.Tables[ai], r.Tables[bi]
+				if _, adjacent := e.Schema.RelationshipBetween(a, b); !adjacent {
+					continue
+				}
+				dep, err := e.crossTableDependency([]string{a, b}, a, b, rdcCfg)
+				if err != nil {
+					return rep, err
+				}
+				if dep <= e.cfg.RDCThreshold {
+					rep.Stale[i] = fmt.Sprintf("dependency %s dropped (%0.2f <= %0.2f)", PairKey(a, b), dep, e.cfg.RDCThreshold)
+				}
+			}
+		}
+	}
+	return rep, nil
+}

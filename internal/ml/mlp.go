@@ -1,0 +1,273 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLPConfig configures the multilayer perceptron.
+type MLPConfig struct {
+	Hidden       []int // hidden layer widths
+	LearningRate float64
+	Epochs       int
+	BatchSize    int
+	Seed         int64
+	// L2 is the weight-decay coefficient.
+	L2 float64
+}
+
+// DefaultMLPConfig is a small ReLU network comparable to the Figure 13
+// baseline and the MCSN estimator's trunk.
+func DefaultMLPConfig() MLPConfig {
+	return MLPConfig{Hidden: []int{64, 64}, LearningRate: 1e-3, Epochs: 30, BatchSize: 32, Seed: 1}
+}
+
+// MLP is a fully-connected ReLU network with a linear output unit, trained
+// with mini-batch Adam on mean squared error. Inputs and the target are
+// standardized internally so callers can pass raw feature scales.
+type MLP struct {
+	cfg    MLPConfig
+	w      [][][]float64 // [layer][out][in]
+	b      [][]float64   // [layer][out]
+	xMean  []float64
+	xStd   []float64
+	yMean  float64
+	yStd   float64
+	layers []int
+}
+
+// FitMLP trains the network. NaN features are imputed with the column mean.
+func FitMLP(features [][]float64, target []float64, cfg MLPConfig) (*MLP, error) {
+	if len(features) == 0 || len(features) != len(target) {
+		return nil, fmt.Errorf("ml: bad training shape %d x, %d y", len(features), len(target))
+	}
+	if len(cfg.Hidden) == 0 {
+		cfg = DefaultMLPConfig()
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	nIn := len(features[0])
+	m := &MLP{cfg: cfg}
+	m.layers = append([]int{nIn}, cfg.Hidden...)
+	m.layers = append(m.layers, 1)
+	m.standardize(features, target)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// He initialization.
+	for l := 0; l < len(m.layers)-1; l++ {
+		in, out := m.layers[l], m.layers[l+1]
+		scale := math.Sqrt(2 / float64(in))
+		wl := make([][]float64, out)
+		for o := range wl {
+			wl[o] = make([]float64, in)
+			for i := range wl[o] {
+				wl[o][i] = rng.NormFloat64() * scale
+			}
+		}
+		m.w = append(m.w, wl)
+		m.b = append(m.b, make([]float64, out))
+	}
+	m.train(features, target, rng)
+	return m, nil
+}
+
+func (m *MLP) standardize(xs [][]float64, ys []float64) {
+	nIn := len(xs[0])
+	m.xMean = make([]float64, nIn)
+	m.xStd = make([]float64, nIn)
+	counts := make([]float64, nIn)
+	for _, row := range xs {
+		for j, v := range row {
+			if !math.IsNaN(v) {
+				m.xMean[j] += v
+				counts[j]++
+			}
+		}
+	}
+	for j := range m.xMean {
+		if counts[j] > 0 {
+			m.xMean[j] /= counts[j]
+		}
+	}
+	for _, row := range xs {
+		for j, v := range row {
+			if !math.IsNaN(v) {
+				d := v - m.xMean[j]
+				m.xStd[j] += d * d
+			}
+		}
+	}
+	for j := range m.xStd {
+		if counts[j] > 1 {
+			m.xStd[j] = math.Sqrt(m.xStd[j] / counts[j])
+		}
+		if m.xStd[j] == 0 {
+			m.xStd[j] = 1
+		}
+	}
+	for _, y := range ys {
+		m.yMean += y
+	}
+	m.yMean /= float64(len(ys))
+	for _, y := range ys {
+		d := y - m.yMean
+		m.yStd += d * d
+	}
+	m.yStd = math.Sqrt(m.yStd / float64(len(ys)))
+	if m.yStd == 0 {
+		m.yStd = 1
+	}
+}
+
+func (m *MLP) normX(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		if math.IsNaN(v) {
+			out[j] = 0 // mean-imputed
+		} else {
+			out[j] = (v - m.xMean[j]) / m.xStd[j]
+		}
+	}
+	return out
+}
+
+// train runs mini-batch Adam.
+func (m *MLP) train(xs [][]float64, ys []float64, rng *rand.Rand) {
+	n := len(xs)
+	// Adam state.
+	mw, vw := zerosLike(m.w), zerosLike(m.w)
+	mb, vb := zerosLikeB(m.b), zerosLikeB(m.b)
+	beta1, beta2, eps := 0.9, 0.999, 1e-8
+	step := 0
+	order := rng.Perm(n)
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += m.cfg.BatchSize {
+			end := start + m.cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			gw, gb := zerosLike(m.w), zerosLikeB(m.b)
+			for _, i := range order[start:end] {
+				m.backprop(m.normX(xs[i]), (ys[i]-m.yMean)/m.yStd, gw, gb)
+			}
+			batch := float64(end - start)
+			step++
+			lr := m.cfg.LearningRate
+			for l := range m.w {
+				for o := range m.w[l] {
+					for i := range m.w[l][o] {
+						g := gw[l][o][i]/batch + m.cfg.L2*m.w[l][o][i]
+						mw[l][o][i] = beta1*mw[l][o][i] + (1-beta1)*g
+						vw[l][o][i] = beta2*vw[l][o][i] + (1-beta2)*g*g
+						mHat := mw[l][o][i] / (1 - math.Pow(beta1, float64(step)))
+						vHat := vw[l][o][i] / (1 - math.Pow(beta2, float64(step)))
+						m.w[l][o][i] -= lr * mHat / (math.Sqrt(vHat) + eps)
+					}
+					g := gb[l][o] / batch
+					mb[l][o] = beta1*mb[l][o] + (1-beta1)*g
+					vb[l][o] = beta2*vb[l][o] + (1-beta2)*g*g
+					mHat := mb[l][o] / (1 - math.Pow(beta1, float64(step)))
+					vHat := vb[l][o] / (1 - math.Pow(beta2, float64(step)))
+					m.b[l][o] -= lr * mHat / (math.Sqrt(vHat) + eps)
+				}
+			}
+		}
+	}
+}
+
+// backprop accumulates gradients for one standardized sample.
+func (m *MLP) backprop(x []float64, y float64, gw [][][]float64, gb [][]float64) {
+	nLayers := len(m.w)
+	acts := make([][]float64, nLayers+1)
+	acts[0] = x
+	pre := make([][]float64, nLayers)
+	for l := 0; l < nLayers; l++ {
+		in := acts[l]
+		out := make([]float64, len(m.w[l]))
+		for o := range m.w[l] {
+			s := m.b[l][o]
+			for i, wv := range m.w[l][o] {
+				s += wv * in[i]
+			}
+			out[o] = s
+		}
+		pre[l] = out
+		if l < nLayers-1 {
+			act := make([]float64, len(out))
+			for i, v := range out {
+				if v > 0 {
+					act[i] = v
+				}
+			}
+			acts[l+1] = act
+		} else {
+			acts[l+1] = out // linear output
+		}
+	}
+	// MSE gradient at the output.
+	delta := []float64{2 * (acts[nLayers][0] - y)}
+	for l := nLayers - 1; l >= 0; l-- {
+		in := acts[l]
+		for o := range m.w[l] {
+			gb[l][o] += delta[o]
+			for i := range m.w[l][o] {
+				gw[l][o][i] += delta[o] * in[i]
+			}
+		}
+		if l == 0 {
+			break
+		}
+		next := make([]float64, len(in))
+		for i := range in {
+			s := 0.0
+			for o := range m.w[l] {
+				s += m.w[l][o][i] * delta[o]
+			}
+			if pre[l-1][i] > 0 { // ReLU derivative
+				next[i] = s
+			}
+		}
+		delta = next
+	}
+}
+
+// Predict returns the network's estimate for one raw feature vector.
+func (m *MLP) Predict(x []float64) float64 {
+	a := m.normX(x)
+	for l := 0; l < len(m.w); l++ {
+		out := make([]float64, len(m.w[l]))
+		for o := range m.w[l] {
+			s := m.b[l][o]
+			for i, wv := range m.w[l][o] {
+				s += wv * a[i]
+			}
+			if l < len(m.w)-1 && s < 0 {
+				s = 0
+			}
+			out[o] = s
+		}
+		a = out
+	}
+	return a[0]*m.yStd + m.yMean
+}
+
+func zerosLike(w [][][]float64) [][][]float64 {
+	out := make([][][]float64, len(w))
+	for l := range w {
+		out[l] = make([][]float64, len(w[l]))
+		for o := range w[l] {
+			out[l][o] = make([]float64, len(w[l][o]))
+		}
+	}
+	return out
+}
+
+func zerosLikeB(b [][]float64) [][]float64 {
+	out := make([][]float64, len(b))
+	for l := range b {
+		out[l] = make([]float64, len(b[l]))
+	}
+	return out
+}

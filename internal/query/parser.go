@@ -1,0 +1,343 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Resolver maps a string literal appearing in a predicate on the given
+// column to its encoded value (the dictionary code of the owning base
+// table). Numeric literals never reach the resolver.
+type Resolver func(column, literal string) (float64, error)
+
+// Parse parses the SQL subset DeepDB supports:
+//
+//	SELECT COUNT(*) | SUM(col) | AVG(col)
+//	FROM t1 [ [NATURAL] JOIN t2 ... | t1, t2, ... ]
+//	[WHERE col op literal [AND ...]]
+//	[GROUP BY col [, col ...]]
+//
+// with op one of =, <>, !=, <, <=, >, >=, IN (...). Join conditions are
+// implied by the schema's FK graph, matching the paper's equi-join-only
+// query class. String literals are single-quoted and resolved through the
+// supplied Resolver.
+func Parse(sql string, resolve Resolver) (Query, error) {
+	toks, err := tokenize(sql)
+	if err != nil {
+		return Query{}, err
+	}
+	p := &parser{toks: toks, resolve: resolve}
+	return p.parse()
+}
+
+type parser struct {
+	toks    []token
+	pos     int
+	resolve Resolver
+}
+
+type token struct {
+	kind tokenKind
+	text string
+}
+
+type tokenKind int
+
+const (
+	tokWord tokenKind = iota
+	tokNumber
+	tokString
+	tokSymbol
+	tokEOF
+)
+
+func tokenize(sql string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(sql) {
+		ch := sql[i]
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r' || ch == ';':
+			i++
+		case ch == '\'':
+			j := i + 1
+			for j < len(sql) && sql[j] != '\'' {
+				j++
+			}
+			if j >= len(sql) {
+				return nil, fmt.Errorf("query: unterminated string literal")
+			}
+			toks = append(toks, token{tokString, sql[i+1 : j]})
+			i = j + 1
+		case isWordStart(ch):
+			j := i
+			for j < len(sql) && isWordChar(sql[j]) {
+				j++
+			}
+			toks = append(toks, token{tokWord, sql[i:j]})
+			i = j
+		case (ch >= '0' && ch <= '9') || (ch == '-' && i+1 < len(sql) && sql[i+1] >= '0' && sql[i+1] <= '9'):
+			j := i + 1
+			for j < len(sql) && (sql[j] >= '0' && sql[j] <= '9' || sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E' || sql[j] == '-' || sql[j] == '+') {
+				// Only allow - and + right after an exponent marker.
+				if (sql[j] == '-' || sql[j] == '+') && !(sql[j-1] == 'e' || sql[j-1] == 'E') {
+					break
+				}
+				j++
+			}
+			toks = append(toks, token{tokNumber, sql[i:j]})
+			i = j
+		case strings.ContainsRune("<>=!(),*", rune(ch)):
+			// Two-char operators first.
+			if i+1 < len(sql) {
+				two := sql[i : i+2]
+				if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
+					toks = append(toks, token{tokSymbol, two})
+					i += 2
+					continue
+				}
+			}
+			toks = append(toks, token{tokSymbol, string(ch)})
+			i++
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q", ch)
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks, nil
+}
+
+func isWordStart(ch byte) bool {
+	return ch == '_' || (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z')
+}
+
+func isWordChar(ch byte) bool {
+	return isWordStart(ch) || (ch >= '0' && ch <= '9') || ch == '.'
+}
+
+func (p *parser) peek() token  { return p.toks[p.pos] }
+func (p *parser) next() token  { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) word() string { return strings.ToUpper(p.peek().text) }
+
+func (p *parser) expectWord(w string) error {
+	if p.peek().kind != tokWord || p.word() != w {
+		return fmt.Errorf("query: expected %s, got %q", w, p.peek().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if p.peek().kind != tokSymbol || p.peek().text != s {
+		return fmt.Errorf("query: expected %q, got %q", s, p.peek().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) parse() (Query, error) {
+	var q Query
+	if err := p.expectWord("SELECT"); err != nil {
+		return q, err
+	}
+	switch p.word() {
+	case "COUNT":
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return q, err
+		}
+		if err := p.expectSymbol("*"); err != nil {
+			return q, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return q, err
+		}
+		q.Aggregate = Count
+	case "SUM", "AVG":
+		if p.word() == "SUM" {
+			q.Aggregate = Sum
+		} else {
+			q.Aggregate = Avg
+		}
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return q, err
+		}
+		if p.peek().kind != tokWord {
+			return q, fmt.Errorf("query: expected column in aggregate, got %q", p.peek().text)
+		}
+		q.AggColumn = p.next().text
+		if err := p.expectSymbol(")"); err != nil {
+			return q, err
+		}
+	default:
+		return q, fmt.Errorf("query: unsupported aggregate %q", p.peek().text)
+	}
+	if err := p.expectWord("FROM"); err != nil {
+		return q, err
+	}
+	// Table list: t1 [alias] (JOIN|NATURAL JOIN|,) t2 [alias] ...
+	for {
+		if p.peek().kind != tokWord {
+			return q, fmt.Errorf("query: expected table name, got %q", p.peek().text)
+		}
+		q.Tables = append(q.Tables, p.next().text)
+		// Skip an optional single-word alias.
+		if p.peek().kind == tokWord {
+			switch p.word() {
+			case "JOIN", "NATURAL", "WHERE", "GROUP":
+			default:
+				p.next()
+			}
+		}
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		if p.peek().kind == tokWord && p.word() == "NATURAL" {
+			p.next()
+		}
+		if p.peek().kind == tokWord && p.word() == "JOIN" {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.peek().kind == tokWord && p.word() == "WHERE" {
+		p.next()
+		for {
+			if p.peek().kind == tokSymbol && p.peek().text == "(" {
+				// Parenthesized OR-group: (p1 OR p2 OR ...).
+				if len(q.Disjunction) > 0 {
+					return q, fmt.Errorf("query: only one OR-group supported")
+				}
+				p.next()
+				for {
+					pred, err := p.predicate()
+					if err != nil {
+						return q, err
+					}
+					q.Disjunction = append(q.Disjunction, pred)
+					if p.peek().kind == tokWord && p.word() == "OR" {
+						p.next()
+						continue
+					}
+					break
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return q, err
+				}
+			} else {
+				pred, err := p.predicate()
+				if err != nil {
+					return q, err
+				}
+				q.Filters = append(q.Filters, pred)
+			}
+			if p.peek().kind == tokWord && p.word() == "AND" {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.peek().kind == tokWord && p.word() == "GROUP" {
+		p.next()
+		if err := p.expectWord("BY"); err != nil {
+			return q, err
+		}
+		for {
+			if p.peek().kind != tokWord {
+				return q, fmt.Errorf("query: expected group-by column, got %q", p.peek().text)
+			}
+			q.GroupBy = append(q.GroupBy, p.next().text)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.peek().kind != tokEOF {
+		return q, fmt.Errorf("query: trailing input at %q", p.peek().text)
+	}
+	return q, q.Validate()
+}
+
+func (p *parser) predicate() (Predicate, error) {
+	var pred Predicate
+	if p.peek().kind != tokWord {
+		return pred, fmt.Errorf("query: expected column, got %q", p.peek().text)
+	}
+	pred.Column = stripQualifier(p.next().text)
+	if p.peek().kind == tokWord && p.word() == "IN" {
+		p.next()
+		pred.Op = In
+		if err := p.expectSymbol("("); err != nil {
+			return pred, err
+		}
+		for {
+			v, err := p.literal(pred.Column)
+			if err != nil {
+				return pred, err
+			}
+			pred.Values = append(pred.Values, v)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		return pred, p.expectSymbol(")")
+	}
+	if p.peek().kind != tokSymbol {
+		return pred, fmt.Errorf("query: expected operator, got %q", p.peek().text)
+	}
+	switch p.next().text {
+	case "=":
+		pred.Op = Eq
+	case "<>", "!=":
+		pred.Op = Ne
+	case "<":
+		pred.Op = Lt
+	case "<=":
+		pred.Op = Le
+	case ">":
+		pred.Op = Gt
+	case ">=":
+		pred.Op = Ge
+	default:
+		return pred, fmt.Errorf("query: unsupported operator")
+	}
+	v, err := p.literal(pred.Column)
+	if err != nil {
+		return pred, err
+	}
+	pred.Value = v
+	return pred, nil
+}
+
+func (p *parser) literal(column string) (float64, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		return strconv.ParseFloat(t.text, 64)
+	case tokString:
+		if p.resolve == nil {
+			return 0, fmt.Errorf("query: string literal %q but no resolver provided", t.text)
+		}
+		return p.resolve(column, t.text)
+	default:
+		return 0, fmt.Errorf("query: expected literal, got %q", t.text)
+	}
+}
+
+// stripQualifier removes a leading "alias." from a column reference; column
+// names are globally unique in DeepDB schemas so the qualifier is noise.
+func stripQualifier(col string) string {
+	if i := strings.LastIndexByte(col, '.'); i >= 0 {
+		return col[i+1:]
+	}
+	return col
+}

@@ -1,0 +1,333 @@
+// Package query defines DeepDB's query model: aggregate queries (COUNT,
+// SUM, AVG) over one or more FK-joined tables with conjunctive filter
+// predicates and GROUP BY, plus the error metrics used throughout the
+// paper's evaluation (q-error and relative error). The probabilistic query
+// compiler (package core) and the exact executor (package exact) both
+// consume this model, so ground truth and estimate are always computed from
+// the same query object.
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// AggType is the aggregate function of a query.
+type AggType int
+
+const (
+	// Count is COUNT(*).
+	Count AggType = iota
+	// Sum is SUM(column).
+	Sum
+	// Avg is AVG(column).
+	Avg
+)
+
+// String returns the SQL spelling of the aggregate.
+func (a AggType) String() string {
+	switch a {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("AggType(%d)", int(a))
+	}
+}
+
+// Op is a comparison operator in a filter predicate.
+type Op int
+
+const (
+	// Eq is =.
+	Eq Op = iota
+	// Ne is <> (!=).
+	Ne
+	// Lt is <.
+	Lt
+	// Le is <=.
+	Le
+	// Gt is >.
+	Gt
+	// Ge is >=.
+	Ge
+	// In is an IN (v1, v2, ...) membership test.
+	In
+)
+
+// String returns the SQL spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case In:
+		return "IN"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Predicate is one conjunct of a filter: Column Op Value (or Values for IN).
+// Values are already encoded: numeric columns use the number itself,
+// categorical columns use the dictionary code of the base table that owns
+// the column. SQL NULL semantics apply: a comparison with a NULL cell is
+// unknown and the tuple does not qualify.
+type Predicate struct {
+	Column string
+	Op     Op
+	Value  float64
+	Values []float64 // for In
+}
+
+// Matches reports whether a non-NULL cell value v satisfies the predicate.
+func (p Predicate) Matches(v float64) bool {
+	switch p.Op {
+	case Eq:
+		return v == p.Value
+	case Ne:
+		return v != p.Value
+	case Lt:
+		return v < p.Value
+	case Le:
+		return v <= p.Value
+	case Gt:
+		return v > p.Value
+	case Ge:
+		return v >= p.Value
+	case In:
+		for _, x := range p.Values {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Query is one aggregate query. Tables are joined along the schema's FK
+// edges (equi-joins); with a single table no join happens. GroupBy columns
+// must be categorical or discrete.
+type Query struct {
+	Aggregate AggType
+	AggColumn string // required for Sum/Avg
+	Tables    []string
+	Filters   []Predicate
+	GroupBy   []string
+	// OuterTables lists tables joined with outer-join semantics: rows of
+	// the remaining tables are kept even without a partner in these tables
+	// (Section 4.2 of the paper). WHERE predicates on an outer table
+	// eliminate its padded rows, matching SQL. Every entry must also
+	// appear in Tables.
+	OuterTables []string
+	// Disjunction is an optional OR-group ANDed with Filters:
+	// WHERE <Filters...> AND (d1 OR d2 OR ...). The engine compiles it
+	// with the inclusion-exclusion principle (Section 4.1 mentions this
+	// extension).
+	Disjunction []Predicate
+}
+
+// Validate performs structural checks that do not need a schema.
+func (q Query) Validate() error {
+	if len(q.Tables) == 0 {
+		return fmt.Errorf("query: no tables")
+	}
+	if q.Aggregate != Count && q.AggColumn == "" {
+		return fmt.Errorf("query: %v requires an aggregate column", q.Aggregate)
+	}
+	for _, p := range q.Filters {
+		if p.Column == "" {
+			return fmt.Errorf("query: predicate with empty column")
+		}
+		if p.Op == In && len(p.Values) == 0 {
+			return fmt.Errorf("query: IN predicate on %s with no values", p.Column)
+		}
+	}
+	if len(q.Disjunction) > 8 {
+		return fmt.Errorf("query: disjunction with %d terms (max 8)", len(q.Disjunction))
+	}
+	for _, d := range q.Disjunction {
+		if d.Column == "" {
+			return fmt.Errorf("query: disjunct with empty column")
+		}
+	}
+	for _, ot := range q.OuterTables {
+		found := false
+		for _, t := range q.Tables {
+			if t == ot {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("query: outer table %s not in table list", ot)
+		}
+	}
+	return nil
+}
+
+// WithExtraFilter returns a copy of q with one more conjunct. Group-by
+// execution expands a grouped query into per-group filtered queries.
+func (q Query) WithExtraFilter(p Predicate) Query {
+	c := q
+	c.Filters = append(append([]Predicate(nil), q.Filters...), p)
+	return c
+}
+
+// String renders the query in SQL-ish form, useful in logs and test output.
+func (q Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Aggregate == Count {
+		b.WriteString("COUNT(*)")
+	} else {
+		fmt.Fprintf(&b, "%v(%s)", q.Aggregate, q.AggColumn)
+	}
+	fmt.Fprintf(&b, " FROM %s", strings.Join(q.Tables, " JOIN "))
+	if len(q.Filters) > 0 {
+		b.WriteString(" WHERE ")
+		for i, p := range q.Filters {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			if p.Op == In {
+				fmt.Fprintf(&b, "%s IN %v", p.Column, p.Values)
+			} else {
+				fmt.Fprintf(&b, "%s %v %v", p.Column, p.Op, p.Value)
+			}
+		}
+	}
+	if len(q.Disjunction) > 0 {
+		if len(q.Filters) > 0 {
+			b.WriteString(" AND (")
+		} else {
+			b.WriteString(" WHERE (")
+		}
+		for i, p := range q.Disjunction {
+			if i > 0 {
+				b.WriteString(" OR ")
+			}
+			fmt.Fprintf(&b, "%s %v %v", p.Column, p.Op, p.Value)
+		}
+		b.WriteString(")")
+	}
+	if len(q.GroupBy) > 0 {
+		fmt.Fprintf(&b, " GROUP BY %s", strings.Join(q.GroupBy, ", "))
+	}
+	return b.String()
+}
+
+// Group is one result row of a (possibly grouped) aggregate query. For
+// ungrouped queries Key is empty. Keys are encoded values of the GroupBy
+// columns in order.
+type Group struct {
+	Key   []float64
+	Value float64
+}
+
+// Result is the outcome of executing a query: one Group per group-by
+// combination present in the data (exactly one for ungrouped queries).
+type Result struct {
+	Groups []Group
+}
+
+// Scalar returns the single value of an ungrouped result.
+func (r Result) Scalar() float64 {
+	if len(r.Groups) == 0 {
+		return 0
+	}
+	return r.Groups[0].Value
+}
+
+// Sorted returns the groups ordered by key for deterministic comparison.
+func (r Result) Sorted() []Group {
+	out := append([]Group(nil), r.Groups...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// keyString renders a group key for map lookup.
+func keyString(key []float64) string {
+	var b strings.Builder
+	for _, k := range key {
+		fmt.Fprintf(&b, "%g|", k)
+	}
+	return b.String()
+}
+
+// QError returns the q-error between an estimate and the true cardinality:
+// max(est/true, true/est), following the paper's convention that both are
+// first clamped to at least 1 tuple so empty results do not blow up the
+// metric.
+func QError(estimate, truth float64) float64 {
+	if estimate < 1 {
+		estimate = 1
+	}
+	if truth < 1 {
+		truth = 1
+	}
+	if estimate > truth {
+		return estimate / truth
+	}
+	return truth / estimate
+}
+
+// RelativeError returns |true - predicted| / |true|. When the true value is
+// zero the error is 0 for an exact prediction and 1 otherwise (the paper's
+// figures skip such degenerate groups; we keep the metric total).
+func RelativeError(predicted, truth float64) float64 {
+	if truth == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return 1
+	}
+	return math.Abs(truth-predicted) / math.Abs(truth)
+}
+
+// AvgRelativeError matches estimated groups to true groups by key and
+// averages the per-group relative errors, the metric of Figures 9 and 10.
+// Groups present in the truth but missing from the estimate count as error 1
+// ("no result"); spurious estimated groups are ignored, as the paper's
+// relative-error definition only ranges over true groups.
+func AvgRelativeError(estimate, truth Result) float64 {
+	if len(truth.Groups) == 0 {
+		return 0
+	}
+	est := make(map[string]float64, len(estimate.Groups))
+	for _, g := range estimate.Groups {
+		est[keyString(g.Key)] = g.Value
+	}
+	total := 0.0
+	for _, g := range truth.Groups {
+		if v, ok := est[keyString(g.Key)]; ok {
+			total += RelativeError(v, g.Value)
+		} else {
+			total += 1
+		}
+	}
+	return total / float64(len(truth.Groups))
+}

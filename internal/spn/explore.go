@@ -1,0 +1,216 @@
+package spn
+
+import (
+	"math"
+	"sort"
+)
+
+// Cluster exploration (Section 8 of the paper suggests it as future work:
+// "SPNs naturally provide a notion of correlated clusters that can also be
+// used for suggesting interesting patterns in data exploration"). The
+// top-level sum node's children are row clusters found during learning;
+// describing each cluster by its weight and per-column summary surfaces
+// the dominant patterns of the data set without any query.
+
+// ClusterSummary describes one top-level row cluster.
+type ClusterSummary struct {
+	// Weight is the cluster's share of the population.
+	Weight float64
+	// Columns summarizes each attribute within the cluster.
+	Columns []ColumnSummary
+}
+
+// ColumnSummary is one attribute's behaviour within a cluster.
+type ColumnSummary struct {
+	Name string
+	// Mean of the attribute within the cluster (non-NULL values).
+	Mean float64
+	// NullFrac is the NULL share within the cluster.
+	NullFrac float64
+	// TopValue is the most frequent value and TopShare its share of the
+	// cluster's non-NULL mass (0 when the leaf is binned).
+	TopValue float64
+	TopShare float64
+	// Distinctive is |cluster mean - global mean| / global std: how much
+	// this cluster deviates from the population on this attribute.
+	Distinctive float64
+}
+
+// Clusters summarizes the SPN's top-level row clusters, ordered by weight.
+// A model whose root is not a sum node (no row split found) yields a
+// single cluster covering everything.
+func (s *SPN) Clusters() []ClusterSummary {
+	globalMean := make([]float64, len(s.Columns))
+	globalStd := make([]float64, len(s.Columns))
+	for col := range s.Columns {
+		m, sq, _ := subtreeMoments(s.Root, col)
+		globalMean[col] = m
+		v := sq - m*m
+		if v < 0 {
+			v = 0
+		}
+		globalStd[col] = math.Sqrt(v)
+	}
+	root := s.Root
+	// A product root means the learner split columns first; descend into
+	// its widest sum child so exploration still surfaces row structure.
+	if root.Kind == ProductKind {
+		var widest *Node
+		for _, c := range root.Children {
+			if c.Kind == SumKind && (widest == nil || len(c.Scope) > len(widest.Scope)) {
+				widest = c
+			}
+		}
+		if widest != nil {
+			root = widest
+		}
+	}
+	var children []*Node
+	var weights []float64
+	if root.Kind == SumKind {
+		total := 0.0
+		for _, c := range root.ChildCounts {
+			total += c
+		}
+		for i, c := range root.Children {
+			children = append(children, c)
+			w := 1.0 / float64(len(root.Children))
+			if total > 0 {
+				w = root.ChildCounts[i] / total
+			}
+			weights = append(weights, w)
+		}
+	} else {
+		children = []*Node{root}
+		weights = []float64{1}
+	}
+	out := make([]ClusterSummary, 0, len(children))
+	for i, child := range children {
+		cs := ClusterSummary{Weight: weights[i]}
+		inScope := map[int]bool{}
+		for _, c := range child.Scope {
+			inScope[c] = true
+		}
+		for col, name := range s.Columns {
+			if !inScope[col] {
+				continue
+			}
+			mean, _, nullFrac := subtreeMoments(child, col)
+			top, share := subtreeTopValue(child, col)
+			dist := 0.0
+			if globalStd[col] > 0 {
+				dist = math.Abs(mean-globalMean[col]) / globalStd[col]
+			}
+			cs.Columns = append(cs.Columns, ColumnSummary{
+				Name: name, Mean: mean, NullFrac: nullFrac,
+				TopValue: top, TopShare: share, Distinctive: dist,
+			})
+		}
+		// Most distinctive attributes first.
+		sort.SliceStable(cs.Columns, func(a, b int) bool {
+			return cs.Columns[a].Distinctive > cs.Columns[b].Distinctive
+		})
+		out = append(out, cs)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Weight > out[b].Weight })
+	return out
+}
+
+// subtreeMoments returns (mean, mean of squares, NULL fraction) of one
+// column under the subtree's distribution.
+func subtreeMoments(n *Node, col int) (mean, meanSq, nullFrac float64) {
+	switch n.Kind {
+	case LeafKind:
+		if n.Leaf.Col != col {
+			return 0, 0, 0
+		}
+		l := n.Leaf
+		if l.Total == 0 {
+			return 0, 0, 0
+		}
+		nonNull := l.Total - l.NullW
+		if nonNull <= 0 {
+			return 0, 0, 1
+		}
+		m := l.Moment(ColQuery{Fn: FnIdent}) * l.Total / nonNull
+		sq := l.Moment(ColQuery{Fn: FnSquare}) * l.Total / nonNull
+		return m, sq, l.NullW / l.Total
+	case ProductKind:
+		for _, c := range n.Children {
+			for _, s := range c.Scope {
+				if s == col {
+					return subtreeMoments(c, col)
+				}
+			}
+		}
+		return 0, 0, 0
+	case SumKind:
+		total := 0.0
+		for _, c := range n.ChildCounts {
+			total += c
+		}
+		if total == 0 {
+			return 0, 0, 0
+		}
+		for i, c := range n.Children {
+			w := n.ChildCounts[i] / total
+			m, sq, nf := subtreeMoments(c, col)
+			mean += w * m
+			meanSq += w * sq
+			nullFrac += w * nf
+		}
+		return mean, meanSq, nullFrac
+	default:
+		return 0, 0, 0
+	}
+}
+
+// subtreeTopValue finds the most probable single value of a column under
+// the subtree (0, 0 for binned leaves, where point masses are meaningless).
+func subtreeTopValue(n *Node, col int) (value, share float64) {
+	probs := map[float64]float64{}
+	var walk func(n *Node, w float64)
+	walk = func(n *Node, w float64) {
+		switch n.Kind {
+		case LeafKind:
+			if n.Leaf.Col != col || n.Leaf.Binned || n.Leaf.Total == 0 {
+				return
+			}
+			nonNull := n.Leaf.Total - n.Leaf.NullW
+			if nonNull <= 0 {
+				return
+			}
+			for i, v := range n.Leaf.Vals {
+				probs[v] += w * n.Leaf.Freq[i] / nonNull
+			}
+		case ProductKind:
+			for _, c := range n.Children {
+				for _, s := range c.Scope {
+					if s == col {
+						walk(c, w)
+						return
+					}
+				}
+			}
+		case SumKind:
+			total := 0.0
+			for _, c := range n.ChildCounts {
+				total += c
+			}
+			if total == 0 {
+				return
+			}
+			for i, c := range n.Children {
+				walk(c, w*n.ChildCounts[i]/total)
+			}
+		}
+	}
+	walk(n, 1)
+	best, bestP := 0.0, 0.0
+	for v, p := range probs {
+		if p > bestP {
+			best, bestP = v, p
+		}
+	}
+	return best, bestP
+}

@@ -1,0 +1,430 @@
+package spn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// LearnConfig holds the structure-learning hyperparameters. The defaults
+// match the paper's Section 6 setup: RDC threshold 0.3 and a minimum
+// instance slice of 1% of the input rows.
+type LearnConfig struct {
+	// RDCThreshold: column pairs with RDC above it are considered
+	// dependent and stay in the same product-node child.
+	RDCThreshold float64
+	// MinInstanceFrac is the minimum row-cluster size as a fraction of the
+	// input; below it the learner stops splitting rows and factorizes.
+	MinInstanceFrac float64
+	// KMeansClusters is the fan-out of sum nodes.
+	KMeansClusters int
+	// MaxDistinct is the exact-leaf limit before binning (Section 3.2).
+	MaxDistinct int
+	// Bins is the bin count for binned leaves.
+	Bins int
+	// RDCSample caps the rows used per pairwise RDC test.
+	RDCSample int
+	// Seed makes learning deterministic.
+	Seed int64
+}
+
+// DefaultLearnConfig mirrors the paper's hyperparameters.
+func DefaultLearnConfig() LearnConfig {
+	return LearnConfig{
+		RDCThreshold:    0.3,
+		MinInstanceFrac: 0.01,
+		KMeansClusters:  2,
+		MaxDistinct:     1024,
+		Bins:            64,
+		RDCSample:       1500,
+		Seed:            1,
+	}
+}
+
+// SPN is a learned sum-product network over named columns.
+type SPN struct {
+	Root     *Node
+	Columns  []string // column names by scope index
+	RowCount float64  // training rows (updated by Insert/Delete)
+	Config   LearnConfig
+}
+
+// ColumnIndex returns the scope index of the named column, or -1.
+func (s *SPN) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Learn builds an SPN over the data matrix (rows x columns, NaN = NULL).
+func Learn(data [][]float64, columns []string, cfg LearnConfig) (*SPN, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("spn: no training rows")
+	}
+	if len(columns) == 0 || len(data[0]) != len(columns) {
+		return nil, fmt.Errorf("spn: %d columns named, rows have %d", len(columns), len(data[0]))
+	}
+	if cfg.RDCThreshold == 0 && cfg.MinInstanceFrac == 0 {
+		cfg = DefaultLearnConfig()
+	}
+	if cfg.KMeansClusters < 2 {
+		cfg.KMeansClusters = 2
+	}
+	if cfg.MaxDistinct <= 0 {
+		cfg.MaxDistinct = 1024
+	}
+	if cfg.Bins <= 0 {
+		cfg.Bins = 64
+	}
+	if cfg.RDCSample <= 0 {
+		cfg.RDCSample = 1500
+	}
+	l := &learner{
+		data:    data,
+		columns: columns,
+		cfg:     cfg,
+		minRows: int(math.Max(1, cfg.MinInstanceFrac*float64(len(data)))),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	rows := make([]int, len(data))
+	for i := range rows {
+		rows[i] = i
+	}
+	scope := make([]int, len(columns))
+	for i := range scope {
+		scope[i] = i
+	}
+	root := l.build(rows, scope, true)
+	spn := &SPN{Root: root, Columns: columns, RowCount: float64(len(data)), Config: cfg}
+	if err := root.Validate(); err != nil {
+		return nil, err
+	}
+	return spn, nil
+}
+
+// LearnExact builds a memorizing SPN: a sum node with one child per
+// distinct row, each child a product of point-mass leaves. The resulting
+// model represents the empirical joint distribution exactly, which is what
+// the paper's worked examples (Figures 3-5) assume. It is intended for
+// small tables; the node count grows linearly with distinct rows.
+func LearnExact(data [][]float64, columns []string) (*SPN, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("spn: no training rows")
+	}
+	if len(columns) == 0 || len(data[0]) != len(columns) {
+		return nil, fmt.Errorf("spn: %d columns named, rows have %d", len(columns), len(data[0]))
+	}
+	scope := make([]int, len(columns))
+	for i := range scope {
+		scope[i] = i
+	}
+	// Deduplicate rows, preserving first-seen order for determinism.
+	type group struct {
+		row   []float64
+		count float64
+	}
+	var groups []*group
+	index := map[string]*group{}
+	for _, row := range data {
+		key := fmt.Sprint(row)
+		if g, ok := index[key]; ok {
+			g.count++
+			continue
+		}
+		g := &group{row: row, count: 1}
+		index[key] = g
+		groups = append(groups, g)
+	}
+	if len(groups) == 1 {
+		root := exactRowNode(groups[0].row, columns, scope)
+		return &SPN{Root: root, Columns: columns, RowCount: float64(len(data))}, nil
+	}
+	root := &Node{Kind: SumKind, Scope: scope}
+	mins := make([]float64, len(columns))
+	maxs := make([]float64, len(columns))
+	for j := range columns {
+		mins[j], maxs[j] = math.Inf(1), math.Inf(-1)
+		for _, g := range groups {
+			v := g.row[j]
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < mins[j] {
+				mins[j] = v
+			}
+			if v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+		if math.IsInf(mins[j], 1) {
+			mins[j], maxs[j] = 0, 1
+		}
+		if maxs[j] == mins[j] {
+			maxs[j] = mins[j] + 1
+		}
+	}
+	root.NormMin, root.NormMax = mins, maxs
+	for _, g := range groups {
+		root.Children = append(root.Children, exactRowNode(g.row, columns, scope))
+		root.ChildCounts = append(root.ChildCounts, g.count)
+		centroid := make([]float64, len(columns))
+		for j := range columns {
+			centroid[j] = NormalizeValue(g.row[j], mins[j], maxs[j])
+		}
+		root.Centroids = append(root.Centroids, centroid)
+	}
+	spn := &SPN{Root: root, Columns: columns, RowCount: float64(len(data))}
+	if err := root.Validate(); err != nil {
+		return nil, err
+	}
+	return spn, nil
+}
+
+// exactRowNode builds the product-of-point-leaves node for one row.
+func exactRowNode(row []float64, columns []string, scope []int) *Node {
+	if len(scope) == 1 {
+		return exactLeaf(row[scope[0]], scope[0], columns[scope[0]])
+	}
+	children := make([]*Node, len(scope))
+	for i, c := range scope {
+		children[i] = exactLeaf(row[c], c, columns[c])
+	}
+	return &Node{Kind: ProductKind, Scope: append([]int(nil), scope...), Children: children}
+}
+
+func exactLeaf(v float64, col int, name string) *Node {
+	l := &Leaf{Col: col, Name: name, Total: 1}
+	if math.IsNaN(v) {
+		l.NullW = 1
+	} else {
+		l.Vals = []float64{v}
+		l.Freq = []float64{1}
+	}
+	return &Node{Kind: LeafKind, Scope: []int{col}, Leaf: l}
+}
+
+type learner struct {
+	data    [][]float64
+	columns []string
+	cfg     LearnConfig
+	minRows int
+	rng     *rand.Rand
+}
+
+// build recursively grows the SPN over the given rows and scope.
+// tryRowSplit alternates split direction the way the MSPN learner does:
+// after a failed or performed column split we attempt row clustering next.
+func (l *learner) build(rows []int, scope []int, tryColsFirst bool) *Node {
+	if len(scope) == 1 {
+		return l.leaf(rows, scope[0])
+	}
+	if len(rows) <= l.minRows || len(rows) < 2*l.cfg.KMeansClusters {
+		// Too few rows to cluster: naive factorization into leaves.
+		return l.factorizeAll(rows, scope)
+	}
+	if tryColsFirst {
+		if comps := l.independentComponents(rows, scope); len(comps) > 1 {
+			return l.product(rows, scope, comps)
+		}
+		return l.sumSplit(rows, scope)
+	}
+	node := l.sumSplit(rows, scope)
+	return node
+}
+
+// leaf builds a leaf node for one column over the given rows.
+func (l *learner) leaf(rows []int, col int) *Node {
+	vals := make([]float64, len(rows))
+	for i, r := range rows {
+		vals[i] = l.data[r][col]
+	}
+	lf := NewLeaf(col, l.columns[col], vals, l.cfg.MaxDistinct, l.cfg.Bins)
+	return &Node{Kind: LeafKind, Scope: []int{col}, Leaf: lf}
+}
+
+// factorizeAll returns a product of single-column leaves (or one leaf).
+func (l *learner) factorizeAll(rows []int, scope []int) *Node {
+	if len(scope) == 1 {
+		return l.leaf(rows, scope[0])
+	}
+	var children []*Node
+	for _, c := range scope {
+		children = append(children, l.leaf(rows, c))
+	}
+	return &Node{Kind: ProductKind, Scope: append([]int(nil), scope...), Children: children}
+}
+
+// independentComponents groups the scope columns into connected components
+// of the dependency graph whose edges are RDC > threshold. One component
+// means no product split is possible.
+func (l *learner) independentComponents(rows []int, scope []int) [][]int {
+	k := len(scope)
+	sample := rows
+	if len(sample) > l.cfg.RDCSample {
+		idx := l.rng.Perm(len(rows))[:l.cfg.RDCSample]
+		sample = make([]int, l.cfg.RDCSample)
+		for i, j := range idx {
+			sample[i] = rows[j]
+		}
+	}
+	cols := make([][]float64, k)
+	for i, c := range scope {
+		v := make([]float64, len(sample))
+		for j, r := range sample {
+			x := l.data[r][c]
+			if math.IsNaN(x) {
+				// NULL as a dedicated low sentinel for the rank transform.
+				x = math.Inf(-1)
+			}
+			v[j] = x
+		}
+		cols[i] = v
+	}
+	// Union-find over RDC edges.
+	parent := make([]int, k)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	rdcCfg := stats.RDCConfig{K: 10, Scale: 1.0 / 6.0, Seed: l.cfg.Seed}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if find(i) == find(j) {
+				continue
+			}
+			if stats.RDC(cols[i], cols[j], rdcCfg) > l.cfg.RDCThreshold {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i := 0; i < k; i++ {
+		root := find(i)
+		groups[root] = append(groups[root], scope[i])
+	}
+	comps := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		sort.Ints(g)
+		comps = append(comps, g)
+	}
+	sort.Slice(comps, func(a, b int) bool { return comps[a][0] < comps[b][0] })
+	return comps
+}
+
+// product builds a product node over the independent column components.
+func (l *learner) product(rows []int, scope []int, comps [][]int) *Node {
+	var children []*Node
+	for _, comp := range comps {
+		if len(comp) == 1 {
+			children = append(children, l.leaf(rows, comp[0]))
+			continue
+		}
+		children = append(children, l.build(rows, comp, false))
+	}
+	return &Node{Kind: ProductKind, Scope: append([]int(nil), scope...), Children: children}
+}
+
+// sumSplit clusters the rows with KMeans and builds a sum node. When
+// clustering degenerates (all rows in one cluster) it falls back to naive
+// factorization so recursion always terminates.
+func (l *learner) sumSplit(rows []int, scope []int) *Node {
+	points, normMin, normMax := l.normalizedPoints(rows, scope)
+	res := stats.KMeans(points, l.cfg.KMeansClusters, 30, l.rng)
+	clusters := make([][]int, len(res.Centroids))
+	for i, a := range res.Assignments {
+		clusters[a] = append(clusters[a], rows[i])
+	}
+	var nonEmpty [][]int
+	var centroids [][]float64
+	for c, rs := range clusters {
+		if len(rs) > 0 {
+			nonEmpty = append(nonEmpty, rs)
+			centroids = append(centroids, res.Centroids[c])
+		}
+	}
+	if len(nonEmpty) < 2 {
+		return l.factorizeAll(rows, scope)
+	}
+	node := &Node{
+		Kind:      SumKind,
+		Scope:     append([]int(nil), scope...),
+		Centroids: centroids,
+		NormMin:   normMin,
+		NormMax:   normMax,
+	}
+	for _, rs := range nonEmpty {
+		node.ChildCounts = append(node.ChildCounts, float64(len(rs)))
+		node.Children = append(node.Children, l.build(rs, scope, true))
+	}
+	return node
+}
+
+// normalizedPoints scales each scope column to [0,1] and maps NULL to the
+// sentinel -0.5 so NULLs cluster together, returning the per-column min/max
+// used (kept on the sum node for routing updates).
+func (l *learner) normalizedPoints(rows []int, scope []int) (points [][]float64, mins, maxs []float64) {
+	k := len(scope)
+	mins = make([]float64, k)
+	maxs = make([]float64, k)
+	for i := range mins {
+		mins[i] = math.Inf(1)
+		maxs[i] = math.Inf(-1)
+	}
+	for _, r := range rows {
+		for i, c := range scope {
+			v := l.data[r][c]
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < mins[i] {
+				mins[i] = v
+			}
+			if v > maxs[i] {
+				maxs[i] = v
+			}
+		}
+	}
+	for i := range mins {
+		if math.IsInf(mins[i], 1) { // all NULL
+			mins[i], maxs[i] = 0, 1
+		}
+		if maxs[i] == mins[i] {
+			maxs[i] = mins[i] + 1
+		}
+	}
+	points = make([][]float64, len(rows))
+	for j, r := range rows {
+		p := make([]float64, k)
+		for i, c := range scope {
+			p[i] = NormalizeValue(l.data[r][c], mins[i], maxs[i])
+		}
+		points[j] = p
+	}
+	return points, mins, maxs
+}
+
+// NormalizeValue maps v into [0,1] given column min/max, with NULL (NaN)
+// mapped to the sentinel -0.5. Shared with the update path so routing uses
+// the same geometry as learning.
+func NormalizeValue(v, min, max float64) float64 {
+	if math.IsNaN(v) {
+		return -0.5
+	}
+	if max == min {
+		return 0
+	}
+	return (v - min) / (max - min)
+}

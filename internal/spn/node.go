@@ -1,0 +1,204 @@
+package spn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates the node types of an SPN.
+type Kind int
+
+const (
+	// SumKind nodes mix their children (row clusters).
+	SumKind Kind = iota
+	// ProductKind nodes factor independent column groups.
+	ProductKind
+	// LeafKind nodes model a single attribute.
+	LeafKind
+)
+
+// String returns a short node-kind label.
+func (k Kind) String() string {
+	switch k {
+	case SumKind:
+		return "+"
+	case ProductKind:
+		return "x"
+	case LeafKind:
+		return "leaf"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Node is one node of a tree-structured SPN. All fields are exported so the
+// tree can be gob-serialized for model persistence.
+type Node struct {
+	Kind  Kind
+	Scope []int // column indices this node models, ascending
+
+	// Sum nodes: Children share the node's scope. ChildCounts holds the
+	// number of training rows per child; weights derive from it so that
+	// incremental updates (Algorithm 1) only touch counts. Centroids are
+	// the KMeans cluster centers in normalized coordinates over Scope,
+	// used to route inserted/deleted tuples; Norm holds the per-scope-
+	// column (min, max) used for that normalization.
+	Children    []*Node
+	ChildCounts []float64
+	Centroids   [][]float64
+	NormMin     []float64
+	NormMax     []float64
+
+	// Leaf nodes.
+	Leaf *Leaf
+}
+
+// Weight returns the mixing weight of child i (count fraction).
+func (n *Node) Weight(i int) float64 {
+	total := 0.0
+	for _, c := range n.ChildCounts {
+		total += c
+	}
+	if total == 0 {
+		return 1 / float64(len(n.Children))
+	}
+	return n.ChildCounts[i] / total
+}
+
+// NumNodes returns the total node count of the subtree.
+func (n *Node) NumNodes() int {
+	if n == nil {
+		return 0
+	}
+	total := 1
+	for _, c := range n.Children {
+		total += c.NumNodes()
+	}
+	return total
+}
+
+// Depth returns the height of the subtree (a leaf has depth 1).
+func (n *Node) Depth() int {
+	if n == nil {
+		return 0
+	}
+	max := 0
+	for _, c := range n.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// NumLeaves counts leaf nodes in the subtree.
+func (n *Node) NumLeaves() int {
+	if n == nil {
+		return 0
+	}
+	if n.Kind == LeafKind {
+		return 1
+	}
+	total := 0
+	for _, c := range n.Children {
+		total += c.NumLeaves()
+	}
+	return total
+}
+
+// Validate checks SPN structural invariants: sum children share the
+// parent's scope, product children partition it, leaves have singleton
+// scope matching their Leaf column.
+func (n *Node) Validate() error {
+	switch n.Kind {
+	case LeafKind:
+		if n.Leaf == nil {
+			return fmt.Errorf("spn: leaf node without distribution")
+		}
+		if len(n.Scope) != 1 || n.Scope[0] != n.Leaf.Col {
+			return fmt.Errorf("spn: leaf scope %v does not match column %d", n.Scope, n.Leaf.Col)
+		}
+		return nil
+	case SumKind:
+		if len(n.Children) == 0 {
+			return fmt.Errorf("spn: sum node without children")
+		}
+		if len(n.ChildCounts) != len(n.Children) {
+			return fmt.Errorf("spn: sum node has %d children but %d counts", len(n.Children), len(n.ChildCounts))
+		}
+		for _, c := range n.Children {
+			if !sameScope(n.Scope, c.Scope) {
+				return fmt.Errorf("spn: sum child scope %v != parent scope %v", c.Scope, n.Scope)
+			}
+			if err := c.Validate(); err != nil {
+				return err
+			}
+		}
+		return nil
+	case ProductKind:
+		if len(n.Children) < 2 {
+			return fmt.Errorf("spn: product node with %d children", len(n.Children))
+		}
+		seen := map[int]bool{}
+		total := 0
+		for _, c := range n.Children {
+			for _, s := range c.Scope {
+				if seen[s] {
+					return fmt.Errorf("spn: product children overlap on column %d", s)
+				}
+				seen[s] = true
+				total++
+			}
+			if err := c.Validate(); err != nil {
+				return err
+			}
+		}
+		if total != len(n.Scope) {
+			return fmt.Errorf("spn: product children cover %d of %d scope columns", total, len(n.Scope))
+		}
+		for _, s := range n.Scope {
+			if !seen[s] {
+				return fmt.Errorf("spn: product children miss scope column %d", s)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("spn: unknown node kind %v", n.Kind)
+	}
+}
+
+func sameScope(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tree structure for debugging, e.g. "+(x(age, region), ...)".
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder) {
+	switch n.Kind {
+	case LeafKind:
+		b.WriteString(n.Leaf.Name)
+	default:
+		b.WriteString(n.Kind.String())
+		b.WriteByte('(')
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			c.render(b)
+		}
+		b.WriteByte(')')
+	}
+}

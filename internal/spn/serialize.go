@@ -1,0 +1,39 @@
+package spn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+)
+
+// Save writes the SPN to w in gob format. Models are plain trees of
+// exported fields, so gob round-trips them exactly.
+func (s *SPN) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// Load reads an SPN previously written with Save.
+func Load(r io.Reader) (*SPN, error) {
+	var s SPN
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	if err := s.Root.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Bytes serializes the SPN to a byte slice (persistence of ensembles).
+func (s *SPN) Bytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// FromBytes deserializes an SPN produced by Bytes.
+func FromBytes(b []byte) (*SPN, error) {
+	return Load(bytes.NewReader(b))
+}

@@ -1,0 +1,78 @@
+package spn
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Insert absorbs one tuple into the SPN without retraining, implementing
+// Algorithm 1 of the paper: the tuple recursively traverses the tree; at
+// sum nodes the nearest KMeans cluster's weight is increased and the tuple
+// descends into it, at product nodes the tuple is split by scope, at leaves
+// the value distribution is updated. The tree structure never changes.
+// tuple must be indexed by scope column (full row, NaN = NULL).
+func (s *SPN) Insert(tuple []float64) error {
+	if len(tuple) != len(s.Columns) {
+		return fmt.Errorf("spn: tuple has %d values, model has %d columns", len(tuple), len(s.Columns))
+	}
+	updateTuple(s.Root, tuple, 1)
+	s.RowCount++
+	return nil
+}
+
+// Delete removes one tuple from the SPN (weight -1 along its routing path).
+func (s *SPN) Delete(tuple []float64) error {
+	if len(tuple) != len(s.Columns) {
+		return fmt.Errorf("spn: tuple has %d values, model has %d columns", len(tuple), len(s.Columns))
+	}
+	updateTuple(s.Root, tuple, -1)
+	if s.RowCount > 0 {
+		s.RowCount--
+	}
+	return nil
+}
+
+// updateTuple is Algorithm 1 with a weight parameter so insert (+1) and
+// delete (-1) share the traversal.
+func updateTuple(n *Node, tuple []float64, w float64) {
+	switch n.Kind {
+	case LeafKind:
+		n.Leaf.Add(tuple[n.Leaf.Col], w)
+	case SumKind:
+		nearest := nearestChild(n, tuple)
+		n.ChildCounts[nearest] += w
+		if n.ChildCounts[nearest] < 0 {
+			n.ChildCounts[nearest] = 0
+		}
+		updateTuple(n.Children[nearest], tuple, w)
+	case ProductKind:
+		// Product nodes split the column set: each child receives the
+		// tuple projected onto its scope (the full tuple is passed; leaves
+		// index it by their own column).
+		for _, c := range n.Children {
+			updateTuple(c, tuple, w)
+		}
+	}
+}
+
+// nearestChild routes the tuple to the closest KMeans centroid using the
+// normalization recorded at learning time (Algorithm 1, line 5).
+func nearestChild(n *Node, tuple []float64) int {
+	if len(n.Centroids) != len(n.Children) || len(n.NormMin) != len(n.Scope) {
+		// Sum node without routing metadata (e.g. deserialized from an
+		// older model): fall back to the heaviest child.
+		best, bestC := 0, -1.0
+		for i, c := range n.ChildCounts {
+			if c > bestC {
+				best, bestC = i, c
+			}
+		}
+		return best
+	}
+	point := make([]float64, len(n.Scope))
+	for i, col := range n.Scope {
+		point[i] = NormalizeValue(tuple[col], n.NormMin[i], n.NormMax[i])
+	}
+	return stats.NearestCentroid(point, n.Centroids)
+}

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KMeansResult holds the outcome of a KMeans run: per-point cluster
+// assignments and the final centroids. Centroids are retained by RSPN sum
+// nodes so that incremental updates (Algorithm 1 in the paper) can route new
+// tuples to the nearest existing cluster.
+type KMeansResult struct {
+	Assignments []int       // len == number of points
+	Centroids   [][]float64 // K x dims
+	Sizes       []int       // points per cluster
+}
+
+// KMeans clusters the given points (each a dims-length vector) into k
+// clusters using kmeans++ initialization and Lloyd iterations. The rng makes
+// runs reproducible. Empty clusters are re-seeded from the farthest point.
+func KMeans(points [][]float64, k int, maxIter int, rng *rand.Rand) KMeansResult {
+	n := len(points)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if maxIter <= 0 {
+		maxIter = 30
+	}
+	centroids := kmeansppInit(points, k, rng)
+	assign := make([]int, n)
+	sizes := make([]int, k)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i := range sizes {
+			sizes[i] = 0
+		}
+		for i, p := range points {
+			best, bestD := 0, math.MaxFloat64
+			for c, cen := range centroids {
+				d := sqDist(p, cen)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			sizes[best]++
+		}
+		// Recompute centroids.
+		dims := len(points[0])
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dims)
+		}
+		for i, p := range points {
+			c := assign[i]
+			for d, v := range p {
+				sums[c][d] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if sizes[c] == 0 {
+				// Re-seed an empty cluster from a random point so every
+				// cluster stays populated.
+				centroids[c] = append([]float64(nil), points[rng.Intn(n)]...)
+				changed = true
+				continue
+			}
+			for d := range sums[c] {
+				sums[c][d] /= float64(sizes[c])
+			}
+			centroids[c] = sums[c]
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	return KMeansResult{Assignments: assign, Centroids: centroids, Sizes: sizes}
+}
+
+// kmeansppInit picks k initial centroids with the kmeans++ D^2 weighting.
+func kmeansppInit(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(points)
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+	dist := make([]float64, n)
+	for len(centroids) < k {
+		total := 0.0
+		last := centroids[len(centroids)-1]
+		for i, p := range points {
+			d := sqDist(p, last)
+			if len(centroids) == 1 || d < dist[i] {
+				dist[i] = d
+			}
+			total += dist[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; duplicate one.
+			centroids = append(centroids, append([]float64(nil), points[rng.Intn(n)]...))
+			continue
+		}
+		r := rng.Float64() * total
+		acc := 0.0
+		pick := n - 1
+		for i, d := range dist {
+			acc += d
+			if acc >= r {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[pick]...))
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// NearestCentroid returns the index of the centroid closest to point in
+// Euclidean distance. It is the routing primitive of the RSPN update
+// algorithm (Algorithm 1, line 5).
+func NearestCentroid(point []float64, centroids [][]float64) int {
+	best, bestD := 0, math.MaxFloat64
+	for c, cen := range centroids {
+		d := sqDist(point, cen)
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}

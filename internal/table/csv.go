@@ -1,0 +1,92 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/schema"
+)
+
+// LoadCSV reads a table from CSV. The first record must be a header whose
+// names match the metadata's columns (order may differ). Empty fields and
+// the literal "NULL" load as NULL.
+func LoadCSV(meta *schema.Table, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	colFor := make([]int, len(header))
+	for i, h := range header {
+		idx := meta.ColumnIndex(h)
+		if idx < 0 {
+			return nil, fmt.Errorf("table: CSV header column %q not in schema of %s", h, meta.Name)
+		}
+		colFor[i] = idx
+	}
+	t := New(meta)
+	rowBuf := make([]Value, len(meta.Columns))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading CSV line %d: %w", line, err)
+		}
+		for i := range rowBuf {
+			rowBuf[i] = Null()
+		}
+		for i, field := range rec {
+			ci := colFor[i]
+			if field == "" || field == "NULL" {
+				rowBuf[ci] = Null()
+				continue
+			}
+			switch meta.Columns[ci].Kind {
+			case schema.CategoricalKind:
+				rowBuf[ci] = Value{F: float64(t.Cols[ci].Encode(field))}
+			default:
+				f, err := strconv.ParseFloat(field, 64)
+				if err != nil {
+					return nil, fmt.Errorf("table: CSV line %d column %s: %w", line, meta.Columns[ci].Name, err)
+				}
+				rowBuf[ci] = Float(f)
+			}
+		}
+		t.AppendRow(rowBuf...)
+	}
+	return t, nil
+}
+
+// WriteCSV writes the table as CSV with a header row. NULLs are written as
+// empty fields; categoricals are decoded back to strings.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.Cols))
+	for i := 0; i < t.rows; i++ {
+		for j, c := range t.Cols {
+			switch {
+			case c.Nul[i]:
+				rec[j] = ""
+			case c.Meta.Kind == schema.CategoricalKind:
+				rec[j] = c.Decode(int(c.Data[i]))
+			case c.Meta.Kind == schema.IntKind:
+				rec[j] = strconv.FormatInt(int64(c.Data[i]), 10)
+			default:
+				rec[j] = strconv.FormatFloat(c.Data[i], 'g', -1, 64)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

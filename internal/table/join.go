@@ -1,0 +1,272 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/schema"
+)
+
+// IndicatorColumn returns the name of the join-indicator column N_T for a
+// table (1 when a joined tuple contains a real row of T, 0 when the row was
+// padded by the full outer join). These are the N_T columns of Section 4.1.
+func IndicatorColumn(tableName string) string { return "__nt_" + tableName }
+
+// TupleFactorColumn returns the name of the tuple-factor column F_{One<-Many}
+// for a relationship (Section 4.1's correction factors).
+func TupleFactorColumn(rel schema.Relationship) string { return "__fk_" + rel.ID() }
+
+// AddTupleFactor computes, for every row of the One-side table, how many
+// rows of the Many-side table reference it, and stores the counts in a new
+// column F_{One<-Many} on the One-side table. Rows with no join partner get
+// factor 0 (the full outer join later lifts this to an effective 1).
+func AddTupleFactor(one, many *Table, rel schema.Relationship) error {
+	oneCol := one.Column(rel.OneColumn)
+	if oneCol == nil {
+		return fmt.Errorf("table: %s lacks join column %s", one.Meta.Name, rel.OneColumn)
+	}
+	manyCol := many.Column(rel.ManyColumn)
+	if manyCol == nil {
+		return fmt.Errorf("table: %s lacks join column %s", many.Meta.Name, rel.ManyColumn)
+	}
+	counts := make(map[float64]int, one.NumRows())
+	for i := 0; i < many.NumRows(); i++ {
+		if manyCol.Nul[i] {
+			continue
+		}
+		counts[manyCol.Data[i]]++
+	}
+	fc := NewColumn(schema.Column{Name: TupleFactorColumn(rel), Kind: schema.IntKind})
+	for i := 0; i < one.NumRows(); i++ {
+		if oneCol.Nul[i] {
+			fc.Append(Int(0))
+			continue
+		}
+		fc.Append(Int(counts[oneCol.Data[i]]))
+	}
+	return one.AddColumn(fc)
+}
+
+// JoinSpec identifies a multi-way join: the participating tables and the FK
+// edges connecting them.
+type JoinSpec struct {
+	Tables []string
+	Edges  []schema.Relationship
+}
+
+// FullOuterJoin materializes the full outer join of the given base tables
+// along the FK edges of the spec, in the paper's Figure 5b style: the result
+// contains every column of every input table plus one indicator column
+// N_T per table. Input tables should already carry their tuple-factor
+// columns (AddTupleFactor) so the RSPN can learn them.
+//
+// The join is computed by folding tables into an accumulator with a
+// hash-based two-sided outer join per edge. Edges must form a tree over the
+// spec's tables (schema.JoinTree guarantees this).
+func FullOuterJoin(tables map[string]*Table, spec JoinSpec) (*Table, error) {
+	if len(spec.Tables) == 0 {
+		return nil, fmt.Errorf("table: empty join spec")
+	}
+	first, ok := tables[spec.Tables[0]]
+	if !ok {
+		return nil, fmt.Errorf("table: missing table %s", spec.Tables[0])
+	}
+	acc := withIndicator(first)
+	joined := map[string]bool{spec.Tables[0]: true}
+	remaining := append([]schema.Relationship(nil), spec.Edges...)
+	for len(remaining) > 0 {
+		progressed := false
+		for i, rel := range remaining {
+			var newTable string
+			switch {
+			case joined[rel.Many] && !joined[rel.One]:
+				newTable = rel.One
+			case joined[rel.One] && !joined[rel.Many]:
+				newTable = rel.Many
+			default:
+				continue
+			}
+			nt, ok := tables[newTable]
+			if !ok {
+				return nil, fmt.Errorf("table: missing table %s", newTable)
+			}
+			var err error
+			acc, err = outerJoinStep(acc, withIndicator(nt), rel)
+			if err != nil {
+				return nil, err
+			}
+			joined[newTable] = true
+			remaining = append(remaining[:i], remaining[i+1:]...)
+			progressed = true
+			break
+		}
+		if !progressed {
+			return nil, fmt.Errorf("table: join edges do not form a connected tree")
+		}
+	}
+	return acc, nil
+}
+
+// withIndicator returns a shallow-ish copy of t with an N_T indicator column
+// of all ones appended (real rows of t exist everywhere before joining).
+func withIndicator(t *Table) *Table {
+	meta := &schema.Table{Name: t.Meta.Name, Columns: append([]schema.Column(nil), t.Meta.Columns...)}
+	out := &Table{Meta: meta, rows: t.rows}
+	for _, c := range t.Cols {
+		nc := NewColumn(c.Meta)
+		nc.Data = c.Data
+		nc.Nul = c.Nul
+		nc.shareDict(c)
+		out.Cols = append(out.Cols, nc)
+	}
+	ind := NewColumn(schema.Column{Name: IndicatorColumn(t.Meta.Name), Kind: schema.IntKind})
+	ind.Data = make([]float64, t.rows)
+	ind.Nul = make([]bool, t.rows)
+	for i := range ind.Data {
+		ind.Data[i] = 1
+	}
+	out.Cols = append(out.Cols, ind)
+	out.Meta.Columns = append(out.Meta.Columns, ind.Meta)
+	return out
+}
+
+// outerJoinStep full-outer-joins accumulator a with table b on the edge rel.
+// Exactly one of rel's endpoints has its join column in a, the other in b.
+func outerJoinStep(a, b *Table, rel schema.Relationship) (*Table, error) {
+	aCol, bCol := joinColumns(a, b, rel)
+	if aCol == nil || bCol == nil {
+		return nil, fmt.Errorf("table: edge %s does not connect %s and %s", rel.ID(), a.Meta.Name, b.Meta.Name)
+	}
+	// Hash the b side.
+	idx := make(map[float64][]int, b.NumRows())
+	for i := 0; i < b.NumRows(); i++ {
+		if bCol.Nul[i] {
+			continue
+		}
+		idx[bCol.Data[i]] = append(idx[bCol.Data[i]], i)
+	}
+	matchedB := make([]bool, b.NumRows())
+	var pairs [][2]int // (aRow, bRow); -1 means padded NULL side
+	for i := 0; i < a.NumRows(); i++ {
+		if aCol.Nul[i] {
+			pairs = append(pairs, [2]int{i, -1})
+			continue
+		}
+		rows := idx[aCol.Data[i]]
+		if len(rows) == 0 {
+			pairs = append(pairs, [2]int{i, -1})
+			continue
+		}
+		for _, r := range rows {
+			pairs = append(pairs, [2]int{i, r})
+			matchedB[r] = true
+		}
+	}
+	for i, m := range matchedB {
+		if !m {
+			pairs = append(pairs, [2]int{-1, i})
+		}
+	}
+	return assembleJoin(a, b, pairs)
+}
+
+func joinColumns(a, b *Table, rel schema.Relationship) (aCol, bCol *Column) {
+	if c := a.Column(rel.ManyColumn); c != nil && b.Column(rel.OneColumn) != nil {
+		return c, b.Column(rel.OneColumn)
+	}
+	if c := a.Column(rel.OneColumn); c != nil && b.Column(rel.ManyColumn) != nil {
+		return c, b.Column(rel.ManyColumn)
+	}
+	// Same column name on both sides (natural FK join where FK column name
+	// equals PK column name, e.g. c_id in both customer and order).
+	if rel.ManyColumn == rel.OneColumn {
+		return a.Column(rel.ManyColumn), b.Column(rel.ManyColumn)
+	}
+	return nil, nil
+}
+
+// assembleJoin materializes the pair list into a combined table. Padded
+// sides contribute NULL for every column, except indicator columns, which
+// are 0 (the tuple "is not there", not "unknown"), matching Figure 5b.
+func assembleJoin(a, b *Table, pairs [][2]int) (*Table, error) {
+	meta := &schema.Table{Name: a.Meta.Name + "|x|" + b.Meta.Name}
+	out := &Table{Meta: meta}
+	appendSide := func(src *Table, side int) error {
+		for _, c := range src.Cols {
+			if out.Column(c.Meta.Name) != nil {
+				// Shared join column name (natural join): keep a single copy
+				// from the first side.
+				continue
+			}
+			nc := NewColumn(c.Meta)
+			nc.shareDict(c)
+			nc.Data = make([]float64, len(pairs))
+			nc.Nul = make([]bool, len(pairs))
+			indicator := len(c.Meta.Name) > 5 && c.Meta.Name[:5] == "__nt_"
+			for p, pair := range pairs {
+				r := pair[side]
+				if r < 0 {
+					if indicator {
+						nc.Data[p] = 0
+					} else {
+						nc.Nul[p] = true
+					}
+					continue
+				}
+				nc.Data[p] = c.Data[r]
+				nc.Nul[p] = c.Nul[r]
+			}
+			out.Cols = append(out.Cols, nc)
+			out.Meta.Columns = append(out.Meta.Columns, c.Meta)
+		}
+		return nil
+	}
+	if err := appendSide(a, 0); err != nil {
+		return nil, err
+	}
+	if err := appendSide(b, 1); err != nil {
+		return nil, err
+	}
+	out.rows = len(pairs)
+	return out, nil
+}
+
+// InnerJoin materializes the inner equi-join of the base tables along the
+// spec's edges. It is the ground-truth join used by the exact executor.
+func InnerJoin(tables map[string]*Table, spec JoinSpec) (*Table, error) {
+	full, err := FullOuterJoin(tables, spec)
+	if err != nil {
+		return nil, err
+	}
+	var keep []int
+	for i := 0; i < full.NumRows(); i++ {
+		all := true
+		for _, tn := range spec.Tables {
+			ind := full.Column(IndicatorColumn(tn))
+			if ind == nil || ind.Data[i] != 1 {
+				all = false
+				break
+			}
+		}
+		if all {
+			keep = append(keep, i)
+		}
+	}
+	return full.Select(keep), nil
+}
+
+// SampleRows returns k distinct row indices drawn uniformly without
+// replacement (all rows when k >= NumRows).
+func (t *Table) SampleRows(k int, rng *rand.Rand) []int {
+	n := t.rows
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	perm := rng.Perm(n)
+	out := perm[:k]
+	return out
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/exact"
+	"repro/internal/query"
+)
+
+func TestJOBLightWellFormed(t *testing.T) {
+	s, tabs := datagen.IMDb(datagen.IMDbConfig{Titles: 500, Seed: 1})
+	oracle := exact.New(s, tabs)
+	qs := JOBLight(tabs, 7)
+	if len(qs) != 70 {
+		t.Fatalf("JOB-light has %d queries, want 70", len(qs))
+	}
+	nonEmpty := 0
+	for _, n := range qs {
+		if err := n.Query.Validate(); err != nil {
+			t.Fatalf("%s: %v", n.Label, err)
+		}
+		if n.Query.Tables[0] != "title" {
+			t.Fatalf("%s: star queries must include title first", n.Label)
+		}
+		if len(n.Query.Tables) < 2 || len(n.Query.Tables) > 5 {
+			t.Fatalf("%s: %d tables out of JOB-light range", n.Label, len(n.Query.Tables))
+		}
+		if len(n.Query.Filters) < 1 || len(n.Query.Filters) > 4 {
+			t.Fatalf("%s: %d predicates out of range", n.Label, len(n.Query.Filters))
+		}
+		// Ground truth must be computable.
+		card, err := oracle.Cardinality(n.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Label, err)
+		}
+		if card > 0 {
+			nonEmpty++
+		}
+	}
+	// Anchored constants should keep most queries non-empty.
+	if nonEmpty < 50 {
+		t.Fatalf("only %d/70 queries non-empty", nonEmpty)
+	}
+}
+
+func TestJOBLightDeterministic(t *testing.T) {
+	_, tabs := datagen.IMDb(datagen.IMDbConfig{Titles: 300, Seed: 1})
+	a := JOBLight(tabs, 5)
+	b := JOBLight(tabs, 5)
+	for i := range a {
+		if a[i].Query.String() != b[i].Query.String() {
+			t.Fatal("same seed must give the same workload")
+		}
+	}
+}
+
+func TestSyntheticIMDbRanges(t *testing.T) {
+	_, tabs := datagen.IMDb(datagen.IMDbConfig{Titles: 300, Seed: 2})
+	qs := SyntheticIMDb(tabs, 50, 4, 6, 9)
+	if len(qs) != 50 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, n := range qs {
+		if len(n.Query.Tables) < 4 || len(n.Query.Tables) > 6 {
+			t.Fatalf("%s: %d tables", n.Label, len(n.Query.Tables))
+		}
+		if len(n.Query.Filters) < 1 || len(n.Query.Filters) > 5 {
+			t.Fatalf("%s: %d predicates", n.Label, len(n.Query.Filters))
+		}
+	}
+}
+
+func TestSyntheticIMDbGrid(t *testing.T) {
+	_, tabs := datagen.IMDb(datagen.IMDbConfig{Titles: 300, Seed: 3})
+	grid := SyntheticIMDbGrid(tabs, 3, 11)
+	if len(grid) != 15 {
+		t.Fatalf("grid cells = %d, want 15", len(grid))
+	}
+	for key, qs := range grid {
+		if len(qs) != 3 {
+			t.Fatalf("cell %s has %d queries", key, len(qs))
+		}
+	}
+	// Cell 6-5 must have 6 tables and 5 predicates... predicates can be
+	// fewer only when columns run out, which cannot happen with 6 tables.
+	for _, n := range grid["6-5"] {
+		if len(n.Query.Tables) != 6 {
+			t.Fatalf("cell 6-5 query has %d tables", len(n.Query.Tables))
+		}
+		if len(n.Query.Filters) != 5 {
+			t.Fatalf("cell 6-5 query has %d filters", len(n.Query.Filters))
+		}
+	}
+}
+
+func TestFlightsQueriesExecutable(t *testing.T) {
+	s, tabs := datagen.Flights(datagen.FlightsConfig{Rows: 5000, Seed: 1})
+	oracle := exact.New(s, tabs)
+	qs := FlightsQueries()
+	if len(qs) != 12 {
+		t.Fatalf("flights query set has %d queries, want 12 (F1.1-F5.2)", len(qs))
+	}
+	for _, n := range qs {
+		if err := n.Query.Validate(); err != nil {
+			t.Fatalf("%s: %v", n.Label, err)
+		}
+		if _, err := oracle.Execute(n.Query); err != nil {
+			t.Fatalf("%s: %v", n.Label, err)
+		}
+	}
+}
+
+func TestFlightsSelectivitySpread(t *testing.T) {
+	s, tabs := datagen.Flights(datagen.FlightsConfig{Rows: 50000, Seed: 2})
+	oracle := exact.New(s, tabs)
+	total := float64(tabs["flights"].NumRows())
+	var sels []float64
+	for _, n := range FlightsQueries() {
+		card, err := oracle.Cardinality(n.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sels = append(sels, card/total)
+	}
+	// The set must span selective and non-selective queries (paper: 5%
+	// down to 0.01%).
+	minSel, maxSel := sels[0], sels[0]
+	for _, s := range sels {
+		if s < minSel {
+			minSel = s
+		}
+		if s > maxSel {
+			maxSel = s
+		}
+	}
+	if maxSel < 0.02 {
+		t.Fatalf("max selectivity %v too low", maxSel)
+	}
+	if minSel > 0.005 {
+		t.Fatalf("min selectivity %v too high", minSel)
+	}
+}
+
+func TestSSBQueriesExecutable(t *testing.T) {
+	s, tabs := datagen.SSB(datagen.SSBConfig{ScaleFactor: 0.002, Seed: 1})
+	oracle := exact.New(s, tabs)
+	qs := SSBQueries()
+	if len(qs) != 13 {
+		t.Fatalf("SSB query set has %d queries, want 13 (S1.1-S4.3)", len(qs))
+	}
+	for _, n := range qs {
+		if err := n.Query.Validate(); err != nil {
+			t.Fatalf("%s: %v", n.Label, err)
+		}
+		if _, err := oracle.Execute(n.Query); err != nil {
+			t.Fatalf("%s: %v", n.Label, err)
+		}
+	}
+}
+
+func TestSSBQueryShapes(t *testing.T) {
+	byLabel := map[string]query.Query{}
+	for _, n := range SSBQueries() {
+		byLabel[n.Label] = n.Query
+	}
+	// Flight 1 queries join lineorder with dates only.
+	if len(byLabel["S1.1"].Tables) != 2 {
+		t.Fatalf("S1.1 tables = %v", byLabel["S1.1"].Tables)
+	}
+	// S4.x aggregate profit.
+	if byLabel["S4.1"].AggColumn != "lo_profit" {
+		t.Fatalf("S4.1 aggregates %s", byLabel["S4.1"].AggColumn)
+	}
+	// S4.2 groups by year and category.
+	if len(byLabel["S4.2"].GroupBy) != 2 {
+		t.Fatalf("S4.2 group-by = %v", byLabel["S4.2"].GroupBy)
+	}
+	// All are SUM queries (the official benchmark's aggregate).
+	for label, q := range byLabel {
+		if q.Aggregate != query.Sum {
+			t.Fatalf("%s aggregate = %v, want SUM", label, q.Aggregate)
+		}
+	}
+}
