@@ -1,0 +1,27 @@
+# DeepDB reproduction — build and verification targets.
+
+.PHONY: all build test race check fmt vet bench
+
+all: build
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	go vet ./...
+
+# The full gate CI runs: gofmt + vet + build + test -race.
+check:
+	./scripts/check.sh
+
+bench:
+	go test -bench=. -benchmem -run=^$$ .

@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -81,7 +82,7 @@ func microFixture(b *testing.B) (*core.Engine, *ensemble.Ensemble, map[string]*t
 		s, tabs := datagen.IMDb(datagen.IMDbConfig{Titles: 3000, Seed: 9})
 		cfg := ensemble.DefaultConfig()
 		cfg.MaxSamples = 20000
-		ens, err := ensemble.Build(s, tabs, cfg)
+		ens, err := ensemble.Build(context.Background(), s, tabs, cfg)
 		if err != nil {
 			panic(err)
 		}
@@ -168,7 +169,7 @@ func BenchmarkEnsembleLearning(b *testing.B) {
 	cfg.MaxSamples = 10000
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ensemble.Build(s, tabs, cfg); err != nil {
+		if _, err := ensemble.Build(context.Background(), s, tabs, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -186,7 +187,7 @@ func BenchmarkAblationRDCThreshold(b *testing.B) {
 			cfg.MaxSamples = 10000
 			cfg.SPN.RDCThreshold = thr
 			for i := 0; i < b.N; i++ {
-				ens, err := ensemble.Build(s, tabs, cfg)
+				ens, err := ensemble.Build(context.Background(), s, tabs, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -212,7 +213,7 @@ func BenchmarkAblationMinSlice(b *testing.B) {
 			cfg.MaxSamples = 10000
 			cfg.SPN.MinInstanceFrac = frac
 			for i := 0; i < b.N; i++ {
-				if _, err := ensemble.Build(s, tabs, cfg); err != nil {
+				if _, err := ensemble.Build(context.Background(), s, tabs, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}

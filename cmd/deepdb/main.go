@@ -1,35 +1,34 @@
-// Command deepdb is the DeepDB command-line tool: it learns an RSPN
-// ensemble over CSV data and answers cardinality and approximate aggregate
-// queries against it, without touching the data again at query time.
+// Command deepdb is the DeepDB command-line tool, a thin shell over the
+// public deepdb package: it learns an RSPN ensemble over CSV data and
+// answers cardinality and approximate aggregate queries against the model,
+// without touching the data again at query time.
 //
 // Usage:
 //
 //	deepdb learn  -schema schema.json -data dir/ -out model.deepdb
-//	deepdb estimate -schema schema.json -data dir/ -model model.deepdb -sql "SELECT COUNT(*) FROM ..."
-//	deepdb query  -schema schema.json -data dir/ -model model.deepdb -sql "SELECT AVG(x) FROM ..."
+//	deepdb estimate -data dir/ -model model.deepdb -sql "SELECT COUNT(*) FROM ..."
+//	deepdb query  -data dir/ -model model.deepdb -sql "SELECT AVG(x) FROM ..."
+//	deepdb explain -data dir/ -model model.deepdb -sql "SELECT COUNT(*) FROM ..."
 //	deepdb demo
 //
-// The schema file is JSON in the shape of internal/schema.Schema. The data
-// directory holds one <table>.csv per table with a header row. `estimate`
-// prints a cardinality with its confidence interval; `query` prints the
-// approximate result (with group keys decoded through the dictionaries).
+// The schema file is JSON in the shape of deepdb.Schema; query-side
+// commands read the schema persisted inside the model file, so only the
+// data directory and model are needed. The data directory holds one
+// <table>.csv per table with a header row. `estimate` prints a cardinality
+// with its confidence interval; `query` prints the approximate result
+// (with group keys decoded through the dictionaries); `explain` prints the
+// execution plan without running the query.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"time"
 
-	"repro/internal/core"
+	"repro/deepdb"
 	"repro/internal/datagen"
-	"repro/internal/ensemble"
-	"repro/internal/exact"
-	"repro/internal/query"
-	"repro/internal/schema"
-	"repro/internal/table"
 )
 
 func main() {
@@ -37,16 +36,19 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	ctx := context.Background()
 	var err error
 	switch os.Args[1] {
 	case "learn":
-		err = cmdLearn(os.Args[2:])
+		err = cmdLearn(ctx, os.Args[2:])
 	case "estimate":
-		err = cmdQuery(os.Args[2:], true)
+		err = cmdQuery(ctx, os.Args[2:], modeEstimate)
 	case "query":
-		err = cmdQuery(os.Args[2:], false)
+		err = cmdQuery(ctx, os.Args[2:], modeQuery)
+	case "explain":
+		err = cmdQuery(ctx, os.Args[2:], modeExplain)
 	case "demo":
-		err = cmdDemo()
+		err = cmdDemo(ctx)
 	default:
 		usage()
 		os.Exit(2)
@@ -58,87 +60,57 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: deepdb <learn|estimate|query|demo> [flags]
-  learn    -schema schema.json -data dir -out model.deepdb [-budget 0.5] [-samples 100000]
-  estimate -schema schema.json -data dir -model model.deepdb -sql "SELECT COUNT(*) ..."
-  query    -schema schema.json -data dir -model model.deepdb -sql "SELECT AVG(col) ..."
+	fmt.Fprintln(os.Stderr, `usage: deepdb <learn|estimate|query|explain|demo> [flags]
+  learn    -schema schema.json -data dir -out model.deepdb [-budget 0.5] [-samples 100000] [-parallel 1]
+  estimate -data dir -model model.deepdb -sql "SELECT COUNT(*) ..."
+  query    -data dir -model model.deepdb -sql "SELECT AVG(col) ..."
+  explain  -model model.deepdb -sql "SELECT COUNT(*) ..." [-data dir]
   demo     (self-contained demonstration on synthetic data)`)
 }
 
-// loadSchema reads a schema JSON file.
-func loadSchema(path string) (*schema.Schema, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var s schema.Schema
-	if err := json.Unmarshal(b, &s); err != nil {
-		return nil, fmt.Errorf("parsing %s: %w", path, err)
-	}
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	return &s, nil
-}
-
-// loadTables reads <table>.csv for every schema table from dir.
-func loadTables(s *schema.Schema, dir string) (map[string]*table.Table, error) {
-	out := make(map[string]*table.Table, len(s.Tables))
-	for _, meta := range s.Tables {
-		path := filepath.Join(dir, meta.Name+".csv")
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		t, err := table.LoadCSV(meta, f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("loading %s: %w", path, err)
-		}
-		out[meta.Name] = t
-	}
-	return out, nil
-}
-
-func cmdLearn(args []string) error {
+func cmdLearn(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("learn", flag.ExitOnError)
 	schemaPath := fs.String("schema", "", "schema JSON file")
 	dataDir := fs.String("data", "", "directory with <table>.csv files")
 	out := fs.String("out", "model.deepdb", "output model file")
 	budget := fs.Float64("budget", 0.5, "ensemble budget factor (Section 5.3)")
 	samples := fs.Int("samples", 100000, "max training samples per RSPN")
+	parallel := fs.Int("parallel", 1, "RSPNs learned concurrently")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *schemaPath == "" || *dataDir == "" {
 		return fmt.Errorf("-schema and -data are required")
 	}
-	s, err := loadSchema(*schemaPath)
+	s, err := deepdb.LoadSchema(*schemaPath)
 	if err != nil {
 		return err
 	}
-	tabs, err := loadTables(s, *dataDir)
+	db, err := deepdb.Learn(ctx, s, *dataDir,
+		deepdb.WithBudget(*budget),
+		deepdb.WithMaxSamples(*samples),
+		deepdb.WithParallelism(*parallel))
 	if err != nil {
 		return err
 	}
-	cfg := ensemble.DefaultConfig()
-	cfg.BudgetFactor = *budget
-	cfg.MaxSamples = *samples
-	ens, err := ensemble.Build(s, tabs, cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Print(ens.Describe())
-	if err := ens.SaveFile(*out); err != nil {
+	fmt.Print(db.Describe())
+	if err := db.Save(*out); err != nil {
 		return err
 	}
 	fmt.Printf("model written to %s\n", *out)
 	return nil
 }
 
-func cmdQuery(args []string, cardinality bool) error {
+type queryMode int
+
+const (
+	modeEstimate queryMode = iota
+	modeQuery
+	modeExplain
+)
+
+func cmdQuery(ctx context.Context, args []string, mode queryMode) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
-	schemaPath := fs.String("schema", "", "schema JSON file")
 	dataDir := fs.String("data", "", "directory with <table>.csv files")
 	model := fs.String("model", "model.deepdb", "model file from deepdb learn")
 	sql := fs.String("sql", "", "query to answer")
@@ -146,117 +118,83 @@ func cmdQuery(args []string, cardinality bool) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *schemaPath == "" || *dataDir == "" || *sql == "" {
-		return fmt.Errorf("-schema, -data and -sql are required")
+	// explain only reads the model; -data is needed just for estimate/query
+	// (Theorem-2 table sizes, string-literal dictionaries, -truth).
+	if *sql == "" || (*dataDir == "" && mode != modeExplain) {
+		return fmt.Errorf("-sql is required (-data too, except for explain)")
 	}
-	s, err := loadSchema(*schemaPath)
+	var opts []deepdb.Option
+	if *dataDir != "" {
+		opts = append(opts, deepdb.WithDataDir(*dataDir))
+	}
+	db, err := deepdb.Open(ctx, *model, opts...)
 	if err != nil {
 		return err
 	}
-	tabs, err := loadTables(s, *dataDir)
-	if err != nil {
-		return err
-	}
-	ens, err := ensemble.LoadFile(*model, tabs)
-	if err != nil {
-		return err
-	}
-	resolve := makeResolver(tabs)
-	q, err := query.Parse(*sql, resolve)
-	if err != nil {
-		return err
-	}
-	eng := core.New(ens)
 	start := time.Now()
-	if cardinality {
-		est, err := eng.EstimateCardinality(q)
+	switch mode {
+	case modeExplain:
+		plan, err := db.Explain(*sql)
 		if err != nil {
 			return err
 		}
-		lo, hi := est.ConfidenceInterval(0.95)
+		fmt.Print(plan)
+	case modeEstimate:
+		est, err := db.EstimateCardinality(ctx, *sql)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("estimated cardinality: %.1f  (95%% CI [%.1f, %.1f], %v)\n",
-			est.Value, lo, hi, time.Since(start).Round(time.Microsecond))
-	} else {
-		res, err := eng.Execute(q)
+			est.Value, est.CILow, est.CIHigh, time.Since(start).Round(time.Microsecond))
+	case modeQuery:
+		res, err := db.Query(ctx, *sql)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("approximate result (%v):\n", time.Since(start).Round(time.Microsecond))
 		for _, g := range res.Groups {
-			key := decodeKey(tabs, q.GroupBy, g.Key)
-			fmt.Printf("  %-24s %14.3f  (95%% CI [%.3f, %.3f])\n", key, g.Estimate.Value, g.CILow, g.CIHigh)
+			fmt.Printf("  %-24s %14.3f  (95%% CI [%.3f, %.3f])\n",
+				labelOf(g), g.Value, g.CILow, g.CIHigh)
 		}
 	}
-	if *truth {
-		oracle := exact.New(s, tabs)
-		res, err := oracle.Execute(q)
+	if *truth && mode != modeExplain {
+		res, err := db.Exact(ctx, *sql)
 		if err != nil {
 			return err
 		}
 		fmt.Println("exact result:")
 		for _, g := range res.Groups {
-			fmt.Printf("  %-24s %14.3f\n", decodeKey(tabs, q.GroupBy, g.Key), g.Value)
+			fmt.Printf("  %-24s %14.3f\n", labelOf(g), g.Value)
 		}
 	}
 	return nil
 }
 
-// makeResolver resolves string literals through the base-table
-// dictionaries.
-func makeResolver(tabs map[string]*table.Table) query.Resolver {
-	return func(column, literal string) (float64, error) {
-		for _, t := range tabs {
-			c := t.Column(column)
-			if c == nil {
-				continue
-			}
-			if code := c.Lookup(literal); code >= 0 {
-				return float64(code), nil
-			}
-			return 0, fmt.Errorf("value %q not found in column %s", literal, column)
-		}
-		return 0, fmt.Errorf("unknown column %s", column)
-	}
-}
-
-// decodeKey renders a group key, decoding categorical codes.
-func decodeKey(tabs map[string]*table.Table, cols []string, key []float64) string {
-	if len(key) == 0 {
+// labelOf renders a group's decoded key for display.
+func labelOf(g deepdb.Group) string {
+	if len(g.Labels) == 0 {
 		return "(all)"
 	}
 	out := ""
-	for i, col := range cols {
+	for i, l := range g.Labels {
 		if i > 0 {
 			out += ", "
 		}
-		decoded := fmt.Sprintf("%g", key[i])
-		for _, t := range tabs {
-			if c := t.Column(col); c != nil && c.DictSize() > 0 {
-				if s := c.Decode(int(key[i])); s != "" {
-					decoded = s
-				}
-				break
-			}
-		}
-		out += fmt.Sprintf("%s=%s", col, decoded)
+		out += l
 	}
 	return out
 }
 
 // cmdDemo runs an end-to-end demonstration on synthetic IMDb data.
-func cmdDemo() error {
+func cmdDemo(ctx context.Context) error {
 	fmt.Println("generating synthetic IMDb-style data (4000 titles) ...")
 	s, tabs := datagen.IMDb(datagen.IMDbConfig{Titles: 4000, Seed: 1})
-	cfg := ensemble.DefaultConfig()
-	cfg.MaxSamples = 30000
 	start := time.Now()
-	ens, err := ensemble.Build(s, tabs, cfg)
+	db, err := deepdb.LearnDataset(ctx, s, tabs, deepdb.WithMaxSamples(30000))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ensemble learned in %v\n%s", time.Since(start).Round(time.Millisecond), ens.Describe())
-	eng := core.New(ens)
-	oracle := exact.New(s, tabs)
+	fmt.Printf("ensemble learned in %v\n%s", time.Since(start).Round(time.Millisecond), db.Describe())
 	demo := []string{
 		"SELECT COUNT(*) FROM title WHERE t_production_year >= 2000",
 		"SELECT COUNT(*) FROM title NATURAL JOIN cast_info WHERE ci_role_id = 1 AND t_kind_id = 1",
@@ -264,30 +202,28 @@ func cmdDemo() error {
 		"SELECT COUNT(*) FROM title GROUP BY t_kind_id",
 	}
 	for _, sql := range demo {
-		q, err := query.Parse(sql, nil)
-		if err != nil {
-			return err
-		}
 		fmt.Printf("\n%s\n", sql)
 		start = time.Now()
-		res, err := eng.Execute(q)
+		res, err := db.Query(ctx, sql)
 		if err != nil {
 			return err
 		}
 		lat := time.Since(start)
-		truth, err := oracle.Execute(q)
+		truth, err := db.Exact(ctx, sql)
 		if err != nil {
 			return err
 		}
+		exactByKey := map[string]float64{}
+		for _, tg := range truth.Groups {
+			exactByKey[fmt.Sprint(tg.Key)] = tg.Value
+		}
 		for i, g := range res.Groups {
 			exactVal := ""
-			for _, tg := range truth.Sorted() {
-				if fmt.Sprint(tg.Key) == fmt.Sprint(g.Key) {
-					exactVal = fmt.Sprintf("   exact: %.1f", tg.Value)
-				}
+			if v, ok := exactByKey[fmt.Sprint(g.Key)]; ok {
+				exactVal = fmt.Sprintf("   exact: %.1f", v)
 			}
 			fmt.Printf("  group %v: estimate %.1f  CI [%.1f, %.1f]%s\n",
-				g.Key, g.Estimate.Value, g.CILow, g.CIHigh, exactVal)
+				g.Key, g.Value, g.CILow, g.CIHigh, exactVal)
 			if i > 8 {
 				fmt.Printf("  ... (%d groups total)\n", len(res.Groups))
 				break

@@ -1,18 +1,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
-	"repro/internal/core"
+	"repro/deepdb"
 	"repro/internal/datagen"
-	"repro/internal/ensemble"
-	"repro/internal/exact"
-	"repro/internal/query"
-	"repro/internal/schema"
-	"repro/internal/table"
 )
 
 // writeFixture generates a small data set, writes its schema JSON and CSVs
@@ -48,14 +44,14 @@ func writeFixture(t *testing.T, dir string) (schemaPath, dataDir string) {
 func TestLoadSchemaAndTables(t *testing.T) {
 	dir := t.TempDir()
 	schemaPath, dataDir := writeFixture(t, dir)
-	s, err := loadSchema(schemaPath)
+	s, err := deepdb.LoadSchema(schemaPath)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(s.Tables) != 6 {
 		t.Fatalf("schema tables = %d, want 6", len(s.Tables))
 	}
-	tabs, err := loadTables(s, dataDir)
+	tabs, err := deepdb.LoadCSVDir(s, dataDir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,120 +62,123 @@ func TestLoadSchemaAndTables(t *testing.T) {
 
 func TestLoadSchemaErrors(t *testing.T) {
 	dir := t.TempDir()
-	if _, err := loadSchema(filepath.Join(dir, "missing.json")); err == nil {
+	if _, err := deepdb.LoadSchema(filepath.Join(dir, "missing.json")); err == nil {
 		t.Fatal("expected error for missing file")
 	}
 	bad := filepath.Join(dir, "bad.json")
 	os.WriteFile(bad, []byte("{not json"), 0o644)
-	if _, err := loadSchema(bad); err == nil {
+	if _, err := deepdb.LoadSchema(bad); err == nil {
 		t.Fatal("expected error for invalid JSON")
 	}
 	invalid := filepath.Join(dir, "invalid.json")
 	os.WriteFile(invalid, []byte(`{"Tables":[{"Name":"t","PrimaryKey":"nope","Columns":[{"Name":"a","Kind":0}]}]}`), 0o644)
-	if _, err := loadSchema(invalid); err == nil {
+	if _, err := deepdb.LoadSchema(invalid); err == nil {
 		t.Fatal("expected validation error")
 	}
 }
 
-// TestLearnQueryRoundTrip exercises the full CLI pipeline: load CSVs, build
-// an ensemble, save it, reload it, and answer a parsed SQL query.
+// TestLearnQueryRoundTrip exercises the full CLI pipeline through the
+// facade: learn from CSVs, save the model, reopen it against the data
+// directory, and answer a parsed SQL query.
 func TestLearnQueryRoundTrip(t *testing.T) {
+	ctx := context.Background()
 	dir := t.TempDir()
 	schemaPath, dataDir := writeFixture(t, dir)
-	s, err := loadSchema(schemaPath)
+	s, err := deepdb.LoadSchema(schemaPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tabs, err := loadTables(s, dataDir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := ensemble.DefaultConfig()
-	cfg.MaxSamples = 5000
-	cfg.BudgetFactor = 0
-	ens, err := ensemble.Build(s, tabs, cfg)
+	db, err := deepdb.Learn(ctx, s, dataDir, deepdb.WithMaxSamples(5000), deepdb.WithBudget(0))
 	if err != nil {
 		t.Fatal(err)
 	}
 	modelPath := filepath.Join(dir, "model.deepdb")
-	if err := ens.SaveFile(modelPath); err != nil {
+	if err := db.Save(modelPath); err != nil {
 		t.Fatal(err)
 	}
-	// Reload against freshly loaded tables (as the CLI does). The loaded
-	// tables lack the tuple-factor columns Build added, so re-derive them
-	// by rebuilding the load path exactly like cmdQuery.
-	tabs2, err := loadTables(s, dataDir)
+	db2, err := deepdb.Open(ctx, modelPath, deepdb.WithDataDir(dataDir))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ens2, err := ensemble.LoadFile(modelPath, tabs2)
+	const sql = "SELECT COUNT(*) FROM title WHERE t_production_year >= 2000"
+	est, err := db2.EstimateCardinality(ctx, sql)
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := core.New(ens2)
-	q, err := query.Parse("SELECT COUNT(*) FROM title WHERE t_production_year >= 2000", makeResolver(tabs2))
+	truth, err := db2.Exact(ctx, sql)
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, err := eng.EstimateCardinality(q)
-	if err != nil {
-		t.Fatal(err)
+	if qe := deepdb.QError(est.Value, truth.Scalar()); qe > 2 {
+		t.Fatalf("round-trip estimate q-error %.2f (est %.1f true %.1f)", qe, est.Value, truth.Scalar())
 	}
-	truth, err := exact.New(s, tabs2).Cardinality(q)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if qe := query.QError(est.Value, truth); qe > 2 {
-		t.Fatalf("round-trip estimate q-error %.2f (est %.1f true %.1f)", qe, est.Value, truth)
-	}
-	// Updates must work on a loaded ensemble too (tuple-factor columns are
-	// re-derived by Load).
-	if err := ens2.Insert("cast_info", map[string]table.Value{
-		"ci_id": table.Int(999999), "ci_t_id": table.Int(0), "ci_role_id": table.Int(1),
+	// Updates must work on a reopened model too (tuple-factor columns are
+	// re-derived on open).
+	if err := db2.Insert("cast_info", map[string]deepdb.Value{
+		"ci_id": deepdb.Int(999999), "ci_t_id": deepdb.Int(0), "ci_role_id": deepdb.Int(1),
 	}); err != nil {
-		t.Fatalf("insert after load: %v", err)
+		t.Fatalf("insert after open: %v", err)
+	}
+	// The plan for a model-covered query must render without error.
+	if plan, err := db2.Explain(sql); err != nil || plan == "" {
+		t.Fatalf("explain: %q, %v", plan, err)
 	}
 }
 
-func TestMakeResolver(t *testing.T) {
-	tabs, _ := figureTable()
-	resolve := makeResolver(tabs)
-	v, err := resolve("color", "red")
+func TestResolver(t *testing.T) {
+	db := figureDB(t)
+	q, err := db.Parse("SELECT COUNT(*) FROM things WHERE color = 'red'")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v != 0 {
-		t.Fatalf("resolve(red) = %v", v)
+	if len(q.Filters) != 1 || q.Filters[0].Value != 0 {
+		t.Fatalf("resolved filter = %+v", q.Filters)
 	}
-	if _, err := resolve("color", "chartreuse"); err == nil {
+	if _, err := db.Parse("SELECT COUNT(*) FROM things WHERE color = 'chartreuse'"); err == nil {
 		t.Fatal("expected error for unknown literal")
 	}
-	if _, err := resolve("nope", "red"); err == nil {
+	if _, err := db.Parse("SELECT COUNT(*) FROM things WHERE nope = 'red'"); err == nil {
 		t.Fatal("expected error for unknown column")
 	}
 }
 
-func TestDecodeKey(t *testing.T) {
-	tabs, _ := figureTable()
-	if got := decodeKey(tabs, nil, nil); got != "(all)" {
-		t.Fatalf("empty key = %q", got)
+func TestLabelOf(t *testing.T) {
+	if got := labelOf(deepdb.Group{}); got != "(all)" {
+		t.Fatalf("empty key label = %q", got)
 	}
-	got := decodeKey(tabs, []string{"color"}, []float64{1})
-	if got != "color=blue" {
-		t.Fatalf("decoded key = %q", got)
+	db := figureDB(t)
+	res, err := db.Query(context.Background(), "SELECT COUNT(*) FROM things GROUP BY color")
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := map[string]bool{}
+	for _, g := range res.Groups {
+		labels[labelOf(g)] = true
+	}
+	if !labels["red"] || !labels["blue"] {
+		t.Fatalf("decoded labels = %v", labels)
 	}
 }
 
-// figureTable builds a one-table fixture with a categorical column.
-func figureTable() (map[string]*table.Table, float64) {
-	meta := &schema.Table{Name: "things", Columns: []schema.Column{
-		{Name: "color", Kind: schema.CategoricalKind},
-		{Name: "n", Kind: schema.IntKind},
-	}}
-	tb := table.New(meta)
+// figureDB builds a one-table DB with a categorical column.
+func figureDB(t *testing.T) *deepdb.DB {
+	t.Helper()
+	s := &deepdb.Schema{Tables: []*deepdb.TableDef{{
+		Name: "things",
+		Columns: []deepdb.ColumnDef{
+			{Name: "color", Kind: deepdb.CategoricalKind},
+			{Name: "n", Kind: deepdb.IntKind},
+		},
+	}}}
+	tb := deepdb.NewTable(s.Table("things"))
 	c := tb.Column("color")
 	red := float64(c.Encode("red"))
-	c.Encode("blue")
-	tb.AppendRow(table.Float(red), table.Int(1))
-	return map[string]*table.Table{"things": tb}, red
+	blue := float64(c.Encode("blue"))
+	tb.AppendRow(deepdb.Float(red), deepdb.Int(1))
+	tb.AppendRow(deepdb.Float(blue), deepdb.Int(2))
+	db, err := deepdb.LearnDataset(context.Background(), s, deepdb.Dataset{"things": tb}, deepdb.WithExactLearner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
 }

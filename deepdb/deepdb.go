@@ -1,0 +1,360 @@
+// Package deepdb is the public facade of this DeepDB reproduction
+// (Hilprecht et al., PVLDB 13(7): DeepDB — Learn from Data, not from
+// Queries!). It is the one package consumers import: learn an RSPN
+// ensemble once over relational data, then serve cardinality estimates and
+// approximate aggregate queries from the model — without touching the data
+// again — and absorb inserts/deletes incrementally without retraining.
+//
+//	db, err := deepdb.Learn(ctx, schema, "data/", deepdb.WithBudget(0.5))
+//	res, err := db.Query(ctx, "SELECT AVG(price) FROM orders WHERE region = 'EU'")
+//	est, err := db.EstimateCardinality(ctx, "SELECT COUNT(*) FROM orders JOIN customers")
+//	err = db.Save("model.deepdb")
+//	db, err = deepdb.Open(ctx, "model.deepdb", deepdb.WithDataDir("data/"))
+//
+// A *DB is safe for concurrent use: queries run under a read lock and may
+// proceed in parallel; Update/Insert/Delete take the write lock.
+package deepdb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ensemble"
+	"repro/internal/exact"
+	"repro/internal/query"
+	"repro/internal/rspn"
+)
+
+// DB is a learned DeepDB instance: an RSPN ensemble, the probabilistic
+// query engine compiled against it, and (when attached) the live base
+// tables that power incremental updates and exact ground-truth execution.
+type DB struct {
+	mu  sync.RWMutex
+	ens *ensemble.Ensemble
+	eng *core.Engine
+	cfg config
+}
+
+// Learn builds a DB over the schema's CSV files in dataDir (one
+// <table>.csv per schema table, with a header row). Cancelling ctx aborts
+// learning — including mid-RSPN — with ctx.Err().
+func Learn(ctx context.Context, s *Schema, dataDir string, opts ...Option) (*DB, error) {
+	cfg := defaultConfig()
+	cfg.apply(opts)
+	data, err := LoadCSVDir(s, dataDir)
+	if err != nil {
+		return nil, err
+	}
+	return learn(ctx, s, data, cfg)
+}
+
+// LearnDataset is Learn over already-loaded base tables. The tables are
+// augmented in place with synthetic tuple-factor columns.
+func LearnDataset(ctx context.Context, s *Schema, data Dataset, opts ...Option) (*DB, error) {
+	cfg := defaultConfig()
+	cfg.apply(opts)
+	return learn(ctx, s, data, cfg)
+}
+
+func learn(ctx context.Context, s *Schema, data Dataset, cfg config) (*DB, error) {
+	ens, err := ensemble.Build(ctx, s, data, cfg.ens)
+	if err != nil {
+		return nil, err
+	}
+	return newDB(ens, cfg), nil
+}
+
+// Open reads a model written by Save. Base tables are reattached from
+// WithDataDir (CSVs located with the schema persisted in the model) or
+// WithDataset; without either the DB answers model-only queries but
+// refuses updates, string-literal predicates and exact execution.
+func Open(ctx context.Context, modelPath string, opts ...Option) (*DB, error) {
+	cfg := defaultConfig()
+	cfg.apply(opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ens, err := ensemble.LoadFile(modelPath, nil)
+	if err != nil {
+		return nil, err
+	}
+	data := cfg.dataset
+	if data == nil && cfg.dataDir != "" {
+		data, err = LoadCSVDir(ens.Schema, cfg.dataDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if data != nil {
+		if err := ens.AttachTables(data); err != nil {
+			return nil, err
+		}
+	}
+	return newDB(ens, cfg), nil
+}
+
+func newDB(ens *ensemble.Ensemble, cfg config) *DB {
+	eng := core.New(ens)
+	eng.Strategy = cfg.coreStrategy()
+	eng.ConfidenceLevel = cfg.confidence
+	eng.Parallelism = cfg.parallelism
+	return &DB{ens: ens, eng: eng, cfg: cfg}
+}
+
+// Save writes the model (ensemble, statistics, schema) to path. The base
+// tables are not serialized; Open reattaches them like a database
+// reopening its files.
+func (db *DB) Save(path string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.ens.SaveFile(path)
+}
+
+// Schema returns the relational metadata the DB was learned over.
+func (db *DB) Schema() *Schema { return db.ens.Schema }
+
+// Data returns the attached base tables (nil when the DB was opened
+// without data). The returned tables are shared, not copied: mutate them
+// only through Insert/Delete/Update.
+func (db *DB) Data() Dataset { return db.ens.Tables }
+
+// Describe returns a human-readable summary of the ensemble.
+func (db *DB) Describe() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.ens.Describe()
+}
+
+// Models returns the ensemble members. Read-only companions like the
+// internal/ml regressors consume these directly.
+func (db *DB) Models() []*rspn.RSPN { return db.ens.RSPNs }
+
+// Model returns some RSPN covering the named table (preferring the
+// smallest), or nil.
+func (db *DB) Model(table string) *rspn.RSPN { return db.ens.RSPNFor(table) }
+
+// Parse compiles the SQL subset DeepDB supports into a structured query,
+// resolving string literals through the base tables' dictionaries.
+func (db *DB) Parse(sql string) (query.Query, error) {
+	return query.Parse(sql, db.resolver())
+}
+
+// Query answers an aggregate SQL query approximately, from the model only.
+func (db *DB) Query(ctx context.Context, sql string) (Result, error) {
+	q, err := db.Parse(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	return db.ExecuteQuery(ctx, q)
+}
+
+// ExecuteQuery is Query for an already-parsed (or programmatically built)
+// structured query.
+func (db *DB) ExecuteQuery(ctx context.Context, q query.Query) (Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	res, err := db.eng.ExecuteContext(ctx, q)
+	if err != nil {
+		return Result{}, err
+	}
+	return db.wrapResult(q, res), nil
+}
+
+// EstimateCardinality estimates COUNT(*) over the query's join with its
+// filters — the paper's cardinality-estimation task. Aggregate and
+// group-by clauses in the SQL are ignored.
+func (db *DB) EstimateCardinality(ctx context.Context, sql string) (Estimate, error) {
+	q, err := db.Parse(sql)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return db.EstimateCardinalityQuery(ctx, q)
+}
+
+// EstimateCardinalityQuery is EstimateCardinality for a structured query.
+func (db *DB) EstimateCardinalityQuery(ctx context.Context, q query.Query) (Estimate, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	est, err := db.eng.EstimateCardinalityContext(ctx, q)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return db.wrapEstimate(est), nil
+}
+
+// Explain renders the execution plan the engine would choose for the SQL
+// query — which compilation case applies and which ensemble members answer
+// each part — without evaluating it.
+func (db *DB) Explain(sql string) (string, error) {
+	q, err := db.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.eng.Explain(q)
+}
+
+// Exact executes the SQL query exactly against the attached base tables
+// (materializing the join), for ground-truth comparison.
+func (db *DB) Exact(ctx context.Context, sql string) (Result, error) {
+	q, err := db.Parse(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	return db.ExactQuery(ctx, q)
+}
+
+// ExactQuery is Exact for a structured query.
+func (db *DB) ExactQuery(ctx context.Context, q query.Query) (Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.ens.Tables == nil {
+		return Result{}, fmt.Errorf("deepdb: no base tables attached (open with WithDataDir or WithDataset)")
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	res, err := exact.New(db.ens.Schema, db.ens.Tables).Execute(q)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{}
+	for _, g := range res.Groups {
+		out.Groups = append(out.Groups, Group{
+			Key:      g.Key,
+			Labels:   db.decodeKey(q.GroupBy, g.Key),
+			Estimate: Estimate{Value: g.Value, CILow: g.Value, CIHigh: g.Value},
+		})
+	}
+	return out, nil
+}
+
+// Insert absorbs one new base-table row into the model incrementally
+// (Section 5.2 of the paper): no retraining happens. Missing columns
+// become NULL.
+func (db *DB) Insert(table string, values map[string]Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.ens.Tables == nil {
+		return fmt.Errorf("deepdb: no base tables attached (open with WithDataDir or WithDataset)")
+	}
+	return db.ens.Insert(table, values)
+}
+
+// Delete removes the base-table row with the given primary key from the
+// model incrementally.
+func (db *DB) Delete(table string, pk float64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.ens.Tables == nil {
+		return fmt.Errorf("deepdb: no base tables attached (open with WithDataDir or WithDataset)")
+	}
+	return db.ens.Delete(table, pk)
+}
+
+// Update applies a batch of row inserts under one write lock, so
+// concurrent Query calls never interleave with a half-applied batch. On
+// error the rows already absorbed stay applied (there is no rollback);
+// the returned error names the failing row index.
+func (db *DB) Update(rows ...Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.ens.Tables == nil {
+		return fmt.Errorf("deepdb: no base tables attached (open with WithDataDir or WithDataset)")
+	}
+	for i, r := range rows {
+		if err := db.ens.Insert(r.Table, r.Values); err != nil {
+			return fmt.Errorf("deepdb: update row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CheckStaleness recomputes pairwise dependencies on the current base
+// tables and reports ensemble members whose construction decision would
+// change — the paper's trigger for background regeneration. It takes the
+// write lock: the recomputation refreshes the ensemble's dependency
+// statistics (and draws from its rng), which concurrent queries read.
+func (db *DB) CheckStaleness() (map[int]string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.ens.Tables == nil {
+		return nil, fmt.Errorf("deepdb: no base tables attached (open with WithDataDir or WithDataset)")
+	}
+	rep, err := db.ens.CheckStaleness()
+	if err != nil {
+		return nil, err
+	}
+	return rep.Stale, nil
+}
+
+// resolver maps string literals in predicates to dictionary codes of the
+// owning base table.
+func (db *DB) resolver() query.Resolver {
+	return func(column, literal string) (float64, error) {
+		if db.ens.Tables == nil {
+			return 0, fmt.Errorf("deepdb: string literal %q needs base tables for dictionary lookup", literal)
+		}
+		for _, t := range db.ens.Tables {
+			c := t.Column(column)
+			if c == nil {
+				continue
+			}
+			if code := c.Lookup(literal); code >= 0 {
+				return float64(code), nil
+			}
+			return 0, fmt.Errorf("deepdb: value %q not found in column %s", literal, column)
+		}
+		return 0, fmt.Errorf("deepdb: unknown column %s", column)
+	}
+}
+
+// wrapResult converts an engine result, decoding group keys.
+func (db *DB) wrapResult(q query.Query, res core.AQPResult) Result {
+	out := Result{}
+	for _, g := range res.Groups {
+		out.Groups = append(out.Groups, Group{
+			Key:    g.Key,
+			Labels: db.decodeKey(q.GroupBy, g.Key),
+			Estimate: Estimate{
+				Value:    g.Estimate.Value,
+				Variance: g.Estimate.Variance,
+				CILow:    g.CILow,
+				CIHigh:   g.CIHigh,
+			},
+		})
+	}
+	return out
+}
+
+func (db *DB) wrapEstimate(est core.Estimate) Estimate {
+	lo, hi := est.ConfidenceInterval(db.eng.ConfidenceLevel)
+	return Estimate{Value: est.Value, Variance: est.Variance, CILow: lo, CIHigh: hi}
+}
+
+// decodeKey renders each component of a group key, decoding categorical
+// codes through the base-table dictionaries when available.
+func (db *DB) decodeKey(cols []string, key []float64) []string {
+	if len(key) == 0 {
+		return nil
+	}
+	out := make([]string, len(key))
+	for i := range key {
+		out[i] = fmt.Sprintf("%g", key[i])
+		if i >= len(cols) {
+			continue
+		}
+		for _, t := range db.ens.Tables {
+			if c := t.Column(cols[i]); c != nil && c.DictSize() > 0 {
+				if s := c.Decode(int(key[i])); s != "" {
+					out[i] = s
+				}
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,330 @@
+package deepdb_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/deepdb"
+)
+
+// fixture builds a two-table customer/orders dataset with planted
+// correlations (EU customers buy more) and returns its schema and data.
+func fixture(rows int, seed int64) (*deepdb.Schema, deepdb.Dataset) {
+	s := &deepdb.Schema{Tables: []*deepdb.TableDef{
+		{
+			Name:       "customer",
+			PrimaryKey: "c_id",
+			Columns: []deepdb.ColumnDef{
+				{Name: "c_id", Kind: deepdb.IntKind},
+				{Name: "c_age", Kind: deepdb.IntKind},
+				{Name: "c_region", Kind: deepdb.CategoricalKind},
+			},
+		},
+		{
+			Name:       "orders",
+			PrimaryKey: "o_id",
+			Columns: []deepdb.ColumnDef{
+				{Name: "o_id", Kind: deepdb.IntKind},
+				{Name: "o_c_id", Kind: deepdb.IntKind},
+				{Name: "o_amount", Kind: deepdb.FloatKind},
+			},
+			ForeignKeys: []deepdb.ForeignKey{{Column: "o_c_id", RefTable: "customer", RefColumn: "c_id"}},
+		},
+	}}
+	cust := deepdb.NewTable(s.Table("customer"))
+	ord := deepdb.NewTable(s.Table("orders"))
+	region := cust.Column("c_region")
+	rng := rand.New(rand.NewSource(seed))
+	oid := 0
+	for i := 0; i < rows; i++ {
+		r := "ASIA"
+		norders := 1
+		if rng.Float64() < 0.4 {
+			r = "EU"
+			norders = 3
+		}
+		cust.AppendRow(deepdb.Int(i), deepdb.Int(18+rng.Intn(60)),
+			deepdb.Float(float64(region.Encode(r))))
+		for k := 0; k < norders; k++ {
+			ord.AppendRow(deepdb.Int(oid), deepdb.Int(i), deepdb.Float(10+rng.Float64()*90))
+			oid++
+		}
+	}
+	return s, deepdb.Dataset{"customer": cust, "orders": ord}
+}
+
+// TestRoundTrip checks learn -> save -> open -> query equality: the
+// reopened model must produce byte-identical estimates.
+func TestRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	s, data := fixture(3000, 1)
+	db, err := deepdb.LearnDataset(ctx, s, data, deepdb.WithMaxSamples(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.deepdb")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := deepdb.Open(ctx, path, deepdb.WithDataset(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT COUNT(*) FROM customer WHERE c_region = 'EU'",
+		"SELECT COUNT(*) FROM customer JOIN orders WHERE c_age >= 40",
+		"SELECT AVG(o_amount) FROM orders",
+		"SELECT COUNT(*) FROM customer GROUP BY c_region",
+	}
+	for _, sql := range queries {
+		a, err := db.Query(ctx, sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		b, err := db2.Query(ctx, sql)
+		if err != nil {
+			t.Fatalf("%s (reopened): %v", sql, err)
+		}
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("%s: round-trip mismatch\n  learned:  %v\n  reopened: %v", sql, a, b)
+		}
+	}
+	// The estimates must also be sane vs ground truth.
+	est, err := db2.EstimateCardinality(ctx, "SELECT COUNT(*) FROM customer JOIN orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := db2.Exact(ctx, "SELECT COUNT(*) FROM customer JOIN orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qe := deepdb.QError(est.Value, truth.Scalar()); qe > 2 {
+		t.Fatalf("join cardinality q-error %.2f (est %.1f true %.1f)", qe, est.Value, truth.Scalar())
+	}
+}
+
+// TestOpenWithoutData: a model opened with no dataset answers model-only
+// queries but refuses updates and exact execution.
+func TestOpenWithoutData(t *testing.T) {
+	ctx := context.Background()
+	s, data := fixture(1000, 2)
+	db, err := deepdb.LearnDataset(ctx, s, data, deepdb.WithMaxSamples(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.deepdb")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := deepdb.Open(ctx, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Query(ctx, "SELECT COUNT(*) FROM customer WHERE c_age < 30"); err != nil {
+		t.Fatalf("model-only query: %v", err)
+	}
+	if err := db2.Insert("orders", map[string]deepdb.Value{"o_id": deepdb.Int(1 << 20)}); err == nil {
+		t.Fatal("expected insert to fail without data")
+	}
+	if _, err := db2.Exact(ctx, "SELECT COUNT(*) FROM customer"); err == nil {
+		t.Fatal("expected exact execution to fail without data")
+	}
+}
+
+// TestLearnCancellation: a cancelled context aborts learning with
+// ctx.Err(), both when cancelled up front and mid-learn.
+func TestLearnCancellation(t *testing.T) {
+	s, data := fixture(2000, 3)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := deepdb.LearnDataset(cancelled, s, data); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled learn: err = %v, want context.Canceled", err)
+	}
+	// A deadline far shorter than learning time must interrupt the SPN
+	// structure-learning loop itself.
+	s2, data2 := fixture(30000, 4)
+	ctx, cancel2 := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	_, err := deepdb.LearnDataset(ctx, s2, data2)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("mid-learn cancel: err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, expected fast unwind", elapsed)
+	}
+}
+
+// TestQueryCancellation: a cancelled context aborts query evaluation.
+func TestQueryCancellation(t *testing.T) {
+	ctx := context.Background()
+	s, data := fixture(1000, 5)
+	db, err := deepdb.LearnDataset(ctx, s, data, deepdb.WithMaxSamples(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := db.Query(cancelled, "SELECT COUNT(*) FROM customer"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestParallelismMatchesSequential: WithParallelism must not change the
+// result of a GROUP BY query, only how it is computed.
+func TestParallelismMatchesSequential(t *testing.T) {
+	ctx := context.Background()
+	s, data := fixture(3000, 6)
+	seq, err := deepdb.LearnDataset(ctx, s, data, deepdb.WithMaxSamples(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, data2 := fixture(3000, 6)
+	par, err := deepdb.LearnDataset(ctx, s2, data2, deepdb.WithMaxSamples(5000), deepdb.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sql = "SELECT AVG(o_amount) FROM customer JOIN orders GROUP BY c_region"
+	a, err := seq.Query(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Query(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("parallel result differs:\n  seq: %v\n  par: %v", a, b)
+	}
+}
+
+// TestConcurrentQueryUpdate is the facade's concurrency contract under
+// -race: many goroutines query while others insert; every operation must
+// succeed and the final count must reflect all inserts.
+func TestConcurrentQueryUpdate(t *testing.T) {
+	t.Parallel()
+	ctx := context.Background()
+	s, data := fixture(2000, 7)
+	db, err := deepdb.LearnDataset(ctx, s, data,
+		deepdb.WithMaxSamples(4000), deepdb.WithParallelism(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		readers = 8
+		writers = 4
+		inserts = 25
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+writers)
+	queries := []string{
+		"SELECT COUNT(*) FROM customer WHERE c_age < 40",
+		"SELECT COUNT(*) FROM customer JOIN orders",
+		"SELECT AVG(o_amount) FROM customer JOIN orders GROUP BY c_region",
+		"SELECT COUNT(*) FROM customer GROUP BY c_region",
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < inserts; i++ {
+				id := 1_000_000 + w*inserts + i
+				err := db.Update(deepdb.Row{Table: "orders", Values: map[string]deepdb.Value{
+					"o_id":     deepdb.Int(id),
+					"o_c_id":   deepdb.Int(i % 100),
+					"o_amount": deepdb.Float(50),
+				}})
+				if err != nil {
+					errc <- fmt.Errorf("writer %d insert %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				sql := queries[(r+i)%len(queries)]
+				if _, err := db.Query(ctx, sql); err != nil {
+					errc <- fmt.Errorf("reader %d %q: %w", r, sql, err)
+					return
+				}
+				if _, err := db.EstimateCardinality(ctx, "SELECT COUNT(*) FROM orders WHERE o_amount >= 50"); err != nil {
+					errc <- fmt.Errorf("reader %d estimate: %w", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	// All writes must be visible in the base table afterwards.
+	got := db.Data()["orders"].NumRows()
+	truth, err := db.Exact(ctx, "SELECT COUNT(*) FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int(truth.Scalar()); got != want {
+		t.Fatalf("orders rows = %d, exact count = %d", got, want)
+	}
+}
+
+// TestExplain renders plans for the three compilation cases.
+func TestExplain(t *testing.T) {
+	ctx := context.Background()
+	s, data := fixture(2000, 8)
+	db, err := deepdb.LearnDataset(ctx, s, data,
+		deepdb.WithMaxSamples(4000), deepdb.WithSingleTableOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := db.Explain("SELECT COUNT(*) FROM customer WHERE c_age < 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "case 1") {
+		t.Fatalf("single-table plan missing case 1:\n%s", plan)
+	}
+	// With single-table RSPNs only, a join query needs Theorem 2.
+	plan, err = db.Explain("SELECT COUNT(*) FROM customer JOIN orders WHERE c_age < 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "Theorem 2") {
+		t.Fatalf("join plan missing Theorem 2:\n%s", plan)
+	}
+}
+
+// TestDescribeAndModels covers the introspection surface.
+func TestDescribeAndModels(t *testing.T) {
+	ctx := context.Background()
+	s, data := fixture(1000, 9)
+	db, err := deepdb.LearnDataset(ctx, s, data, deepdb.WithMaxSamples(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := db.Describe(); !strings.Contains(d, "RSPN") {
+		t.Fatalf("describe output: %q", d)
+	}
+	if len(db.Models()) == 0 {
+		t.Fatal("no models")
+	}
+	if db.Model("customer") == nil {
+		t.Fatal("no model covers customer")
+	}
+	if db.Schema().Table("orders") == nil {
+		t.Fatal("schema lost")
+	}
+}

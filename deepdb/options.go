@@ -1,0 +1,120 @@
+package deepdb
+
+import (
+	"repro/internal/core"
+	"repro/internal/ensemble"
+)
+
+// Strategy selects how the engine picks RSPNs for a query.
+type Strategy int
+
+const (
+	// StrategyRDCGreedy picks the RSPN handling the filter predicates with
+	// the highest sum of pairwise RDC values (the paper's choice).
+	StrategyRDCGreedy Strategy = iota
+	// StrategyMedian uses the median prediction over all covering RSPNs.
+	StrategyMedian
+)
+
+// config is the resolved option set of one DB.
+type config struct {
+	ens         ensemble.Config
+	strategy    Strategy
+	confidence  float64
+	parallelism int
+	dataDir     string
+	dataset     Dataset
+}
+
+func defaultConfig() config {
+	return config{
+		ens:        ensemble.DefaultConfig(),
+		strategy:   StrategyRDCGreedy,
+		confidence: 0.95,
+	}
+}
+
+func (c *config) apply(opts []Option) {
+	for _, o := range opts {
+		o(c)
+	}
+}
+
+func (c *config) coreStrategy() core.Strategy {
+	if c.strategy == StrategyMedian {
+		return core.StrategyMedian
+	}
+	return core.StrategyRDCGreedy
+}
+
+// Option customizes Learn/LearnDataset/Open.
+type Option func(*config)
+
+// WithBudget sets the ensemble budget factor B of Section 5.3: additional
+// multi-table RSPNs are admitted until their accumulated relative cost
+// exceeds B times the base ensemble's cost. 0 disables them.
+func WithBudget(b float64) Option {
+	return func(c *config) { c.ens.BudgetFactor = b }
+}
+
+// WithMaxSamples caps the training rows per RSPN.
+func WithMaxSamples(n int) Option {
+	return func(c *config) { c.ens.MaxSamples = n }
+}
+
+// WithRDCThreshold sets the dependency threshold above which two adjacent
+// tables get a joint RSPN.
+func WithRDCThreshold(v float64) Option {
+	return func(c *config) { c.ens.RDCThreshold = v }
+}
+
+// WithSeed drives sampling and learning for reproducible models.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.ens.Seed = seed }
+}
+
+// WithStrategy selects the RSPN-picking strategy at query time.
+func WithStrategy(s Strategy) Option {
+	return func(c *config) { c.strategy = s }
+}
+
+// WithParallelism bounds the worker count for learning ensemble members
+// and for fanning GROUP BY queries across goroutines. Values <= 1 run
+// sequentially (the default).
+func WithParallelism(n int) Option {
+	return func(c *config) {
+		c.parallelism = n
+		c.ens.Parallelism = n
+	}
+}
+
+// WithSingleTableOnly learns one RSPN per table and no join RSPNs — the
+// paper's cheap fallback configuration.
+func WithSingleTableOnly() Option {
+	return func(c *config) { c.ens.SingleTableOnly = true }
+}
+
+// WithExactLearner builds memorizing models instead of running structure
+// learning; intended for tiny data sets and tests.
+func WithExactLearner() Option {
+	return func(c *config) { c.ens.Exact = true }
+}
+
+// WithConfidenceLevel sets the level of the confidence intervals attached
+// to every estimate (default 0.95).
+func WithConfidenceLevel(level float64) Option {
+	return func(c *config) { c.confidence = level }
+}
+
+// WithDataDir tells Open where the base-table CSVs live; they are loaded
+// with the schema persisted inside the model file. Learn ignores it (its
+// data dir is a positional argument).
+func WithDataDir(dir string) Option {
+	return func(c *config) { c.dataDir = dir }
+}
+
+// WithDataset attaches already-loaded base tables to Open, instead of
+// reading CSVs from a directory.
+func WithDataset(ds Dataset) Option {
+	return func(c *config) { c.dataset = ds }
+}

@@ -1,56 +1,51 @@
-// AQP example: approximate analytics on the Star Schema Benchmark — run
-// the official S-queries against the model instead of the data, with
-// confidence intervals, and compare latency and error against exact
-// execution (Section 6.2 of the paper).
+// AQP example: approximate analytics on the Star Schema Benchmark through
+// the public deepdb facade — run the official S-queries against the model
+// instead of the data, with confidence intervals, and compare latency and
+// error against exact execution (Section 6.2 of the paper).
 //
 // Run with: go run ./examples/aqp
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/core"
+	"repro/deepdb"
 	"repro/internal/datagen"
-	"repro/internal/ensemble"
-	"repro/internal/exact"
-	"repro/internal/query"
 	"repro/internal/workload"
 )
 
 func main() {
+	ctx := context.Background()
 	s, tables := datagen.SSB(datagen.SSBConfig{ScaleFactor: 0.01, Seed: 5})
 	fmt.Printf("SSB data: %d lineorders\n", tables["lineorder"].NumRows())
-	oracle := exact.New(s, tables)
 
-	cfg := ensemble.DefaultConfig()
-	cfg.MaxSamples = 30000
 	start := time.Now()
-	ens, err := ensemble.Build(s, tables, cfg)
+	db, err := deepdb.LearnDataset(ctx, s, tables, deepdb.WithMaxSamples(30000))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("ensemble learned once in %v; every ad-hoc query below is\n"+
 		"answered from the model, never from the data\n\n",
 		time.Since(start).Round(time.Millisecond))
-	eng := core.New(ens)
 
 	fmt.Printf("%-6s %10s %12s %12s %14s\n", "query", "groups", "rel err %", "model ms", "exact scan ms")
 	for _, n := range workload.SSBQueries() {
 		exactStart := time.Now()
-		truth, err := oracle.Execute(n.Query)
+		truth, err := db.ExactQuery(ctx, n.Query)
 		if err != nil {
 			log.Fatal(err)
 		}
 		exactMS := time.Since(exactStart)
 		aqpStart := time.Now()
-		res, err := eng.Execute(n.Query)
+		res, err := db.ExecuteQuery(ctx, n.Query)
 		if err != nil {
 			log.Fatal(err)
 		}
 		aqpMS := time.Since(aqpStart)
-		rel := query.AvgRelativeError(res.ToResult(), truth) * 100
+		rel := deepdb.AvgRelativeError(res, truth) * 100
 		fmt.Printf("%-6s %10d %12.2f %12.1f %14.1f\n",
 			n.Label, len(truth.Groups), rel,
 			float64(aqpMS.Microseconds())/1000, float64(exactMS.Microseconds())/1000)
@@ -58,11 +53,11 @@ func main() {
 
 	// Show one result in detail, with confidence intervals.
 	q := workload.SSBQueries()[3] // S2.1, grouped by year
-	res, err := eng.Execute(q.Query)
+	res, err := db.ExecuteQuery(ctx, q.Query)
 	if err != nil {
 		log.Fatal(err)
 	}
-	truth, _ := oracle.Execute(q.Query)
+	truth, _ := db.ExactQuery(ctx, q.Query)
 	fmt.Printf("\n%s in detail (%s):\n", q.Label, q.Query)
 	tm := map[string]float64{}
 	for _, g := range truth.Groups {
@@ -70,6 +65,6 @@ func main() {
 	}
 	for _, g := range res.Groups {
 		fmt.Printf("  year %v: estimate %14.0f  CI [%14.0f, %14.0f]  exact %14.0f\n",
-			g.Key, g.Estimate.Value, g.CILow, g.CIHigh, tm[fmt.Sprint(g.Key)])
+			g.Key, g.Value, g.CILow, g.CIHigh, tm[fmt.Sprint(g.Key)])
 	}
 }

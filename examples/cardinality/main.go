@@ -1,43 +1,39 @@
-// Cardinality estimation example: build an ensemble over an IMDb-style
-// multi-table schema and compare DeepDB's join cardinality estimates with a
-// Postgres-style histogram estimator against exact truth — the paper's
-// core use case (Section 6.1).
+// Cardinality estimation example: build a DeepDB model over an IMDb-style
+// multi-table schema through the public facade and compare its join
+// cardinality estimates with a Postgres-style histogram estimator against
+// exact truth — the paper's core use case (Section 6.1).
 //
 // Run with: go run ./examples/cardinality
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
+	"repro/deepdb"
 	"repro/internal/baselines"
-	"repro/internal/core"
 	"repro/internal/datagen"
-	"repro/internal/ensemble"
-	"repro/internal/exact"
-	"repro/internal/query"
 	"repro/internal/workload"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Synthetic IMDb: title star-joined with five referencing tables,
 	// with planted correlations between year, kind and fanouts.
 	s, tables := datagen.IMDb(datagen.IMDbConfig{Titles: 5000, Seed: 7})
-	oracle := exact.New(s, tables)
 
-	cfg := ensemble.DefaultConfig()
-	cfg.MaxSamples = 30000
 	start := time.Now()
-	ens, err := ensemble.Build(s, tables, cfg)
+	db, err := deepdb.LearnDataset(ctx, s, tables, deepdb.WithMaxSamples(30000))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("DeepDB ensemble learned in %v (%d RSPNs)\n",
-		time.Since(start).Round(time.Millisecond), len(ens.RSPNs))
-	eng := core.New(ens)
+		time.Since(start).Round(time.Millisecond), len(db.Models()))
 
-	pg, err := baselines.NewPostgres(s, tables)
+	pg, err := baselines.NewPostgres(s, db.Data())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,12 +41,12 @@ func main() {
 	fmt.Printf("\n%-34s %10s %10s %10s %8s %8s\n",
 		"query", "true", "DeepDB", "Postgres", "q(DD)", "q(PG)")
 	var ddErrs, pgErrs []float64
-	for _, n := range workload.JOBLight(tables, 3)[:15] {
-		truth, err := oracle.Cardinality(n.Query)
+	for _, n := range workload.JOBLight(db.Data(), 3)[:15] {
+		truth, err := db.ExactQuery(ctx, n.Query)
 		if err != nil {
 			log.Fatal(err)
 		}
-		dd, err := eng.EstimateCardinality(n.Query)
+		dd, err := db.EstimateCardinalityQuery(ctx, n.Query)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,12 +54,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		qd := query.QError(dd.Value, truth)
-		qp := query.QError(pgEst, truth)
+		qd := deepdb.QError(dd.Value, truth.Scalar())
+		qp := deepdb.QError(pgEst, truth.Scalar())
 		ddErrs = append(ddErrs, qd)
 		pgErrs = append(pgErrs, qp)
 		fmt.Printf("%-34s %10.0f %10.0f %10.0f %8.2f %8.2f\n",
-			n.Label+" ("+fmt.Sprint(len(n.Query.Tables))+" tables)", truth, dd.Value, pgEst, qd, qp)
+			n.Label+" ("+fmt.Sprint(len(n.Query.Tables))+" tables)", truth.Scalar(), dd.Value, pgEst, qd, qp)
 	}
 	fmt.Printf("\nmedian q-error: DeepDB %.2f vs Postgres %.2f\n",
 		median(ddErrs), median(pgErrs))

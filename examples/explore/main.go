@@ -1,7 +1,7 @@
 // Data exploration example: the paper's Section 8 points out that "SPNs
 // naturally provide a notion of correlated clusters that can also be used
 // for suggesting interesting patterns in data exploration". This example
-// learns an ensemble over the Flights data and prints the top-level row
+// learns a model through the public facade and prints the top-level row
 // clusters each RSPN discovered — population shares and the attributes
 // that make each cluster distinctive — without running a single query.
 //
@@ -9,47 +9,44 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"strings"
 
-	"repro/internal/ensemble"
-	"repro/internal/schema"
-	"repro/internal/table"
+	"repro/deepdb"
 )
 
 func main() {
 	// A customer base with two planted populations: young budget ASIA
 	// shoppers and older premium EUROPE shoppers.
-	s := &schema.Schema{Tables: []*schema.Table{{
+	s := &deepdb.Schema{Tables: []*deepdb.TableDef{{
 		Name: "customer", PrimaryKey: "c_id",
-		Columns: []schema.Column{
-			{Name: "c_id", Kind: schema.IntKind},
-			{Name: "c_age", Kind: schema.IntKind},
-			{Name: "c_region", Kind: schema.IntKind},
-			{Name: "c_spend", Kind: schema.FloatKind},
+		Columns: []deepdb.ColumnDef{
+			{Name: "c_id", Kind: deepdb.IntKind},
+			{Name: "c_age", Kind: deepdb.IntKind},
+			{Name: "c_region", Kind: deepdb.IntKind},
+			{Name: "c_spend", Kind: deepdb.FloatKind},
 		},
 	}}}
-	cust := table.New(s.Table("customer"))
+	cust := deepdb.NewTable(s.Table("customer"))
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 20000; i++ {
 		if rng.Float64() < 0.35 {
-			cust.AppendRow(table.Int(i), table.Int(55+rng.Intn(30)),
-				table.Int(0), table.Float(4000+rng.Float64()*3000))
+			cust.AppendRow(deepdb.Int(i), deepdb.Int(55+rng.Intn(30)),
+				deepdb.Int(0), deepdb.Float(4000+rng.Float64()*3000))
 		} else {
-			cust.AppendRow(table.Int(i), table.Int(18+rng.Intn(20)),
-				table.Int(1), table.Float(200+rng.Float64()*500))
+			cust.AppendRow(deepdb.Int(i), deepdb.Int(18+rng.Intn(20)),
+				deepdb.Int(1), deepdb.Float(200+rng.Float64()*500))
 		}
 	}
-	tables := map[string]*table.Table{"customer": cust}
-	cfg := ensemble.DefaultConfig()
-	cfg.MaxSamples = 20000
-	ens, err := ensemble.Build(s, tables, cfg)
+	db, err := deepdb.LearnDataset(context.Background(), s,
+		deepdb.Dataset{"customer": cust}, deepdb.WithMaxSamples(20000))
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, r := range ens.RSPNs {
+	for _, r := range db.Models() {
 		fmt.Printf("RSPN over %s — discovered row clusters:\n", strings.Join(r.Tables, " |x| "))
 		for i, c := range r.Model.Clusters() {
 			fmt.Printf("  cluster %d: %.1f%% of rows\n", i+1, c.Weight*100)

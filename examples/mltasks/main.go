@@ -1,30 +1,31 @@
 // ML tasks example: use the very same RSPN that answers AQP queries as a
 // free regression and classification model on the Flights data set
-// (Section 4.3 / Experiment 3 of the paper) — no additional training.
+// (Section 4.3 / Experiment 3 of the paper) — no additional training. The
+// model comes from the public deepdb facade; the internal/ml wrappers
+// consume it read-only.
 //
 // Run with: go run ./examples/mltasks
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
+	"repro/deepdb"
 	"repro/internal/datagen"
-	"repro/internal/ensemble"
 	"repro/internal/ml"
 )
 
 func main() {
 	s, tables := datagen.Flights(datagen.FlightsConfig{Rows: 40000, Seed: 3})
-	cfg := ensemble.DefaultConfig()
-	cfg.MaxSamples = 30000
-	ens, err := ensemble.Build(s, tables, cfg)
+	db, err := deepdb.LearnDataset(context.Background(), s, tables, deepdb.WithMaxSamples(30000))
 	if err != nil {
 		log.Fatal(err)
 	}
-	r := ens.RSPNFor("flights")
-	flights := tables["flights"]
+	r := db.Model("flights")
+	flights := db.Data()["flights"]
 	n := flights.NumRows()
 	testFrom := n * 9 / 10
 

@@ -1,40 +1,38 @@
-// Quickstart: learn a DeepDB ensemble over a single table and answer
-// COUNT / AVG / GROUP BY queries from the model, with confidence intervals,
-// then absorb new rows without retraining.
+// Quickstart: learn a DeepDB model over a single table through the public
+// deepdb facade and answer COUNT / AVG / GROUP BY queries from the model,
+// with confidence intervals, then absorb new rows without retraining.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/ensemble"
-	"repro/internal/exact"
-	"repro/internal/query"
-	"repro/internal/schema"
-	"repro/internal/table"
+	"repro/deepdb"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Define a schema: one customer table.
-	s := &schema.Schema{Tables: []*schema.Table{{
+	s := &deepdb.Schema{Tables: []*deepdb.TableDef{{
 		Name:       "customer",
 		PrimaryKey: "c_id",
-		Columns: []schema.Column{
-			{Name: "c_id", Kind: schema.IntKind},
-			{Name: "c_age", Kind: schema.IntKind},
-			{Name: "c_region", Kind: schema.CategoricalKind},
-			{Name: "c_income", Kind: schema.FloatKind},
+		Columns: []deepdb.ColumnDef{
+			{Name: "c_id", Kind: deepdb.IntKind},
+			{Name: "c_age", Kind: deepdb.IntKind},
+			{Name: "c_region", Kind: deepdb.CategoricalKind},
+			{Name: "c_income", Kind: deepdb.FloatKind},
 		},
 	}}}
 
 	// 2. Generate some correlated data: older customers in EUROPE, income
 	// grows with age.
-	cust := table.New(s.Table("customer"))
+	cust := deepdb.NewTable(s.Table("customer"))
 	region := cust.Column("c_region")
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 20000; i++ {
@@ -46,65 +44,57 @@ func main() {
 			r = "EUROPE"
 		}
 		income := float64(age)*900 + rng.Float64()*20000
-		cust.AppendRow(table.Int(i), table.Int(age),
-			table.Float(float64(region.Encode(r))), table.Float(income))
+		cust.AppendRow(deepdb.Int(i), deepdb.Int(age),
+			deepdb.Float(float64(region.Encode(r))), deepdb.Float(income))
 	}
-	tables := map[string]*table.Table{"customer": cust}
 
-	// 3. Learn the ensemble (one RSPN here). This is the only training
-	// DeepDB ever needs — no workload, no labels.
+	// 3. Learn the model (one RSPN here). This is the only training DeepDB
+	// ever needs — no workload, no labels.
 	start := time.Now()
-	ens, err := ensemble.Build(s, tables, ensemble.DefaultConfig())
+	db, err := deepdb.LearnDataset(ctx, s, deepdb.Dataset{"customer": cust})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("learned in %v\n%s\n", time.Since(start).Round(time.Millisecond), ens.Describe())
+	fmt.Printf("learned in %v\n%s\n", time.Since(start).Round(time.Millisecond), db.Describe())
 
-	// 4. Ask queries. The engine never touches the data again.
-	eng := core.New(ens)
-	oracle := exact.New(s, tables)
-	eu := float64(region.Lookup("EUROPE"))
-	queries := []query.Query{
-		{Aggregate: query.Count, Tables: []string{"customer"},
-			Filters: []query.Predicate{{Column: "c_region", Op: query.Eq, Value: eu},
-				{Column: "c_age", Op: query.Lt, Value: 30}}},
-		{Aggregate: query.Avg, AggColumn: "c_income", Tables: []string{"customer"},
-			Filters: []query.Predicate{{Column: "c_age", Op: query.Ge, Value: 60}}},
-		{Aggregate: query.Sum, AggColumn: "c_income", Tables: []string{"customer"},
-			GroupBy: []string{"c_region"}},
+	// 4. Ask SQL. The engine never touches the data again; string literals
+	// are resolved through the dictionaries automatically.
+	queries := []string{
+		"SELECT COUNT(*) FROM customer WHERE c_region = 'EUROPE' AND c_age < 30",
+		"SELECT AVG(c_income) FROM customer WHERE c_age >= 60",
+		"SELECT SUM(c_income) FROM customer GROUP BY c_region",
 	}
-	for _, q := range queries {
-		res, err := eng.Execute(q)
+	for _, sql := range queries {
+		res, err := db.Query(ctx, sql)
 		if err != nil {
 			log.Fatal(err)
 		}
-		truth, err := oracle.Execute(q)
+		truth, err := db.Exact(ctx, sql)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s\n", q)
+		fmt.Printf("%s\n", sql)
 		for _, g := range res.Groups {
-			fmt.Printf("  estimate %.1f  CI [%.1f, %.1f]\n", g.Estimate.Value, g.CILow, g.CIHigh)
+			fmt.Printf("  estimate %.1f  CI [%.1f, %.1f]\n", g.Value, g.CILow, g.CIHigh)
 		}
 		fmt.Printf("  avg relative error vs exact: %.2f%%\n\n",
-			query.AvgRelativeError(res.ToResult(), truth)*100)
+			deepdb.AvgRelativeError(res, truth)*100)
 	}
 
 	// 5. Updates: insert 5000 young rich ASIA customers; no retraining.
 	for i := 0; i < 5000; i++ {
-		if err := ens.Insert("customer", map[string]table.Value{
-			"c_id":     table.Int(100000 + i),
-			"c_age":    table.Int(20 + rng.Intn(5)),
-			"c_region": table.Float(float64(region.Lookup("ASIA"))),
-			"c_income": table.Float(90000),
+		if err := db.Insert("customer", map[string]deepdb.Value{
+			"c_id":     deepdb.Int(100000 + i),
+			"c_age":    deepdb.Int(20 + rng.Intn(5)),
+			"c_region": deepdb.Float(float64(region.Lookup("ASIA"))),
+			"c_income": deepdb.Float(90000),
 		}); err != nil {
 			log.Fatal(err)
 		}
 	}
-	q := query.Query{Aggregate: query.Count, Tables: []string{"customer"},
-		Filters: []query.Predicate{{Column: "c_income", Op: query.Gt, Value: 85000}}}
-	res, _ := eng.Execute(q)
-	truth, _ := oracle.Execute(q)
+	sql := "SELECT COUNT(*) FROM customer WHERE c_income > 85000"
+	res, _ := db.Query(ctx, sql)
+	truth, _ := db.Exact(ctx, sql)
 	fmt.Printf("after 5000 inserts: %s\n  estimate %.1f, exact %.1f\n",
-		q, res.Groups[0].Estimate.Value, truth.Scalar())
+		sql, res.Scalar(), truth.Scalar())
 }

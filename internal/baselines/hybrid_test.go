@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -14,7 +15,7 @@ func TestHybridAtLeastCompetitiveWithDeepDB(t *testing.T) {
 	cfg := ensemble.DefaultConfig()
 	cfg.MaxSamples = 15000
 	cfg.BudgetFactor = 0
-	ens, err := ensemble.Build(f.schema, f.tables, cfg)
+	ens, err := ensemble.Build(context.Background(), f.schema, f.tables, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -132,7 +133,7 @@ func (f *fixtures) imdb() (*schema.Schema, map[string]*table.Table, *exact.Engin
 	f.imdbOnce.Do(func() {
 		f.imdbS, f.imdbT = datagen.IMDb(datagen.IMDbConfig{Titles: f.scale.IMDbTitles, Seed: 1})
 		f.imdbO = exact.New(f.imdbS, f.imdbT)
-		ens, err := ensemble.Build(f.imdbS, f.imdbT, ensembleConfig(f.scale.MaxSamples, 0.5))
+		ens, err := ensemble.Build(context.Background(), f.imdbS, f.imdbT, ensembleConfig(f.scale.MaxSamples, 0.5))
 		if err != nil {
 			f.imdbErr = err
 			return
@@ -147,7 +148,7 @@ func (f *fixtures) flights() (*schema.Schema, map[string]*table.Table, *exact.En
 	f.flightsOnce.Do(func() {
 		f.flightsS, f.flightsT = datagen.Flights(datagen.FlightsConfig{Rows: f.scale.FlightsRows, Seed: 2})
 		f.flightsO = exact.New(f.flightsS, f.flightsT)
-		ens, err := ensemble.Build(f.flightsS, f.flightsT, ensembleConfig(f.scale.MaxSamples, 0.5))
+		ens, err := ensemble.Build(context.Background(), f.flightsS, f.flightsT, ensembleConfig(f.scale.MaxSamples, 0.5))
 		if err != nil {
 			f.flightsErr = err
 			return
@@ -162,7 +163,7 @@ func (f *fixtures) ssb() (*schema.Schema, map[string]*table.Table, *exact.Engine
 	f.ssbOnce.Do(func() {
 		f.ssbS, f.ssbT = datagen.SSB(datagen.SSBConfig{ScaleFactor: f.scale.SSBFactor, Seed: 3})
 		f.ssbO = exact.New(f.ssbS, f.ssbT)
-		ens, err := ensemble.Build(f.ssbS, f.ssbT, ensembleConfig(f.scale.MaxSamples, 0.5))
+		ens, err := ensemble.Build(context.Background(), f.ssbS, f.ssbT, ensembleConfig(f.scale.MaxSamples, 0.5))
 		if err != nil {
 			f.ssbErr = err
 			return

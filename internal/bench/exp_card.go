@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -243,7 +244,7 @@ func (s *Suite) updatesRun(split string, frac float64) (med, p90, p95 float64, e
 		initial[name] = t.Select(keep)
 	}
 	cfg := ensembleConfig(scale.MaxSamples, 0) // budget factor 0, like the paper
-	ens, err := ensemble.Build(sc, initial, cfg)
+	ens, err := ensemble.Build(context.Background(), sc, initial, cfg)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -284,7 +285,7 @@ func (s *Suite) RunFigure8() (*Report, error) {
 
 	rep.addRow("%-18s %10s %14s", "budget factor", "median q", "train time")
 	for _, b := range []float64{0, 0.5, 1, 2, 3} {
-		ens, err := ensemble.Build(sc, tabs, ensembleConfig(scale.MaxSamples, b))
+		ens, err := ensemble.Build(context.Background(), sc, tabs, ensembleConfig(scale.MaxSamples, b))
 		if err != nil {
 			return nil, err
 		}
@@ -303,7 +304,7 @@ func (s *Suite) RunFigure8() (*Report, error) {
 
 	rep.addRow("%-18s %10s %14s", "samples per RSPN", "median q", "train time")
 	for _, n := range []int{1000, 5000, 20000, 60000} {
-		ens, err := ensemble.Build(sc, tabs, ensembleConfig(n, 0.5))
+		ens, err := ensemble.Build(context.Background(), sc, tabs, ensembleConfig(n, 0.5))
 		if err != nil {
 			return nil, err
 		}
@@ -347,7 +348,7 @@ func (s *Suite) RunTrainingTime() (*Report, error) {
 	cfg := ensembleConfig(s.f.scale.MaxSamples, 0)
 	cfg.SingleTableOnly = true
 	start := time.Now()
-	singles, err := ensemble.Build(sc, tabs, cfg)
+	singles, err := ensemble.Build(context.Background(), sc, tabs, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/rspn"
 	"repro/internal/spn"
@@ -39,14 +41,18 @@ func (r AQPResult) ToResult() query.Result {
 // where the groups are enumerated from the models' leaves — no data access
 // happens at query time.
 func (e *Engine) Execute(q query.Query) (AQPResult, error) {
-	if err := q.Validate(); err != nil {
-		return AQPResult{}, err
-	}
-	if _, err := e.Ens.Schema.JoinTree(q.Tables); err != nil {
+	return e.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute with cancellation, checked between per-group
+// estimates. With Parallelism > 1 the groups of a GROUP BY query are
+// estimated concurrently (the query path is read-only, so this is safe).
+func (e *Engine) ExecuteContext(ctx context.Context, q query.Query) (AQPResult, error) {
+	if err := e.validateQuery(q); err != nil {
 		return AQPResult{}, err
 	}
 	if len(q.GroupBy) == 0 {
-		est, err := e.estimateAggregate(q)
+		est, err := e.estimateAggregate(ctx, q)
 		if err != nil {
 			return AQPResult{}, err
 		}
@@ -56,34 +62,11 @@ func (e *Engine) Execute(q query.Query) (AQPResult, error) {
 	if err != nil {
 		return AQPResult{}, err
 	}
-	var out AQPResult
-	for _, key := range keys {
-		gq := q
-		gq.GroupBy = nil
-		gq.Filters = append(append([]query.Predicate(nil), q.Filters...), groupFilters(q.GroupBy, key)...)
-		// Skip groups the model believes are empty.
-		var cnt Estimate
-		var err error
-		if len(gq.Disjunction) > 0 {
-			cnt, err = e.estimateDisjunctiveCount(gq)
-		} else {
-			cnt, err = e.estimateCount(gq.Tables, gq.Filters, e.effectiveOuter(gq))
-		}
-		if err != nil {
-			return AQPResult{}, err
-		}
-		if cnt.Value < 0.5 {
-			continue
-		}
-		est := cnt
-		if q.Aggregate != query.Count {
-			est, err = e.estimateAggregate(gq)
-			if err != nil {
-				return AQPResult{}, err
-			}
-		}
-		out.Groups = append(out.Groups, e.finish(key, est))
+	groups, err := e.estimateGroups(ctx, q, keys)
+	if err != nil {
+		return AQPResult{}, err
 	}
+	out := AQPResult{Groups: groups}
 	sort.Slice(out.Groups, func(i, j int) bool {
 		a, b := out.Groups[i].Key, out.Groups[j].Key
 		for k := 0; k < len(a) && k < len(b); k++ {
@@ -93,6 +76,60 @@ func (e *Engine) Execute(q query.Query) (AQPResult, error) {
 		}
 		return false
 	})
+	return out, nil
+}
+
+// estimateGroup answers one group of a GROUP BY query: nil when the model
+// believes the group is empty.
+func (e *Engine) estimateGroup(ctx context.Context, q query.Query, key []float64) (*AQPGroup, error) {
+	gq := q
+	gq.GroupBy = nil
+	gq.Filters = append(append([]query.Predicate(nil), q.Filters...), groupFilters(q.GroupBy, key)...)
+	var cnt Estimate
+	var err error
+	if len(gq.Disjunction) > 0 {
+		cnt, err = e.estimateDisjunctiveCount(ctx, gq)
+	} else {
+		cnt, err = e.estimateCount(ctx, gq.Tables, gq.Filters, e.effectiveOuter(gq))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cnt.Value < 0.5 {
+		return nil, nil
+	}
+	est := cnt
+	if q.Aggregate != query.Count {
+		est, err = e.estimateAggregate(ctx, gq)
+		if err != nil {
+			return nil, err
+		}
+	}
+	g := e.finish(key, est)
+	return &g, nil
+}
+
+// estimateGroups fans the per-group estimates over up to Parallelism
+// workers, preserving key order in the result.
+func (e *Engine) estimateGroups(ctx context.Context, q query.Query, keys [][]float64) ([]AQPGroup, error) {
+	results := make([]*AQPGroup, len(keys))
+	err := parallel.ForEach(len(keys), e.Parallelism, func(i int) error {
+		g, err := e.estimateGroup(ctx, q, keys[i])
+		if err != nil {
+			return err
+		}
+		results[i] = g
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []AQPGroup
+	for _, g := range results {
+		if g != nil {
+			out = append(out, *g)
+		}
+	}
 	return out, nil
 }
 
@@ -170,18 +207,23 @@ func (e *Engine) columnValues(col string) ([]float64, error) {
 	return nil, fmt.Errorf("core: column %s not in any model", col)
 }
 
-// estimateAggregate answers an ungrouped COUNT/SUM/AVG.
-func (e *Engine) estimateAggregate(q query.Query) (Estimate, error) {
+// estimateAggregate answers an ungrouped COUNT/SUM/AVG. The up-front ctx
+// check covers the aggregate paths that never reach ctx-aware
+// estimateCount (AVG, and SUM answered by a covering RSPN).
+func (e *Engine) estimateAggregate(ctx context.Context, q query.Query) (Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, err
+	}
 	if len(q.Disjunction) > 0 {
-		return e.estimateDisjunctiveAggregate(q)
+		return e.estimateDisjunctiveAggregate(ctx, q)
 	}
 	switch q.Aggregate {
 	case query.Count:
-		return e.estimateCount(q.Tables, q.Filters, e.effectiveOuter(q))
+		return e.estimateCount(ctx, q.Tables, q.Filters, e.effectiveOuter(q))
 	case query.Avg:
 		return e.estimateAvg(q)
 	case query.Sum:
-		return e.estimateSum(q)
+		return e.estimateSum(ctx, q)
 	default:
 		return Estimate{}, fmt.Errorf("core: unsupported aggregate %v", q.Aggregate)
 	}
@@ -289,7 +331,7 @@ func (e *Engine) estimateAvg(q query.Query) (Estimate, error) {
 // estimateSum evaluates SUM. With an RSPN covering all query tables the
 // sum is a single expectation |J| * E(A/F' * 1_C * N); otherwise it is
 // COUNT * AVG as in Section 4.2, with product-variance combination.
-func (e *Engine) estimateSum(q query.Query) (Estimate, error) {
+func (e *Engine) estimateSum(ctx context.Context, q query.Query) (Estimate, error) {
 	if covering := e.Ens.Covering(q.Tables); len(covering) > 0 {
 		for _, r := range covering {
 			if !r.HasColumn(q.AggColumn) {
@@ -313,7 +355,7 @@ func (e *Engine) estimateSum(q query.Query) (Estimate, error) {
 	// COUNT * AVG fallback. The count must range over rows with a non-NULL
 	// aggregate column to match SQL SUM semantics; the AVG denominator
 	// already does, so the product is consistent up to NULL skew.
-	cnt, err := e.estimateCount(q.Tables, q.Filters, e.effectiveOuter(q))
+	cnt, err := e.estimateCount(ctx, q.Tables, q.Filters, e.effectiveOuter(q))
 	if err != nil {
 		return Estimate{}, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -76,7 +77,7 @@ func exactEnsemble(t *testing.T, joint bool) (*Engine, *schema.Schema, map[strin
 			t.Fatal(err)
 		}
 		cols := rspn.LearnColumns(s, j, spec.Tables, nil)
-		r, err := rspn.Learn(j, spec.Tables, spec.Edges, cols, nil, opts)
+		r, err := rspn.Learn(context.Background(), j, spec.Tables, spec.Edges, cols, nil, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,7 +85,7 @@ func exactEnsemble(t *testing.T, joint bool) (*Engine, *schema.Schema, map[strin
 	} else {
 		for _, tn := range []string{"customer", "orders"} {
 			cols := rspn.LearnColumns(s, tabs[tn], []string{tn}, nil)
-			r, err := rspn.Learn(tabs[tn], []string{tn}, nil, cols, nil, opts)
+			r, err := rspn.Learn(context.Background(), tabs[tn], []string{tn}, nil, cols, nil, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -354,7 +355,7 @@ func buildChainEngine(t *testing.T, budget float64) (*Engine, *exact.Engine) {
 	cfg := ensemble.DefaultConfig()
 	cfg.BudgetFactor = budget
 	cfg.MaxSamples = 30000
-	ens, err := ensemble.Build(s, tabs, cfg)
+	ens, err := ensemble.Build(context.Background(), s, tabs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/query"
@@ -54,14 +55,14 @@ func expandInclusionExclusion(q query.Query) ([]signedQuery, error) {
 
 // estimateDisjunctiveCount applies inclusion-exclusion to COUNT. Variances
 // add (the terms are not independent, so this is the conservative bound).
-func (e *Engine) estimateDisjunctiveCount(q query.Query) (Estimate, error) {
+func (e *Engine) estimateDisjunctiveCount(ctx context.Context, q query.Query) (Estimate, error) {
 	terms, err := expandInclusionExclusion(q)
 	if err != nil {
 		return Estimate{}, err
 	}
 	var total Estimate
 	for _, t := range terms {
-		est, err := e.estimateCount(t.q.Tables, t.q.Filters, e.effectiveOuter(t.q))
+		est, err := e.estimateCount(ctx, t.q.Tables, t.q.Filters, e.effectiveOuter(t.q))
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -76,10 +77,10 @@ func (e *Engine) estimateDisjunctiveCount(q query.Query) (Estimate, error) {
 
 // estimateDisjunctiveAggregate handles SUM (distributes over the signed
 // terms) and AVG (SUM divided by COUNT).
-func (e *Engine) estimateDisjunctiveAggregate(q query.Query) (Estimate, error) {
+func (e *Engine) estimateDisjunctiveAggregate(ctx context.Context, q query.Query) (Estimate, error) {
 	switch q.Aggregate {
 	case query.Count:
-		return e.estimateDisjunctiveCount(q)
+		return e.estimateDisjunctiveCount(ctx, q)
 	case query.Sum:
 		terms, err := expandInclusionExclusion(q)
 		if err != nil {
@@ -87,7 +88,7 @@ func (e *Engine) estimateDisjunctiveAggregate(q query.Query) (Estimate, error) {
 		}
 		var total Estimate
 		for _, t := range terms {
-			est, err := e.estimateSum(t.q)
+			est, err := e.estimateSum(ctx, t.q)
 			if err != nil {
 				return Estimate{}, err
 			}
@@ -98,11 +99,11 @@ func (e *Engine) estimateDisjunctiveAggregate(q query.Query) (Estimate, error) {
 	case query.Avg:
 		sq := q
 		sq.Aggregate = query.Sum
-		sum, err := e.estimateDisjunctiveAggregate(sq)
+		sum, err := e.estimateDisjunctiveAggregate(ctx, sq)
 		if err != nil {
 			return Estimate{}, err
 		}
-		cnt, err := e.estimateDisjunctiveCount(q)
+		cnt, err := e.estimateDisjunctiveCount(ctx, q)
 		if err != nil {
 			return Estimate{}, err
 		}

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -40,12 +41,18 @@ const (
 	StrategyMedian
 )
 
-// Engine evaluates queries against an RSPN ensemble.
+// Engine evaluates queries against an RSPN ensemble. The query path is
+// read-only, so one Engine may serve concurrent queries from multiple
+// goroutines — as long as no ensemble update runs at the same time (the
+// deepdb facade enforces that with a RWMutex).
 type Engine struct {
 	Ens      *ensemble.Ensemble
 	Strategy Strategy
 	// ConfidenceLevel for intervals, default 0.95.
 	ConfidenceLevel float64
+	// Parallelism caps the worker count for fanning a GROUP BY query's
+	// per-group estimates across goroutines. Values <= 1 run sequentially.
+	Parallelism int
 }
 
 // New returns an engine with the paper's defaults.
@@ -100,16 +107,35 @@ func scaleEstimate(a Estimate, c float64) Estimate {
 // filters — the cardinality-estimation task of Section 6.1. Group-by and
 // aggregate settings on q are ignored.
 func (e *Engine) EstimateCardinality(q query.Query) (Estimate, error) {
-	if err := q.Validate(); err != nil {
-		return Estimate{}, err
-	}
-	if _, err := e.Ens.Schema.JoinTree(q.Tables); err != nil {
+	return e.EstimateCardinalityContext(context.Background(), q)
+}
+
+// EstimateCardinalityContext is EstimateCardinality with cancellation: the
+// Theorem-2 recursion over uncovered branches checks ctx before every
+// sub-estimate.
+func (e *Engine) EstimateCardinalityContext(ctx context.Context, q query.Query) (Estimate, error) {
+	if err := e.validateQuery(q); err != nil {
 		return Estimate{}, err
 	}
 	if len(q.Disjunction) > 0 {
-		return e.estimateDisjunctiveCount(q)
+		return e.estimateDisjunctiveCount(ctx, q)
 	}
-	return e.estimateCount(q.Tables, q.Filters, e.effectiveOuter(q))
+	return e.estimateCount(ctx, q.Tables, q.Filters, e.effectiveOuter(q))
+}
+
+// validateQuery runs the schema-independent checks plus table resolution,
+// so a typo'd table name fails with its name instead of a coverage error.
+func (e *Engine) validateQuery(q query.Query) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	for _, t := range q.Tables {
+		if e.Ens.Schema.Table(t) == nil {
+			return fmt.Errorf("core: unknown table %s", t)
+		}
+	}
+	_, err := e.Ens.Schema.JoinTree(q.Tables)
+	return err
 }
 
 // effectiveOuter returns the outer tables that still behave as outer after
@@ -133,7 +159,10 @@ func (e *Engine) effectiveOuter(q query.Query) []string {
 }
 
 // estimateCount dispatches between the single-RSPN cases and Theorem 2.
-func (e *Engine) estimateCount(tables []string, filters []query.Predicate, outer []string) (Estimate, error) {
+func (e *Engine) estimateCount(ctx context.Context, tables []string, filters []query.Predicate, outer []string) (Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, err
+	}
 	covering := e.Ens.Covering(tables)
 	if len(covering) > 0 {
 		if e.Strategy == StrategyMedian && len(covering) > 1 {
@@ -142,7 +171,7 @@ func (e *Engine) estimateCount(tables []string, filters []query.Predicate, outer
 		r := e.pickCovering(covering, filters)
 		return e.theorem1(r, tables, filters, outer, nil)
 	}
-	return e.theorem2(tables, filters, outer)
+	return e.theorem2(ctx, tables, filters, outer)
 }
 
 // medianCount evaluates every covering RSPN and returns the median value
@@ -286,7 +315,7 @@ func squareFn(fn spn.Fn) spn.Fn {
 // contributes the ratio (estimated count of the branch) / (size of its
 // bridgehead table), the Theorem 2 correction under conditional
 // independence.
-func (e *Engine) theorem2(tables []string, filters []query.Predicate, outer []string) (Estimate, error) {
+func (e *Engine) theorem2(ctx context.Context, tables []string, filters []query.Predicate, outer []string) (Estimate, error) {
 	r := e.pickPartial(tables, filters)
 	if r == nil {
 		return Estimate{}, fmt.Errorf("core: no RSPN covers any of tables %v", tables)
@@ -332,11 +361,18 @@ func (e *Engine) theorem2(tables []string, filters []query.Predicate, outer []st
 			// accounts for the padded multiplicity; no selectivity ratio.
 			continue
 		}
-		num, err := e.estimateCount(br.tables, filtersFor(e, br.tables, filters), intersect(outer, br.tables))
+		if err := ctx.Err(); err != nil {
+			return Estimate{}, err
+		}
+		num, err := e.estimateCount(ctx, br.tables, filtersFor(e, br.tables, filters), intersect(outer, br.tables))
 		if err != nil {
 			return Estimate{}, err
 		}
-		den := float64(e.Ens.Tables[br.head].NumRows())
+		head := e.Ens.Tables[br.head]
+		if head == nil {
+			return Estimate{}, fmt.Errorf("core: no base table %s attached (Theorem 2 needs its size)", br.head)
+		}
+		den := float64(head.NumRows())
 		if den == 0 {
 			return Estimate{Value: 0}, nil
 		}

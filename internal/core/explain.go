@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/query"
+)
+
+// Explain renders the execution plan the engine would choose for a query
+// without evaluating it: which compilation case of Section 4 applies
+// (exact-match RSPN, superset RSPN with 1/F' normalization, or the
+// Theorem-2 combination across bridge FK edges) and which ensemble members
+// answer each part.
+func (e *Engine) Explain(q query.Query) (string, error) {
+	if err := e.validateQuery(q); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\n", q.String())
+	if len(q.GroupBy) > 0 {
+		fmt.Fprintf(&b, "group-by: one estimate per key combination of %s (keys enumerated from model leaves)\n",
+			strings.Join(q.GroupBy, ", "))
+	}
+	if len(q.Disjunction) > 0 {
+		fmt.Fprintf(&b, "disjunction: inclusion-exclusion over %d OR-terms (%d conjunctive sub-queries)\n",
+			len(q.Disjunction), (1<<len(q.Disjunction))-1)
+	}
+	e.explainCount(&b, "", q.Tables, q.Filters)
+	return b.String(), nil
+}
+
+// explainCount narrates the estimateCount dispatch for one table set.
+func (e *Engine) explainCount(b *strings.Builder, indent string, tables []string, filters []query.Predicate) {
+	covering := e.Ens.Covering(tables)
+	if len(covering) > 0 {
+		if e.Strategy == StrategyMedian && len(covering) > 1 {
+			fmt.Fprintf(b, "%smedian over %d covering RSPNs:\n", indent, len(covering))
+			for _, r := range covering {
+				fmt.Fprintf(b, "%s  RSPN[%s]\n", indent, strings.Join(r.Tables, " |x| "))
+			}
+			return
+		}
+		r := e.pickCovering(covering, filters)
+		kase := "case 1 (exact table match)"
+		if len(r.Tables) > len(tables) {
+			kase = "case 2 (superset RSPN, 1/F' tuple-factor normalization)"
+		}
+		fmt.Fprintf(b, "%s%s: RSPN[%s] answers %s, resolving %d/%d filters\n",
+			indent, kase, strings.Join(r.Tables, " |x| "), strings.Join(tables, ", "),
+			countResolved(r, filters), len(filters))
+		return
+	}
+	r := e.pickPartial(tables, filters)
+	if r == nil {
+		fmt.Fprintf(b, "%sno RSPN covers any of %s — the query would fail\n", indent, strings.Join(tables, ", "))
+		return
+	}
+	sl := e.connectedCovered(tables, r)
+	fmt.Fprintf(b, "%scase 3 (Theorem 2): RSPN[%s] answers sub-join %s\n",
+		indent, strings.Join(r.Tables, " |x| "), strings.Join(sl, ", "))
+	rest := subtract(tables, sl)
+	branches, err := e.branchComponents(rest, sl)
+	if err != nil {
+		fmt.Fprintf(b, "%s  branch decomposition failed: %v\n", indent, err)
+		return
+	}
+	for _, br := range branches {
+		fmt.Fprintf(b, "%s  branch %s via bridge %s<-%s (ratio count/|%s|):\n",
+			indent, strings.Join(br.tables, ", "), br.bridgeOne, br.bridgeMany, br.head)
+		e.explainCount(b, indent+"    ", br.tables, filtersFor(e, br.tables, filters))
+	}
+}
+
+func countResolved(r interface{ ResolvesColumn(string) bool }, filters []query.Predicate) int {
+	n := 0
+	for _, f := range filters {
+		if r.ResolvesColumn(f.Column) {
+			n++
+		}
+	}
+	return n
+}

@@ -8,12 +8,14 @@
 package ensemble
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/parallel"
 	"repro/internal/rspn"
 	"repro/internal/schema"
 	"repro/internal/spn"
@@ -45,6 +47,9 @@ type Config struct {
 	// SingleTableOnly learns one RSPN per table and no joins at all — the
 	// paper's cheap fallback strategy evaluated at the end of Section 6.1.
 	SingleTableOnly bool
+	// Parallelism caps the number of base-ensemble RSPNs learned
+	// concurrently. Values <= 1 learn sequentially.
+	Parallelism int
 }
 
 // DefaultConfig mirrors the paper's evaluation setup.
@@ -108,7 +113,8 @@ func NewManual(s *schema.Schema, tables map[string]*table.Table, rspns []*rspn.R
 	}
 }
 
-// AttrKey builds the canonical key for an attribute pair.
+// AttrKey builds the canonical sorted key for an attribute pair; the same
+// canonical form keys table pairs in PairDep.
 func AttrKey(a, b string) string {
 	if a > b {
 		a, b = b, a
@@ -116,12 +122,10 @@ func AttrKey(a, b string) string {
 	return a + "|" + b
 }
 
-// PairKey builds the canonical key for a table pair.
-func PairKey(a, b string) string { return AttrKey(a, b) }
-
 // Build constructs an ensemble for the schema over the given base tables.
-// The tables are augmented in place with tuple-factor columns.
-func Build(s *schema.Schema, tables map[string]*table.Table, cfg Config) (*Ensemble, error) {
+// The tables are augmented in place with tuple-factor columns. Cancelling
+// ctx aborts construction (including mid-RSPN) with ctx.Err().
+func Build(ctx context.Context, s *schema.Schema, tables map[string]*table.Table, cfg Config) (*Ensemble, error) {
 	start := time.Now()
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -163,14 +167,17 @@ func Build(s *schema.Schema, tables map[string]*table.Table, cfg Config) (*Ensem
 			}
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := e.computeDependencies(); err != nil {
 		return nil, err
 	}
-	if err := e.buildBase(); err != nil {
+	if err := e.buildBase(ctx); err != nil {
 		return nil, err
 	}
 	if !cfg.SingleTableOnly && cfg.BudgetFactor > 0 {
-		if err := e.optimize(); err != nil {
+		if err := e.optimize(ctx); err != nil {
 			return nil, err
 		}
 	}
@@ -255,7 +262,7 @@ func (e *Ensemble) computeDependencies() error {
 		if err != nil {
 			return err
 		}
-		e.PairDep[PairKey(rel.One, rel.Many)] = dep
+		e.PairDep[AttrKey(rel.One, rel.Many)] = dep
 	}
 	return nil
 }
@@ -311,19 +318,18 @@ func columnOf(data [][]float64, j int) []float64 {
 }
 
 // buildBase learns the base ensemble: joint RSPNs for correlated adjacent
-// pairs, single-table RSPNs elsewhere (every table ends up covered).
-func (e *Ensemble) buildBase() error {
+// pairs, single-table RSPNs elsewhere (every table ends up covered). With
+// Parallelism > 1 the (independent) members are learned concurrently; the
+// ensemble order stays deterministic regardless.
+func (e *Ensemble) buildBase(ctx context.Context) error {
+	var jobs [][]string
 	covered := map[string]bool{}
 	if !e.cfg.SingleTableOnly {
 		for _, rel := range e.Schema.Relationships() {
-			if e.PairDep[PairKey(rel.One, rel.Many)] <= e.cfg.RDCThreshold {
+			if e.PairDep[AttrKey(rel.One, rel.Many)] <= e.cfg.RDCThreshold {
 				continue
 			}
-			r, err := e.learnJoin([]string{rel.One, rel.Many})
-			if err != nil {
-				return err
-			}
-			e.RSPNs = append(e.RSPNs, r)
+			jobs = append(jobs, []string{rel.One, rel.Many})
 			covered[rel.One] = true
 			covered[rel.Many] = true
 		}
@@ -332,17 +338,31 @@ func (e *Ensemble) buildBase() error {
 		if covered[meta.Name] {
 			continue
 		}
-		r, err := e.learnSingle(meta.Name)
-		if err != nil {
+		jobs = append(jobs, []string{meta.Name})
+	}
+	members := make([]*rspn.RSPN, len(jobs))
+	learn := func(i int) error {
+		if err := ctx.Err(); err != nil {
 			return err
 		}
-		e.RSPNs = append(e.RSPNs, r)
+		if len(jobs[i]) == 1 {
+			r, err := e.learnSingle(ctx, jobs[i][0])
+			members[i] = r
+			return err
+		}
+		r, err := e.learnJoin(ctx, jobs[i])
+		members[i] = r
+		return err
 	}
+	if err := parallel.ForEach(len(jobs), e.cfg.Parallelism, learn); err != nil {
+		return err
+	}
+	e.RSPNs = append(e.RSPNs, members...)
 	return nil
 }
 
 // learnSingle learns a single-table RSPN.
-func (e *Ensemble) learnSingle(tableName string) (*rspn.RSPN, error) {
+func (e *Ensemble) learnSingle(ctx context.Context, tableName string) (*rspn.RSPN, error) {
 	t := e.Tables[tableName]
 	fds, err := e.fdsFor([]string{tableName})
 	if err != nil {
@@ -350,12 +370,12 @@ func (e *Ensemble) learnSingle(tableName string) (*rspn.RSPN, error) {
 	}
 	cols := rspn.LearnColumns(e.Schema, t, []string{tableName}, fds)
 	opts := e.learnOpts()
-	return rspn.Learn(t, []string{tableName}, nil, cols, fds, opts)
+	return rspn.Learn(ctx, t, []string{tableName}, nil, cols, fds, opts)
 }
 
 // learnJoin materializes the full outer join of the tables and learns a
 // joint RSPN over it.
-func (e *Ensemble) learnJoin(tables []string) (*rspn.RSPN, error) {
+func (e *Ensemble) learnJoin(ctx context.Context, tables []string) (*rspn.RSPN, error) {
 	edges, err := e.Schema.JoinTree(tables)
 	if err != nil {
 		return nil, err
@@ -371,7 +391,7 @@ func (e *Ensemble) learnJoin(tables []string) (*rspn.RSPN, error) {
 	}
 	cols := rspn.LearnColumns(e.Schema, j, tables, fds)
 	opts := e.learnOpts()
-	return rspn.Learn(j, tables, edges, cols, fds, opts)
+	return rspn.Learn(ctx, j, tables, edges, cols, fds, opts)
 }
 
 func (e *Ensemble) learnOpts() rspn.LearnOptions {
@@ -433,7 +453,7 @@ type candidate struct {
 // rule: highest mean pairwise dependency first, relative cost
 // cols(r)^2 * rows(r) as tie-breaker and budget meter, until the accumulated
 // cost exceeds BudgetFactor times the base ensemble cost.
-func (e *Ensemble) optimize() error {
+func (e *Ensemble) optimize(ctx context.Context) error {
 	baseCost := 0.0
 	for _, r := range e.RSPNs {
 		baseCost += relativeCost(len(r.Model.Columns), r.FullSize)
@@ -454,7 +474,10 @@ func (e *Ensemble) optimize() error {
 		if spent+c.cost > budget {
 			continue
 		}
-		r, err := e.learnJoin(c.tables)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		r, err := e.learnJoin(ctx, c.tables)
 		if err != nil {
 			return err
 		}
@@ -503,7 +526,7 @@ func (e *Ensemble) meanDependency(tables []string) (float64, error) {
 	total, n := 0.0, 0
 	for i := 0; i < len(tables); i++ {
 		for j := i + 1; j < len(tables); j++ {
-			key := PairKey(tables[i], tables[j])
+			key := AttrKey(tables[i], tables[j])
 			dep, ok := e.PairDep[key]
 			if !ok {
 				var err error

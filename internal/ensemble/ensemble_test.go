@@ -2,6 +2,7 @@ package ensemble
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -108,7 +109,7 @@ func TestBuildBaseEnsembleDetectsCorrelation(t *testing.T) {
 	tabs := genData(s, 800, true, 1)
 	cfg := testConfig()
 	cfg.BudgetFactor = 0 // base only
-	e, err := Build(s, tabs, cfg)
+	e, err := Build(context.Background(), s, tabs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestBuildIndependentDataYieldsSingles(t *testing.T) {
 	tabs := genData(s, 800, false, 2)
 	cfg := testConfig()
 	cfg.BudgetFactor = 0
-	e, err := Build(s, tabs, cfg)
+	e, err := Build(context.Background(), s, tabs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestBudgetFactorAddsLargerRSPN(t *testing.T) {
 	tabs := genData(s, 600, true, 3)
 	cfg := testConfig()
 	cfg.BudgetFactor = 3
-	e, err := Build(s, tabs, cfg)
+	e, err := Build(context.Background(), s, tabs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestSingleTableOnlyMode(t *testing.T) {
 	tabs := genData(s, 300, true, 4)
 	cfg := testConfig()
 	cfg.SingleTableOnly = true
-	e, err := Build(s, tabs, cfg)
+	e, err := Build(context.Background(), s, tabs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestCoveringAndRSPNFor(t *testing.T) {
 	s := testSchema()
 	tabs := genData(s, 400, true, 5)
 	cfg := testConfig()
-	e, err := Build(s, tabs, cfg)
+	e, err := Build(context.Background(), s, tabs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestEnsembleCountAccuracy(t *testing.T) {
 	oracle := exact.New(s, tabs)
 	cfg := testConfig()
 	cfg.BudgetFactor = 0
-	e, err := Build(s, tabs, cfg)
+	e, err := Build(context.Background(), s, tabs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestInsertUpdatesBaseAndModel(t *testing.T) {
 	tabs := genData(s, 500, true, 7)
 	cfg := testConfig()
 	cfg.BudgetFactor = 0
-	e, err := Build(s, tabs, cfg)
+	e, err := Build(context.Background(), s, tabs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +289,7 @@ func TestInsertShiftsEstimates(t *testing.T) {
 	tabs := genData(s, 500, true, 8)
 	cfg := testConfig()
 	cfg.BudgetFactor = 0
-	e, err := Build(s, tabs, cfg)
+	e, err := Build(context.Background(), s, tabs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestDeleteReversesInsert(t *testing.T) {
 	tabs := genData(s, 300, true, 9)
 	cfg := testConfig()
 	cfg.BudgetFactor = 0
-	e, err := Build(s, tabs, cfg)
+	e, err := Build(context.Background(), s, tabs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +347,7 @@ func TestDeleteReversesInsert(t *testing.T) {
 func TestInsertUnknownTable(t *testing.T) {
 	s := testSchema()
 	tabs := genData(s, 100, true, 10)
-	e, err := Build(s, tabs, testConfig())
+	e, err := Build(context.Background(), s, tabs, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +361,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	tabs := genData(s, 400, true, 11)
 	cfg := testConfig()
 	cfg.BudgetFactor = 0
-	e, err := Build(s, tabs, cfg)
+	e, err := Build(context.Background(), s, tabs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +396,7 @@ func TestCheckStaleness(t *testing.T) {
 	tabs := genData(s, 500, false, 12) // independent: singles ensemble
 	cfg := testConfig()
 	cfg.BudgetFactor = 0
-	e, err := Build(s, tabs, cfg)
+	e, err := Build(context.Background(), s, tabs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -431,7 +432,7 @@ func TestCheckStaleness(t *testing.T) {
 func TestDescribe(t *testing.T) {
 	s := testSchema()
 	tabs := genData(s, 200, true, 13)
-	e, err := Build(s, tabs, testConfig())
+	e, err := Build(context.Background(), s, tabs, testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

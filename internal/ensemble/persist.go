@@ -36,7 +36,10 @@ func (e *Ensemble) Save(w io.Writer) error {
 
 // Load reads an ensemble written by Save and reattaches the live base
 // tables (which must already carry their tuple-factor columns; pass the
-// same tables that Build produced, or freshly loaded ones).
+// same tables that Build produced, or freshly loaded ones). tables may be
+// nil: the ensemble then answers model-only queries and AttachTables can
+// supply the data later (e.g. once the model's own schema has been used to
+// locate the CSV files).
 func Load(r io.Reader, tables map[string]*table.Table) (*Ensemble, error) {
 	var p persisted
 	if err := gob.NewDecoder(r).Decode(&p); err != nil {
@@ -47,31 +50,49 @@ func Load(r io.Reader, tables map[string]*table.Table) (*Ensemble, error) {
 			return nil, fmt.Errorf("ensemble: invalid model after load: %w", err)
 		}
 	}
-	// Freshly loaded base tables (e.g. from CSV) lack the synthetic
-	// tuple-factor columns Build added; re-derive them so updates keep
-	// working after a load.
-	for _, rel := range p.Schema.Relationships() {
-		one, many := tables[rel.One], tables[rel.Many]
-		if one == nil || many == nil {
-			return nil, fmt.Errorf("ensemble: missing base table for relationship %s", rel.ID())
-		}
-		if one.Column(table.TupleFactorColumn(rel)) == nil {
-			if err := table.AddTupleFactor(one, many, rel); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return &Ensemble{
+	e := &Ensemble{
 		Schema:  p.Schema,
 		RSPNs:   p.RSPNs,
 		AttrRDC: p.AttrRDC,
 		PairDep: p.PairDep,
-		Tables:  tables,
 		cfg:     p.Config,
 		rng:     rand.New(rand.NewSource(p.Config.Seed)),
 		pkIndex: make(map[string]map[float64]int),
 		fkIndex: make(map[string]map[float64][]int),
-	}, nil
+	}
+	if tables != nil {
+		if err := e.AttachTables(tables); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// AttachTables (re)attaches live base tables to a loaded ensemble. Freshly
+// loaded base tables (e.g. from CSV) lack the synthetic tuple-factor
+// columns Build added; they are re-derived here so updates keep working
+// after a load.
+func (e *Ensemble) AttachTables(tables map[string]*table.Table) error {
+	for _, meta := range e.Schema.Tables {
+		if tables[meta.Name] == nil {
+			return fmt.Errorf("ensemble: missing base table %s", meta.Name)
+		}
+	}
+	for _, rel := range e.Schema.Relationships() {
+		one, many := tables[rel.One], tables[rel.Many]
+		if one == nil || many == nil {
+			return fmt.Errorf("ensemble: missing base table for relationship %s", rel.ID())
+		}
+		if one.Column(table.TupleFactorColumn(rel)) == nil {
+			if err := table.AddTupleFactor(one, many, rel); err != nil {
+				return err
+			}
+		}
+	}
+	e.Tables = tables
+	e.pkIndex = make(map[string]map[float64]int)
+	e.fkIndex = make(map[string]map[float64][]int)
+	return nil
 }
 
 // SaveFile writes the ensemble to a file.

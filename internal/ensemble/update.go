@@ -398,7 +398,7 @@ func (e *Ensemble) CheckStaleness() (StalenessReport, error) {
 					return rep, err
 				}
 				if dep <= e.cfg.RDCThreshold {
-					rep.Stale[i] = fmt.Sprintf("dependency %s dropped (%0.2f <= %0.2f)", PairKey(a, b), dep, e.cfg.RDCThreshold)
+					rep.Stale[i] = fmt.Sprintf("dependency %s dropped (%0.2f <= %0.2f)", AttrKey(a, b), dep, e.cfg.RDCThreshold)
 				}
 			}
 		}

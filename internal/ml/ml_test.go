@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -179,7 +180,7 @@ func rspnFixture(t *testing.T) *rspn.RSPN {
 	}
 	opts := rspn.DefaultLearnOptions()
 	opts.SPN.MinInstanceFrac = 0.05
-	r, err := rspn.Learn(tb, []string{"t"}, nil, []string{"c", "y"}, nil, opts)
+	r, err := rspn.Learn(context.Background(), tb, []string{"t"}, nil, []string{"c", "y"}, nil, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,73 @@
+package parallel
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachSequential(t *testing.T) {
+	var sum int64
+	if err := ForEach(10, 1, func(i int) error {
+		sum += int64(i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 45 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestForEachParallelCoversAll(t *testing.T) {
+	var calls int64
+	seen := make([]int32, 100)
+	if err := ForEach(100, 8, func(i int) error {
+		atomic.AddInt64(&calls, 1)
+		atomic.AddInt32(&seen[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 100 {
+		t.Fatalf("calls = %d", calls)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("index %d ran %d times", i, n)
+		}
+	}
+}
+
+func TestForEachFailFast(t *testing.T) {
+	var after int64
+	err := ForEach(1000, 4, func(i int) error {
+		if i == 0 {
+			return fmt.Errorf("boom")
+		}
+		if i > 100 {
+			atomic.AddInt64(&after, 1)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	// Early abort: the dispatcher must stop long before draining all 1000
+	// indices once the failure lands (in-flight work may still finish).
+	if after > 900 {
+		t.Fatalf("ran %d tail indices despite early failure", after)
+	}
+	// Sequential fail-fast is exact.
+	var n int64
+	err = ForEach(10, 1, func(i int) error {
+		n++
+		if i == 3 {
+			return fmt.Errorf("stop")
+		}
+		return nil
+	})
+	if err == nil || n != 4 {
+		t.Fatalf("sequential: err=%v n=%d", err, n)
+	}
+}

@@ -1,6 +1,7 @@
 package rspn
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -65,7 +66,8 @@ func LearnColumns(s *schema.Schema, tbl *table.Table, tables []string, fds []FD)
 // Learn builds an RSPN from a materialized table. tables and edges describe
 // what the materialized table is (base table or full outer join); columns
 // lists the attributes to learn (LearnColumns provides the default).
-func Learn(tbl *table.Table, tables []string, edges []schema.Relationship,
+// Structure learning honors ctx: cancellation aborts with ctx.Err().
+func Learn(ctx context.Context, tbl *table.Table, tables []string, edges []schema.Relationship,
 	columns []string, fds []FD, opts LearnOptions) (*RSPN, error) {
 	if len(columns) == 0 {
 		return nil, fmt.Errorf("rspn: no columns to learn for %s", strings.Join(tables, ","))
@@ -90,7 +92,7 @@ func Learn(tbl *table.Table, tables []string, edges []schema.Relationship,
 	if opts.Exact {
 		model, err = spn.LearnExact(data, columns)
 	} else {
-		model, err = spn.Learn(data, columns, opts.SPN)
+		model, err = spn.LearnContext(ctx, data, columns, opts.SPN)
 	}
 	if err != nil {
 		return nil, err

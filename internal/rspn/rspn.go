@@ -15,6 +15,7 @@ package rspn
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/query"
 	"repro/internal/schema"
@@ -236,13 +237,15 @@ func (r *RSPN) translateFD(p query.Predicate) (query.Predicate, error) {
 		if fd.Dependent != p.Column || !r.HasColumn(fd.Determinant) {
 			continue
 		}
-		// Collect determinant values whose dependent value satisfies p.
+		// Collect determinant values whose dependent value satisfies p, in
+		// sorted order so downstream float summation is deterministic.
 		var allowed []float64
 		for depVal, dets := range fd.Inverse {
 			if p.Matches(depVal) {
 				allowed = append(allowed, dets...)
 			}
 		}
+		sort.Float64s(allowed)
 		return query.Predicate{Column: fd.Determinant, Op: query.In, Values: allowed}, nil
 	}
 	return p, fmt.Errorf("rspn: column %s not in model and no FD resolves it", p.Column)

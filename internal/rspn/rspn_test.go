@@ -1,6 +1,7 @@
 package rspn
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -76,7 +77,7 @@ func learnJoint(t *testing.T, s *schema.Schema, tabs map[string]*table.Table, re
 		t.Fatal(err)
 	}
 	cols := LearnColumns(s, j, spec.Tables, nil)
-	r, err := Learn(j, spec.Tables, spec.Edges, cols, nil, exactOpts())
+	r, err := Learn(context.Background(), j, spec.Tables, spec.Edges, cols, nil, exactOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestLearnColumnsExcludesKeys(t *testing.T) {
 func TestCase1SingleTableCount(t *testing.T) {
 	s, tabs, _ := paperData(t)
 	cols := LearnColumns(s, tabs["customer"], []string{"customer"}, nil)
-	r, err := Learn(tabs["customer"], []string{"customer"}, nil, cols, nil, exactOpts())
+	r, err := Learn(context.Background(), tabs["customer"], []string{"customer"}, nil, cols, nil, exactOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestCase3SingleTableFactors(t *testing.T) {
 	s, tabs, rel := paperData(t)
 	// Single-table customer RSPN keeps raw factors including 0.
 	cols := LearnColumns(s, tabs["customer"], []string{"customer"}, nil)
-	rc, err := Learn(tabs["customer"], []string{"customer"}, nil, cols, nil, exactOpts())
+	rc, err := Learn(context.Background(), tabs["customer"], []string{"customer"}, nil, cols, nil, exactOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestCase3SingleTableFactors(t *testing.T) {
 	}
 	// QR part on the orders RSPN: E(1_ONLINE) = 1/2.
 	ocols := LearnColumns(s, tabs["orders"], []string{"orders"}, nil)
-	ro, err := Learn(tabs["orders"], []string{"orders"}, nil, ocols, nil, exactOpts())
+	ro, err := Learn(context.Background(), tabs["orders"], []string{"orders"}, nil, ocols, nil, exactOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +266,7 @@ func TestFunctionalDependencyTranslation(t *testing.T) {
 			t.Fatal("FD-dependent column must be excluded from learning")
 		}
 	}
-	r, err := Learn(tb, []string{"addr"}, nil, cols, []FD{fd}, exactOpts())
+	r, err := Learn(context.Background(), tb, []string{"addr"}, nil, cols, []FD{fd}, exactOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +323,7 @@ func TestIntersectRanges(t *testing.T) {
 func TestConflictingPredicatesGiveZero(t *testing.T) {
 	s, tabs, _ := paperData(t)
 	cols := LearnColumns(s, tabs["customer"], []string{"customer"}, nil)
-	r, err := Learn(tabs["customer"], []string{"customer"}, nil, cols, nil, exactOpts())
+	r, err := Learn(context.Background(), tabs["customer"], []string{"customer"}, nil, cols, nil, exactOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +356,7 @@ func TestPredicateRanges(t *testing.T) {
 func TestExpectationUnknownColumn(t *testing.T) {
 	s, tabs, _ := paperData(t)
 	cols := LearnColumns(s, tabs["customer"], []string{"customer"}, nil)
-	r, err := Learn(tabs["customer"], []string{"customer"}, nil, cols, nil, exactOpts())
+	r, err := Learn(context.Background(), tabs["customer"], []string{"customer"}, nil, cols, nil, exactOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

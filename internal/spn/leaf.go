@@ -195,7 +195,16 @@ func NewLeaf(col int, name string, data []float64, maxDistinct, bins int) *Leaf 
 	l.BinSq = make([]float64, bins)
 	l.BinInv = make([]float64, bins)
 	l.BinIn2 = make([]float64, bins)
-	for v, w := range counts {
+	// Accumulate in sorted value order: map iteration order would make the
+	// floating-point bin sums differ run to run, and with them every
+	// estimate derived from a binned leaf.
+	vals := make([]float64, 0, len(counts))
+	for v := range counts {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	for _, v := range vals {
+		w := counts[v]
 		b := l.binOf(v)
 		l.BinW[b] += w
 		l.BinSum[b] += w * v

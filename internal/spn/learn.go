@@ -1,6 +1,7 @@
 package spn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -64,6 +65,13 @@ func (s *SPN) ColumnIndex(name string) int {
 
 // Learn builds an SPN over the data matrix (rows x columns, NaN = NULL).
 func Learn(data [][]float64, columns []string, cfg LearnConfig) (*SPN, error) {
+	return LearnContext(context.Background(), data, columns, cfg)
+}
+
+// LearnContext is Learn with cancellation: the recursive structure-learning
+// loop checks ctx at every node split and aborts with ctx.Err() once the
+// context is done, so a caller can bound the cost of learning a large RSPN.
+func LearnContext(ctx context.Context, data [][]float64, columns []string, cfg LearnConfig) (*SPN, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("spn: no training rows")
 	}
@@ -86,6 +94,7 @@ func Learn(data [][]float64, columns []string, cfg LearnConfig) (*SPN, error) {
 		cfg.RDCSample = 1500
 	}
 	l := &learner{
+		ctx:     ctx,
 		data:    data,
 		columns: columns,
 		cfg:     cfg,
@@ -101,6 +110,9 @@ func Learn(data [][]float64, columns []string, cfg LearnConfig) (*SPN, error) {
 		scope[i] = i
 	}
 	root := l.build(rows, scope, true)
+	if l.err != nil {
+		return nil, l.err
+	}
 	spn := &SPN{Root: root, Columns: columns, RowCount: float64(len(data)), Config: cfg}
 	if err := root.Validate(); err != nil {
 		return nil, err
@@ -210,17 +222,33 @@ func exactLeaf(v float64, col int, name string) *Node {
 }
 
 type learner struct {
+	ctx     context.Context
 	data    [][]float64
 	columns []string
 	cfg     LearnConfig
 	minRows int
 	rng     *rand.Rand
+	// err records a context cancellation observed during recursion; the
+	// learner then unwinds by factorizing every remaining branch cheaply.
+	err error
 }
 
 // build recursively grows the SPN over the given rows and scope.
 // tryRowSplit alternates split direction the way the MSPN learner does:
 // after a failed or performed column split we attempt row clustering next.
 func (l *learner) build(rows []int, scope []int, tryColsFirst bool) *Node {
+	if l.err == nil && l.ctx != nil {
+		select {
+		case <-l.ctx.Done():
+			l.err = l.ctx.Err()
+		default:
+		}
+	}
+	if l.err != nil {
+		// Cancelled: produce a structurally valid placeholder so recursion
+		// unwinds fast; the caller discards the model and returns l.err.
+		return l.factorizeAll(rows, scope)
+	}
 	if len(scope) == 1 {
 		return l.leaf(rows, scope[0])
 	}

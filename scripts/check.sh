@@ -1,0 +1,25 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate: formatting, vet, build,
+# and the test suite under the race detector. CI and `make check` run this.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"
+    echo "$unformatted"
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "OK"
