@@ -6,18 +6,20 @@
 // Usage:
 //
 //	deepdb learn  -schema schema.json -data dir/ -out model.deepdb
-//	deepdb estimate -data dir/ -model model.deepdb -sql "SELECT COUNT(*) FROM ..."
-//	deepdb query  -data dir/ -model model.deepdb -sql "SELECT AVG(x) FROM ..."
-//	deepdb explain -data dir/ -model model.deepdb -sql "SELECT COUNT(*) FROM ..."
+//	deepdb estimate -model model.deepdb -sql "SELECT COUNT(*) FROM ..."
+//	deepdb query  -model model.deepdb -sql "SELECT AVG(x) FROM ..."
+//	deepdb explain -model model.deepdb -sql "SELECT COUNT(*) FROM ..."
 //	deepdb demo
 //
 // The schema file is JSON in the shape of deepdb.Schema; query-side
-// commands read the schema persisted inside the model file, so only the
-// data directory and model are needed. The data directory holds one
-// <table>.csv per table with a header row. `estimate` prints a cardinality
-// with its confidence interval; `query` prints the approximate result
-// (with group keys decoded through the dictionaries); `explain` prints the
-// execution plan without running the query.
+// commands read the schema and per-table statistics persisted inside the
+// model file, so the model alone is enough to serve estimates — no data
+// directory needed. Pass -data (one <table>.csv per table with a header
+// row) only for string-literal predicates (dictionary lookup) and -truth.
+// `estimate` prints a cardinality with its confidence interval; `query`
+// prints the approximate result (with group keys decoded through the
+// dictionaries when data is attached); `explain` prints the execution
+// plan without running the query.
 package main
 
 import (
@@ -62,10 +64,12 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: deepdb <learn|estimate|query|explain|demo> [flags]
   learn    -schema schema.json -data dir -out model.deepdb [-budget 0.5] [-samples 100000] [-parallel 1]
-  estimate -data dir -model model.deepdb -sql "SELECT COUNT(*) ..."
-  query    -data dir -model model.deepdb -sql "SELECT AVG(col) ..."
+  estimate -model model.deepdb -sql "SELECT COUNT(*) ..." [-data dir]
+  query    -model model.deepdb -sql "SELECT AVG(col) ..." [-data dir]
   explain  -model model.deepdb -sql "SELECT COUNT(*) ..." [-data dir]
-  demo     (self-contained demonstration on synthetic data)`)
+  demo     (self-contained demonstration on synthetic data)
+(-data is only needed for string-literal predicates and -truth; the model
+file carries the statistics query serving needs)`)
 }
 
 func cmdLearn(ctx context.Context, args []string) error {
@@ -118,10 +122,13 @@ func cmdQuery(ctx context.Context, args []string, mode queryMode) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	// explain only reads the model; -data is needed just for estimate/query
-	// (Theorem-2 table sizes, string-literal dictionaries, -truth).
-	if *sql == "" || (*dataDir == "" && mode != modeExplain) {
-		return fmt.Errorf("-sql is required (-data too, except for explain)")
+	// The model file carries the statistics query serving needs; -data is
+	// only required for string-literal dictionaries and -truth.
+	if *sql == "" {
+		return fmt.Errorf("-sql is required")
+	}
+	if *truth && *dataDir == "" {
+		return fmt.Errorf("-truth needs -data (exact execution reads the base tables)")
 	}
 	var opts []deepdb.Option
 	if *dataDir != "" {

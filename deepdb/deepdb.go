@@ -66,10 +66,16 @@ func learn(ctx context.Context, s *Schema, data Dataset, cfg config) (*DB, error
 	return newDB(ens, cfg), nil
 }
 
-// Open reads a model written by Save. Base tables are reattached from
-// WithDataDir (CSVs located with the schema persisted in the model) or
-// WithDataset; without either the DB answers model-only queries but
-// refuses updates, string-literal predicates and exact execution.
+// Open reads a model written by Save. The model file is a self-contained
+// serving artifact: it carries per-table cardinalities and column metadata
+// captured at learning time, so without any data attached the DB answers
+// every query class — single-RSPN cases, multi-RSPN Theorem-2 combination,
+// GROUP BY, disjunctions, outer joins — entirely from statistics. Base
+// tables may still be reattached from WithDataDir (CSVs located with the
+// schema persisted in the model) or WithDataset; they are needed only for
+// updates, string-literal predicates (dictionary lookup) and exact
+// execution. Model files written before the versioned format are rejected
+// with a clear error; re-learn and re-save them.
 func Open(ctx context.Context, modelPath string, opts ...Option) (*DB, error) {
 	cfg := defaultConfig()
 	cfg.apply(opts)
@@ -103,9 +109,10 @@ func newDB(ens *ensemble.Ensemble, cfg config) *DB {
 	return &DB{ens: ens, eng: eng, cfg: cfg}
 }
 
-// Save writes the model (ensemble, statistics, schema) to path. The base
-// tables are not serialized; Open reattaches them like a database
-// reopening its files.
+// Save writes the model (ensemble, dependency and per-table statistics,
+// schema) to path, atomically (temp file + rename). The base tables are
+// not serialized; the persisted statistics are enough to serve queries,
+// and Open can reattach the data like a database reopening its files.
 func (db *DB) Save(path string) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -120,7 +127,8 @@ func (db *DB) Schema() *Schema { return db.ens.Schema }
 // only through Insert/Delete/Update.
 func (db *DB) Data() Dataset { return db.ens.Tables }
 
-// Describe returns a human-readable summary of the ensemble.
+// Describe returns a human-readable summary of the ensemble, including
+// the per-table statistics persisted with the model.
 func (db *DB) Describe() string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()

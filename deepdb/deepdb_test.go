@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/deepdb"
+	"repro/internal/query"
 )
 
 // fixture builds a two-table customer/orders dataset with planted
@@ -110,12 +112,17 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
-// TestOpenWithoutData: a model opened with no dataset answers model-only
-// queries but refuses updates and exact execution.
+// TestOpenWithoutData: a model opened with no dataset serves every query
+// class from the persisted statistics — including multi-table Theorem-2
+// queries with filters on several tables — but still refuses updates and
+// exact execution.
 func TestOpenWithoutData(t *testing.T) {
 	ctx := context.Background()
 	s, data := fixture(1000, 2)
-	db, err := deepdb.LearnDataset(ctx, s, data, deepdb.WithMaxSamples(2000))
+	// Single-table RSPNs only, so the join query below must combine two
+	// models via Theorem 2 (the path that used to need live tables).
+	db, err := deepdb.LearnDataset(ctx, s, data,
+		deepdb.WithMaxSamples(2000), deepdb.WithSingleTableOnly())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,11 +137,120 @@ func TestOpenWithoutData(t *testing.T) {
 	if _, err := db2.Query(ctx, "SELECT COUNT(*) FROM customer WHERE c_age < 30"); err != nil {
 		t.Fatalf("model-only query: %v", err)
 	}
+	est, err := db2.EstimateCardinality(ctx,
+		"SELECT COUNT(*) FROM customer JOIN orders WHERE c_age < 40 AND o_amount >= 50")
+	if err != nil {
+		t.Fatalf("model-only Theorem-2 query with filters on both tables: %v", err)
+	}
+	// The filters must actually bite (they used to be dropped silently
+	// when column ownership could not be resolved without tables).
+	all, err := db2.EstimateCardinality(ctx, "SELECT COUNT(*) FROM customer JOIN orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Value >= all.Value {
+		t.Fatalf("filtered join estimate %v not below unfiltered %v", est.Value, all.Value)
+	}
+	if d := db2.Describe(); !strings.Contains(d, "table statistics") {
+		t.Fatalf("Describe missing persisted statistics:\n%s", d)
+	}
 	if err := db2.Insert("orders", map[string]deepdb.Value{"o_id": deepdb.Int(1 << 20)}); err == nil {
 		t.Fatal("expected insert to fail without data")
 	}
 	if _, err := db2.Exact(ctx, "SELECT COUNT(*) FROM customer"); err == nil {
 		t.Fatal("expected exact execution to fail without data")
+	}
+}
+
+// TestOpenRejectsOldModelFile: a model file without the versioned header
+// fails with a clear error instead of an opaque gob mismatch.
+func TestOpenRejectsOldModelFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.deepdb")
+	if err := os.WriteFile(path, []byte("pre-versioning payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := deepdb.Open(context.Background(), path)
+	if err == nil || !strings.Contains(err.Error(), "older") {
+		t.Fatalf("err = %v, want mention of an older model format", err)
+	}
+}
+
+// TestModelOnlyMatchesAttached is the data-free serving contract: on a
+// fixed-seed workload spanning every compilation case (single-RSPN,
+// superset, Theorem-2 combination), GROUP BY, disjunctions and outer
+// joins, a model opened without data — with the parallel query path on —
+// must produce estimates identical to the data-attached DB it was saved
+// from.
+func TestModelOnlyMatchesAttached(t *testing.T) {
+	ctx := context.Background()
+	workload := []query.Query{
+		{Aggregate: query.Count, Tables: []string{"customer"},
+			Filters: []query.Predicate{{Column: "c_age", Op: query.Lt, Value: 40}}},
+		{Aggregate: query.Count, Tables: []string{"customer", "orders"},
+			Filters: []query.Predicate{
+				{Column: "c_age", Op: query.Lt, Value: 40},
+				{Column: "o_amount", Op: query.Ge, Value: 50},
+			}},
+		{Aggregate: query.Count, Tables: []string{"customer"}, GroupBy: []string{"c_region"}},
+		{Aggregate: query.Count, Tables: []string{"customer", "orders"},
+			Disjunction: []query.Predicate{
+				{Column: "c_age", Op: query.Lt, Value: 25},
+				{Column: "o_amount", Op: query.Gt, Value: 80},
+			}},
+		{Aggregate: query.Count, Tables: []string{"customer", "orders"},
+			OuterTables: []string{"orders"},
+			Filters:     []query.Predicate{{Column: "c_age", Op: query.Lt, Value: 40}}},
+		{Aggregate: query.Avg, AggColumn: "o_amount", Tables: []string{"orders"},
+			Filters: []query.Predicate{{Column: "o_amount", Op: query.Ge, Value: 30}}},
+		{Aggregate: query.Sum, AggColumn: "o_amount", Tables: []string{"customer", "orders"},
+			Filters: []query.Predicate{{Column: "c_age", Op: query.Lt, Value: 40}}},
+	}
+	for _, tc := range []struct {
+		name string
+		opts []deepdb.Option
+	}{
+		{"ensemble", nil},
+		{"single-table-only/theorem2", []deepdb.Option{deepdb.WithSingleTableOnly()}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, data := fixture(2000, 11)
+			opts := append([]deepdb.Option{deepdb.WithMaxSamples(4000)}, tc.opts...)
+			db, err := deepdb.LearnDataset(ctx, s, data, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), "model.deepdb")
+			if err := db.Save(path); err != nil {
+				t.Fatal(err)
+			}
+			modelOnly, err := deepdb.Open(ctx, path, deepdb.WithParallelism(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Group-key labels are decoded through the base-table
+			// dictionaries, which only exist with data attached; compare
+			// keys and estimates, not display labels.
+			norm := func(r deepdb.Result) string {
+				var b strings.Builder
+				for _, g := range r.Groups {
+					fmt.Fprintf(&b, "%v %v %v %v %v; ", g.Key, g.Value, g.Variance, g.CILow, g.CIHigh)
+				}
+				return b.String()
+			}
+			for i, q := range workload {
+				a, err := db.ExecuteQuery(ctx, q)
+				if err != nil {
+					t.Fatalf("query %d attached: %v", i, err)
+				}
+				b, err := modelOnly.ExecuteQuery(ctx, q)
+				if err != nil {
+					t.Fatalf("query %d model-only: %v", i, err)
+				}
+				if norm(a) != norm(b) {
+					t.Fatalf("query %d mismatch\n  attached:   %v\n  model-only: %v", i, a, b)
+				}
+			}
+		})
 	}
 }
 

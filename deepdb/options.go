@@ -79,8 +79,12 @@ func WithStrategy(s Strategy) Option {
 }
 
 // WithParallelism bounds the worker count for learning ensemble members
-// and for fanning GROUP BY queries across goroutines. Values <= 1 run
-// sequentially (the default).
+// and for each fan-out of a query's independent sub-estimates: GROUP BY
+// per-group estimates, Theorem-2 branch sub-estimates, and disjunction
+// inclusion-exclusion terms. The bound applies per fan-out (nested
+// fan-outs each get their own workers, so deeply compiled queries may run
+// more goroutines in total). Values <= 1 run sequentially (the default).
+// Results are identical either way; only wall-clock time changes.
 func WithParallelism(n int) Option {
 	return func(c *config) {
 		c.parallelism = n

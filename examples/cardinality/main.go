@@ -10,6 +10,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/deepdb"
@@ -41,7 +43,9 @@ func main() {
 	fmt.Printf("\n%-34s %10s %10s %10s %8s %8s\n",
 		"query", "true", "DeepDB", "Postgres", "q(DD)", "q(PG)")
 	var ddErrs, pgErrs []float64
-	for _, n := range workload.JOBLight(db.Data(), 3)[:15] {
+	queries := workload.JOBLight(db.Data(), 3)[:15]
+	attached := make([]float64, 0, len(queries))
+	for _, n := range queries {
 		truth, err := db.ExactQuery(ctx, n.Query)
 		if err != nil {
 			log.Fatal(err)
@@ -54,6 +58,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		attached = append(attached, dd.Value)
 		qd := deepdb.QError(dd.Value, truth.Scalar())
 		qp := deepdb.QError(pgEst, truth.Scalar())
 		ddErrs = append(ddErrs, qd)
@@ -63,6 +68,31 @@ func main() {
 	}
 	fmt.Printf("\nmedian q-error: DeepDB %.2f vs Postgres %.2f\n",
 		median(ddErrs), median(pgErrs))
+
+	// Data-free serving: the saved model carries per-table statistics, so
+	// a stateless query tier can reopen it without any data and produce
+	// the same estimates — including multi-RSPN Theorem-2 combinations.
+	modelPath := filepath.Join(os.TempDir(), "cardinality-example.deepdb")
+	if err := db.Save(modelPath); err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(modelPath)
+	served, err := deepdb.Open(ctx, modelPath) // no WithDataDir / WithDataset
+	if err != nil {
+		log.Fatal(err)
+	}
+	mismatches := 0
+	for i, n := range queries {
+		modelOnly, err := served.EstimateCardinalityQuery(ctx, n.Query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if attached[i] != modelOnly.Value {
+			mismatches++
+		}
+	}
+	fmt.Printf("model-only serving (no data attached): %d/%d estimates differ from the data-attached path\n",
+		mismatches, len(queries))
 }
 
 func median(xs []float64) float64 {

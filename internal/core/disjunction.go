@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/query"
 )
 
@@ -53,21 +54,46 @@ func expandInclusionExclusion(q query.Query) ([]signedQuery, error) {
 	return out, nil
 }
 
-// estimateDisjunctiveCount applies inclusion-exclusion to COUNT. Variances
-// add (the terms are not independent, so this is the conservative bound).
+// signedSum estimates every signed term with the given estimator — fanned
+// over up to Engine.Parallelism workers (the terms are independent
+// conjunctive queries) — and combines them in deterministic order.
+// Variances add (the terms are not independent, so this is the
+// conservative bound).
+func (e *Engine) signedSum(ctx context.Context, terms []signedQuery, estimate func(query.Query) (Estimate, error)) (Estimate, error) {
+	ests := make([]Estimate, len(terms))
+	err := parallel.ForEach(len(terms), e.Parallelism, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		est, err := estimate(terms[i].q)
+		if err != nil {
+			return err
+		}
+		ests[i] = est
+		return nil
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	var total Estimate
+	for i, t := range terms {
+		total.Value += t.sign * ests[i].Value
+		total.Variance += ests[i].Variance
+	}
+	return total, nil
+}
+
+// estimateDisjunctiveCount applies inclusion-exclusion to COUNT.
 func (e *Engine) estimateDisjunctiveCount(ctx context.Context, q query.Query) (Estimate, error) {
 	terms, err := expandInclusionExclusion(q)
 	if err != nil {
 		return Estimate{}, err
 	}
-	var total Estimate
-	for _, t := range terms {
-		est, err := e.estimateCount(ctx, t.q.Tables, t.q.Filters, e.effectiveOuter(t.q))
-		if err != nil {
-			return Estimate{}, err
-		}
-		total.Value += t.sign * est.Value
-		total.Variance += est.Variance
+	total, err := e.signedSum(ctx, terms, func(sub query.Query) (Estimate, error) {
+		return e.estimateCount(ctx, sub.Tables, sub.Filters, e.effectiveOuter(sub))
+	})
+	if err != nil {
+		return Estimate{}, err
 	}
 	if total.Value < 0 {
 		total.Value = 0
@@ -86,16 +112,9 @@ func (e *Engine) estimateDisjunctiveAggregate(ctx context.Context, q query.Query
 		if err != nil {
 			return Estimate{}, err
 		}
-		var total Estimate
-		for _, t := range terms {
-			est, err := e.estimateSum(ctx, t.q)
-			if err != nil {
-				return Estimate{}, err
-			}
-			total.Value += t.sign * est.Value
-			total.Variance += est.Variance
-		}
-		return total, nil
+		return e.signedSum(ctx, terms, func(sub query.Query) (Estimate, error) {
+			return e.estimateSum(ctx, sub)
+		})
 	case query.Avg:
 		sq := q
 		sq.Aggregate = query.Sum

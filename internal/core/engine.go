@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"repro/internal/ensemble"
+	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/rspn"
 	"repro/internal/spn"
@@ -50,8 +51,12 @@ type Engine struct {
 	Strategy Strategy
 	// ConfidenceLevel for intervals, default 0.95.
 	ConfidenceLevel float64
-	// Parallelism caps the worker count for fanning a GROUP BY query's
-	// per-group estimates across goroutines. Values <= 1 run sequentially.
+	// Parallelism bounds the worker count of each fan-out of a query's
+	// independent sub-estimates: GROUP BY per-group estimates, Theorem-2
+	// branch sub-estimates, and disjunction inclusion-exclusion terms.
+	// The bound is per fan-out, not global — nested fan-outs (a group
+	// whose estimate needs Theorem 2, a branch that recurses) each get
+	// their own workers. Values <= 1 run sequentially.
 	Parallelism int
 }
 
@@ -166,7 +171,7 @@ func (e *Engine) estimateCount(ctx context.Context, tables []string, filters []q
 	covering := e.Ens.Covering(tables)
 	if len(covering) > 0 {
 		if e.Strategy == StrategyMedian && len(covering) > 1 {
-			return e.medianCount(covering, tables, filters, outer)
+			return e.medianCount(ctx, covering, tables, filters, outer)
 		}
 		r := e.pickCovering(covering, filters)
 		return e.theorem1(r, tables, filters, outer, nil)
@@ -174,11 +179,16 @@ func (e *Engine) estimateCount(ctx context.Context, tables []string, filters []q
 	return e.theorem2(ctx, tables, filters, outer)
 }
 
-// medianCount evaluates every covering RSPN and returns the median value
-// (variance taken from the median member).
-func (e *Engine) medianCount(covering []*rspn.RSPN, tables []string, filters []query.Predicate, outer []string) (Estimate, error) {
+// medianCount evaluates every covering RSPN and returns the median: the
+// middle estimate for an odd member count, the average of the two middle
+// estimates for an even one (variance of the two-point mean, treating the
+// members as independent).
+func (e *Engine) medianCount(ctx context.Context, covering []*rspn.RSPN, tables []string, filters []query.Predicate, outer []string) (Estimate, error) {
 	var ests []Estimate
 	for _, r := range covering {
+		if err := ctx.Err(); err != nil {
+			return Estimate{}, err
+		}
 		est, err := e.theorem1(r, tables, filters, outer, nil)
 		if err != nil {
 			return Estimate{}, err
@@ -186,7 +196,15 @@ func (e *Engine) medianCount(covering []*rspn.RSPN, tables []string, filters []q
 		ests = append(ests, est)
 	}
 	sort.Slice(ests, func(i, j int) bool { return ests[i].Value < ests[j].Value })
-	return ests[len(ests)/2], nil
+	n := len(ests)
+	if n%2 == 1 {
+		return ests[n/2], nil
+	}
+	lo, hi := ests[n/2-1], ests[n/2]
+	return Estimate{
+		Value:    (lo.Value + hi.Value) / 2,
+		Variance: (lo.Variance + hi.Variance) / 4,
+	}, nil
 }
 
 // pickCovering implements the greedy execution strategy of Section 4.1:
@@ -350,33 +368,57 @@ func (e *Engine) theorem2(ctx context.Context, tables []string, filters []query.
 			extraFns[col] = spn.FnIdent
 		}
 	}
-	left, err := e.theorem1(r, sl, filtersFor(e, sl, filters), intersect(outer, sl), extraFns)
+	// Non-outer branches contribute selectivity ratios; unfiltered outer
+	// branches are fully handled by the max(F,1) factor above.
+	var active []branch
+	for _, br := range branches {
+		if !branchAllOuter(br, outerSet) {
+			active = append(active, br)
+		}
+	}
+	// The left sub-estimate and every branch ratio are independent
+	// evaluations: fan them out over up to Engine.Parallelism goroutines
+	// (<= 1 runs sequentially) and combine in deterministic order
+	// afterwards.
+	ests := make([]Estimate, 1+len(active))
+	err = parallel.ForEach(len(ests), e.Parallelism, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if i == 0 {
+			left, err := e.theorem1(r, sl, filtersFor(e, sl, filters), intersect(outer, sl), extraFns)
+			if err != nil {
+				return err
+			}
+			ests[0] = left
+			return nil
+		}
+		br := active[i-1]
+		num, err := e.estimateCount(ctx, br.tables, filtersFor(e, br.tables, filters), intersect(outer, br.tables))
+		if err != nil {
+			return err
+		}
+		den, ok := e.Ens.TableRows(br.head)
+		if !ok {
+			return fmt.Errorf("core: no cardinality statistic or base table for %s (Theorem 2 needs its size)", br.head)
+		}
+		if den <= 0 {
+			// An empty bridgehead table joins to nothing: this branch's
+			// ratio is an exact zero. The remaining branches still
+			// evaluate, so their errors and cancellation surface the same
+			// way regardless of branch order.
+			ests[i] = Estimate{}
+			return nil
+		}
+		ests[i] = scaleEstimate(num, 1/den)
+		return nil
+	})
 	if err != nil {
 		return Estimate{}, err
 	}
-	result := left
-	for _, br := range branches {
-		if branchAllOuter(br, outerSet) {
-			// Unfiltered outer branch: the max(F,1) factor above already
-			// accounts for the padded multiplicity; no selectivity ratio.
-			continue
-		}
-		if err := ctx.Err(); err != nil {
-			return Estimate{}, err
-		}
-		num, err := e.estimateCount(ctx, br.tables, filtersFor(e, br.tables, filters), intersect(outer, br.tables))
-		if err != nil {
-			return Estimate{}, err
-		}
-		head := e.Ens.Tables[br.head]
-		if head == nil {
-			return Estimate{}, fmt.Errorf("core: no base table %s attached (Theorem 2 needs its size)", br.head)
-		}
-		den := float64(head.NumRows())
-		if den == 0 {
-			return Estimate{Value: 0}, nil
-		}
-		result = mulEstimate(result, scaleEstimate(num, 1/den))
+	result := ests[0]
+	for _, ratio := range ests[1:] {
+		result = mulEstimate(result, ratio)
 	}
 	return result, nil
 }
@@ -544,9 +586,12 @@ func filtersFor(e *Engine, tables []string, filters []query.Predicate) []query.P
 }
 
 // columnOwner returns which of the tables owns the column ("" if none).
+// Ownership resolves through the ensemble's persisted statistics (falling
+// back to live tables, then schema metadata), so model-only serving
+// classifies filters exactly like the data-attached path.
 func (e *Engine) columnOwner(col string, tables []string) string {
 	for _, tn := range tables {
-		if t := e.Ens.Tables[tn]; t != nil && t.Column(col) != nil {
+		if e.Ens.TableHasColumn(tn, col) {
 			return tn
 		}
 	}

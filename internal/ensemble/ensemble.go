@@ -65,6 +65,30 @@ func DefaultConfig() Config {
 	}
 }
 
+// TableStats is the per-table statistics snapshot captured at Build time
+// and persisted with the model, so query serving (column ownership and
+// Theorem-2 branch denominators) never needs the live base tables. Rows is
+// maintained exactly under Insert/Delete.
+type TableStats struct {
+	// Rows is the table's cardinality, including the synthetic
+	// tuple-factor columns' host rows; unlike the live table's NumRows it
+	// shrinks on Delete (deleted rows are only tombstoned in the table).
+	Rows float64
+	// Columns lists every column the table owns, including the synthetic
+	// tuple-factor columns added during construction.
+	Columns []string
+}
+
+// HasColumn reports whether the snapshot lists the named column.
+func (st TableStats) HasColumn(col string) bool {
+	for _, c := range st.Columns {
+		if c == col {
+			return true
+		}
+	}
+	return false
+}
+
 // Ensemble is a set of RSPNs plus the dependency statistics used both for
 // construction and for the runtime execution strategy (Section 4.1).
 type Ensemble struct {
@@ -77,6 +101,11 @@ type Ensemble struct {
 	// PairDep maps "tableA|tableB" (sorted) to the dependency value (max
 	// attribute RDC) between the two tables.
 	PairDep map[string]float64
+	// Stats holds per-table cardinalities and column sets, captured at
+	// construction, persisted with the model and maintained under
+	// updates. It is the query engine's source of truth for table sizes
+	// and column ownership, so serving works without base tables.
+	Stats map[string]TableStats
 	// BuildTime records how long construction took.
 	BuildTime time.Duration
 
@@ -100,7 +129,7 @@ func NewManual(s *schema.Schema, tables map[string]*table.Table, rspns []*rspn.R
 	if cfg.RDCThreshold == 0 {
 		cfg = DefaultConfig()
 	}
-	return &Ensemble{
+	e := &Ensemble{
 		Schema:  s,
 		RSPNs:   rspns,
 		AttrRDC: make(map[string]float64),
@@ -111,6 +140,8 @@ func NewManual(s *schema.Schema, tables map[string]*table.Table, rspns []*rspn.R
 		pkIndex: make(map[string]map[float64]int),
 		fkIndex: make(map[string]map[float64][]int),
 	}
+	e.captureStats()
+	return e
 }
 
 // AttrKey builds the canonical sorted key for an attribute pair; the same
@@ -167,6 +198,9 @@ func Build(ctx context.Context, s *schema.Schema, tables map[string]*table.Table
 			}
 		}
 	}
+	// Snapshot per-table statistics now that every synthetic column
+	// exists; from here on query serving never needs the tables again.
+	e.captureStats()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -429,13 +463,91 @@ func (e *Ensemble) RSPNFor(tableName string) *rspn.RSPN {
 	return best
 }
 
-// Describe returns a human-readable ensemble summary.
+// captureStats snapshots per-table cardinalities and column sets from the
+// live base tables (call after tuple-factor augmentation). A no-op without
+// attached tables.
+func (e *Ensemble) captureStats() {
+	if e.Tables == nil {
+		return
+	}
+	e.Stats = make(map[string]TableStats, len(e.Tables))
+	for name, t := range e.Tables {
+		e.Stats[name] = TableStats{
+			Rows:    float64(t.NumRows()),
+			Columns: append([]string(nil), t.ColumnNames()...),
+		}
+	}
+}
+
+// statsRowDelta adjusts the maintained cardinality of one table by d rows.
+func (e *Ensemble) statsRowDelta(tableName string, d float64) {
+	if st, ok := e.Stats[tableName]; ok {
+		st.Rows += d
+		e.Stats[tableName] = st
+	}
+}
+
+// TableRows returns the table's current cardinality: the persisted
+// statistic (maintained exactly under Insert/Delete) when present, falling
+// back to the live table's row count for ensembles without a snapshot.
+func (e *Ensemble) TableRows(tableName string) (float64, bool) {
+	if st, ok := e.Stats[tableName]; ok {
+		return st.Rows, true
+	}
+	if t := e.Tables[tableName]; t != nil {
+		return float64(t.NumRows()), true
+	}
+	return 0, false
+}
+
+// TableHasColumn reports whether the named base table owns the column.
+// Resolution order: the persisted statistics snapshot (complete, includes
+// synthetic tuple-factor columns), then the live table, then the schema —
+// declared columns plus the tuple-factor columns of relationships the
+// table is the One side of. The fallbacks keep pre-stats ensembles
+// (NewManual without tables) working.
+func (e *Ensemble) TableHasColumn(tableName, col string) bool {
+	if st, ok := e.Stats[tableName]; ok {
+		return st.HasColumn(col)
+	}
+	if t := e.Tables[tableName]; t != nil {
+		return t.Column(col) != nil
+	}
+	meta := e.Schema.Table(tableName)
+	if meta == nil {
+		return false
+	}
+	if _, ok := meta.Column(col); ok {
+		return true
+	}
+	for _, rel := range e.Schema.Relationships() {
+		if rel.One == tableName && table.TupleFactorColumn(rel) == col {
+			return true
+		}
+	}
+	return false
+}
+
+// Describe returns a human-readable ensemble summary, including the
+// persisted per-table statistics the model serves from.
 func (e *Ensemble) Describe() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "ensemble: %d RSPNs (built in %v)\n", len(e.RSPNs), e.BuildTime.Round(time.Millisecond))
 	for _, r := range e.RSPNs {
 		fmt.Fprintf(&b, "  [%s] rows=%.0f sample=%.3f nodes=%d\n",
 			strings.Join(r.Tables, " |x| "), r.FullSize, r.SampleRate, r.Model.Root.NumNodes())
+	}
+	if len(e.Stats) > 0 {
+		fmt.Fprintf(&b, "table statistics (persisted with the model):\n")
+		names := make([]string, 0, len(e.Stats))
+		for name := range e.Stats {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			st := e.Stats[name]
+			fmt.Fprintf(&b, "  %s: rows=%.0f columns=%d\n", name, st.Rows, len(st.Columns))
+		}
 	}
 	return b.String()
 }

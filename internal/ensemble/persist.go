@@ -6,11 +6,30 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 
 	"repro/internal/rspn"
 	"repro/internal/schema"
 	"repro/internal/table"
 )
+
+const (
+	// modelMagic identifies a deepdb model file. It is written (inside the
+	// gob stream) before the payload so foreign files and models from
+	// before the versioned format fail with a clear error instead of an
+	// opaque gob type mismatch.
+	modelMagic = "deepdb-model"
+	// modelVersion is the persistence format version. Version 2 added the
+	// header itself and the per-table statistics that make query serving
+	// fully data-free; bump it whenever the payload changes incompatibly.
+	modelVersion = 2
+)
+
+// fileHeader prefixes every model file.
+type fileHeader struct {
+	Magic   string
+	Version int
+}
 
 // persisted is the serializable subset of an ensemble: models and
 // statistics, but not the live base tables (those are reattached on load,
@@ -20,16 +39,23 @@ type persisted struct {
 	RSPNs   []*rspn.RSPN
 	AttrRDC map[string]float64
 	PairDep map[string]float64
+	Stats   map[string]TableStats
 	Config  Config
 }
 
-// Save writes the ensemble's models and statistics to w in gob format.
+// Save writes the ensemble's models and statistics to w in gob format,
+// prefixed by a versioned header.
 func (e *Ensemble) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(persisted{
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(fileHeader{Magic: modelMagic, Version: modelVersion}); err != nil {
+		return fmt.Errorf("ensemble: encoding header: %w", err)
+	}
+	return enc.Encode(persisted{
 		Schema:  e.Schema,
 		RSPNs:   e.RSPNs,
 		AttrRDC: e.AttrRDC,
 		PairDep: e.PairDep,
+		Stats:   e.Stats,
 		Config:  e.cfg,
 	})
 }
@@ -37,12 +63,27 @@ func (e *Ensemble) Save(w io.Writer) error {
 // Load reads an ensemble written by Save and reattaches the live base
 // tables (which must already carry their tuple-factor columns; pass the
 // same tables that Build produced, or freshly loaded ones). tables may be
-// nil: the ensemble then answers model-only queries and AttachTables can
-// supply the data later (e.g. once the model's own schema has been used to
-// locate the CSV files).
+// nil: the persisted per-table statistics then stand in for the data —
+// every query class keeps working — and AttachTables can supply the data
+// later (e.g. once the model's own schema has been used to locate the CSV
+// files) to re-enable updates and exact execution.
 func Load(r io.Reader, tables map[string]*table.Table) (*Ensemble, error) {
+	dec := gob.NewDecoder(r)
+	var hdr fileHeader
+	if err := dec.Decode(&hdr); err != nil {
+		// Models from before the versioned format start straight with the
+		// payload and fail here with a gob type mismatch; keep the
+		// underlying error visible so read failures stay diagnosable.
+		return nil, fmt.Errorf("ensemble: reading model header (not a deepdb model file, or one written by a deepdb version older than the versioned model format v%d; re-learn and re-save the model): %w", modelVersion, err)
+	}
+	if hdr.Magic != modelMagic {
+		return nil, fmt.Errorf("ensemble: not a deepdb model file (magic %q)", hdr.Magic)
+	}
+	if hdr.Version != modelVersion {
+		return nil, fmt.Errorf("ensemble: model file format v%d, this build reads v%d; re-learn the model with a matching deepdb version", hdr.Version, modelVersion)
+	}
 	var p persisted
-	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+	if err := dec.Decode(&p); err != nil {
 		return nil, fmt.Errorf("ensemble: decoding: %w", err)
 	}
 	for _, m := range p.RSPNs {
@@ -55,6 +96,7 @@ func Load(r io.Reader, tables map[string]*table.Table) (*Ensemble, error) {
 		RSPNs:   p.RSPNs,
 		AttrRDC: p.AttrRDC,
 		PairDep: p.PairDep,
+		Stats:   p.Stats,
 		cfg:     p.Config,
 		rng:     rand.New(rand.NewSource(p.Config.Seed)),
 		pkIndex: make(map[string]map[float64]int),
@@ -71,7 +113,8 @@ func Load(r io.Reader, tables map[string]*table.Table) (*Ensemble, error) {
 // AttachTables (re)attaches live base tables to a loaded ensemble. Freshly
 // loaded base tables (e.g. from CSV) lack the synthetic tuple-factor
 // columns Build added; they are re-derived here so updates keep working
-// after a load.
+// after a load. The persisted statistics stay authoritative for query
+// serving; they are only (re)captured when the ensemble has none.
 func (e *Ensemble) AttachTables(tables map[string]*table.Table) error {
 	for _, meta := range e.Schema.Tables {
 		if tables[meta.Name] == nil {
@@ -92,20 +135,52 @@ func (e *Ensemble) AttachTables(tables map[string]*table.Table) error {
 	e.Tables = tables
 	e.pkIndex = make(map[string]map[float64]int)
 	e.fkIndex = make(map[string]map[float64][]int)
+	if len(e.Stats) == 0 {
+		e.captureStats()
+	}
 	return nil
 }
 
-// SaveFile writes the ensemble to a file.
+// SaveFile writes the ensemble to a file atomically: the model is written
+// to a temporary file in the same directory, synced, and renamed into
+// place, so a crash mid-save never leaves a truncated model behind.
 func (e *Ensemble) SaveFile(path string) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := e.Save(f); err != nil {
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	// CreateTemp's 0600 would survive the rename; keep the mode of the
+	// model being replaced, defaulting to the conventional 0644 (models
+	// are read by separate serving processes).
+	mode := os.FileMode(0o644)
+	if fi, err := os.Stat(path); err == nil {
+		mode = fi.Mode().Perm()
+	}
+	if err := f.Chmod(mode); err != nil {
+		return cleanup(err)
+	}
+	if err := e.Save(f); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadFile reads an ensemble from a file.

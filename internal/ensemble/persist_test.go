@@ -1,0 +1,167 @@
+package ensemble
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// TestStatsCapturedAndPersisted: Build snapshots per-table cardinalities
+// and column sets (including synthetic tuple factors), and Save/Load
+// round-trips them so a model-only ensemble still resolves table sizes and
+// column ownership.
+func TestStatsCapturedAndPersisted(t *testing.T) {
+	s := testSchema()
+	tabs := genData(s, 300, true, 21)
+	cfg := testConfig()
+	cfg.BudgetFactor = 0
+	e, err := Build(context.Background(), s, tabs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, meta := range s.Tables {
+		st, ok := e.Stats[meta.Name]
+		if !ok {
+			t.Fatalf("no stats captured for %s", meta.Name)
+		}
+		if want := float64(tabs[meta.Name].NumRows()); st.Rows != want {
+			t.Fatalf("%s stats rows = %v, want %v", meta.Name, st.Rows, want)
+		}
+	}
+	// The customer snapshot must list the synthetic tuple-factor column.
+	rel := s.Relationships()[0]
+	if !e.Stats[rel.One].HasColumn(table.TupleFactorColumn(rel)) {
+		t.Fatalf("stats of %s missing tuple-factor column %s", rel.One, table.TupleFactorColumn(rel))
+	}
+
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Load(&buf, nil) // model-only: no tables
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, st := range e.Stats {
+		st2, ok := e2.Stats[name]
+		if !ok || st2.Rows != st.Rows || len(st2.Columns) != len(st.Columns) {
+			t.Fatalf("stats for %s not round-tripped: %+v vs %+v", name, st, st2)
+		}
+	}
+	if rows, ok := e2.TableRows("orders"); !ok || rows != float64(tabs["orders"].NumRows()) {
+		t.Fatalf("model-only TableRows(orders) = %v,%v", rows, ok)
+	}
+	if !e2.TableHasColumn("customer", "c_age") || e2.TableHasColumn("orders", "c_age") {
+		t.Fatal("model-only column ownership wrong")
+	}
+}
+
+// TestUpdateMaintainsStats: Insert bumps the maintained cardinality,
+// Delete shrinks it even though the base row is only tombstoned.
+func TestUpdateMaintainsStats(t *testing.T) {
+	s := testSchema()
+	tabs := genData(s, 200, true, 22)
+	cfg := testConfig()
+	cfg.BudgetFactor = 0
+	e, err := Build(context.Background(), s, tabs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Stats["orders"].Rows
+	if err := e.Insert("orders", map[string]table.Value{
+		"o_id": table.Int(900000), "o_c_id": table.Int(0), "o_channel": table.Int(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats["orders"].Rows; got != before+1 {
+		t.Fatalf("stats rows after insert = %v, want %v", got, before+1)
+	}
+	if err := e.Delete("orders", 900000); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats["orders"].Rows; got != before {
+		t.Fatalf("stats rows after delete = %v, want %v", got, before)
+	}
+	// The tombstoned base row keeps NumRows inflated; the statistic is the
+	// reconciled source of truth.
+	if live := float64(tabs["orders"].NumRows()); live == before {
+		t.Fatalf("expected live NumRows to drift after delete, got %v", live)
+	}
+	if rows, _ := e.TableRows("orders"); rows != before {
+		t.Fatalf("TableRows = %v, want maintained %v", rows, before)
+	}
+}
+
+// TestLoadRejectsForeignAndOldFiles: files without the versioned header
+// (older deepdb models, arbitrary gobs, garbage) and files with an
+// unsupported version fail with a clear error.
+func TestLoadRejectsForeignAndOldFiles(t *testing.T) {
+	// A pre-versioning model file began directly with the persisted
+	// payload; any such stream fails header validation.
+	var old bytes.Buffer
+	type legacy struct{ RSPNs []string }
+	if err := gob.NewEncoder(&old).Encode(legacy{RSPNs: []string{"x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&old, nil); err == nil || !strings.Contains(err.Error(), "older") {
+		t.Fatalf("legacy file error = %v, want mention of older version", err)
+	}
+	if _, err := Load(bytes.NewReader([]byte("not a gob at all")), nil); err == nil {
+		t.Fatal("garbage input must fail")
+	}
+	// A file with the right magic but a future version is rejected with
+	// the version numbers spelled out.
+	var future bytes.Buffer
+	if err := gob.NewEncoder(&future).Encode(fileHeader{Magic: modelMagic, Version: modelVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&future, nil); err == nil || !strings.Contains(err.Error(), "format v") {
+		t.Fatalf("future version error = %v, want version mismatch", err)
+	}
+}
+
+// TestSaveFileAtomic: SaveFile replaces the destination atomically, leaves
+// no temp files behind, and never clobbers an existing model on error.
+func TestSaveFileAtomic(t *testing.T) {
+	s := testSchema()
+	tabs := genData(s, 150, true, 23)
+	cfg := testConfig()
+	cfg.BudgetFactor = 0
+	e, err := Build(context.Background(), s, tabs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.deepdb")
+	// Pre-existing (corrupt) file must be replaced wholesale.
+	if err := os.WriteFile(path, []byte("corrupt old model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, nil); err != nil {
+		t.Fatalf("reload after overwrite: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, en := range entries {
+			names = append(names, en.Name())
+		}
+		t.Fatalf("temp files left behind: %v", names)
+	}
+	// A failing save (unwritable directory) must not leave anything.
+	if err := e.SaveFile(filepath.Join(dir, "missing-subdir", "m.deepdb")); err == nil {
+		t.Fatal("expected error saving into a missing directory")
+	}
+}

@@ -37,6 +37,7 @@ func (e *Ensemble) Insert(tableName string, values map[string]table.Value) error
 	t.AppendRow(row...)
 	newIdx := t.NumRows() - 1
 	e.indexInsert(tableName, newIdx)
+	e.statsRowDelta(tableName, +1)
 
 	// 2. Bump the tuple factor of every referenced One-side row.
 	var bumps []factorBump
@@ -295,6 +296,9 @@ func (e *Ensemble) Delete(tableName string, pk float64) error {
 		}
 	}
 	e.indexDelete(tableName, rowIdx)
+	// The base row is only tombstoned, so the live NumRows() no longer
+	// reflects the cardinality; the maintained statistic does.
+	e.statsRowDelta(tableName, -1)
 	return nil
 }
 
