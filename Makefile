@@ -1,6 +1,6 @@
 # DeepDB reproduction — build and verification targets.
 
-.PHONY: all build test race check fmt vet bench
+.PHONY: all build test race check fmt vet bench bench-json
 
 all: build
 
@@ -25,3 +25,8 @@ check:
 
 bench:
 	go test -bench=. -benchmem -run=^$$ .
+
+# Serving micro-benchmarks (prepared vs unprepared, HTTP endpoint),
+# emitted as BENCH_query.json.
+bench-json:
+	./scripts/bench.sh

@@ -9,6 +9,7 @@
 //	deepdb estimate -model model.deepdb -sql "SELECT COUNT(*) FROM ..."
 //	deepdb query  -model model.deepdb -sql "SELECT AVG(x) FROM ..."
 //	deepdb explain -model model.deepdb -sql "SELECT COUNT(*) FROM ..."
+//	deepdb serve  -model model.deepdb -addr :8491
 //	deepdb demo
 //
 // The schema file is JSON in the shape of deepdb.Schema; query-side
@@ -49,6 +50,8 @@ func main() {
 		err = cmdQuery(ctx, os.Args[2:], modeQuery)
 	case "explain":
 		err = cmdQuery(ctx, os.Args[2:], modeExplain)
+	case "serve":
+		err = cmdServe(ctx, os.Args[2:])
 	case "demo":
 		err = cmdDemo(ctx)
 	default:
@@ -62,14 +65,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: deepdb <learn|estimate|query|explain|demo> [flags]
+	fmt.Fprintln(os.Stderr, `usage: deepdb <learn|estimate|query|explain|serve|demo> [flags]
   learn    -schema schema.json -data dir -out model.deepdb [-budget 0.5] [-samples 100000] [-parallel 1]
   estimate -model model.deepdb -sql "SELECT COUNT(*) ..." [-data dir]
   query    -model model.deepdb -sql "SELECT AVG(col) ..." [-data dir]
   explain  -model model.deepdb -sql "SELECT COUNT(*) ..." [-data dir]
+  serve    -model model.deepdb [-addr :8491] [-parallel N] [-cache N]
   demo     (self-contained demonstration on synthetic data)
-(-data is only needed for string-literal predicates and -truth; the model
-file carries the statistics query serving needs)`)
+(-data is only needed for -truth; the model file carries the statistics
+and dictionaries query serving needs, including string predicates)`)
 }
 
 func cmdLearn(ctx context.Context, args []string) error {
@@ -141,7 +145,7 @@ func cmdQuery(ctx context.Context, args []string, mode queryMode) error {
 	start := time.Now()
 	switch mode {
 	case modeExplain:
-		plan, err := db.Explain(*sql)
+		plan, err := db.Explain(ctx, *sql)
 		if err != nil {
 			return err
 		}

@@ -120,7 +120,7 @@ func TestLearnQueryRoundTrip(t *testing.T) {
 		t.Fatalf("insert after open: %v", err)
 	}
 	// The plan for a model-covered query must render without error.
-	if plan, err := db2.Explain(sql); err != nil || plan == "" {
+	if plan, err := db2.Explain(ctx, sql); err != nil || plan == "" {
 		t.Fatalf("explain: %q, %v", plan, err)
 	}
 }

@@ -1,0 +1,262 @@
+package main
+
+// serve.go implements `deepdb serve`: an HTTP/JSON front-end that serves a
+// learned model file fully data-free under concurrent load. It is built
+// exclusively on the public deepdb API — db.Query/EstimateCardinality for
+// ad-hoc SQL (which transparently reuse cached plans per query shape) and
+// Prepare/Exec for parameterized requests — so every request pays the
+// compile cost at most once per query shape.
+//
+// Endpoints (POST a JSON body, or GET with ?sql=...):
+//
+//	/query    {"sql": "...", "params": [...], "confidence": 0.99}
+//	          -> {"groups": [{"key", "labels", "value", "variance", "ci_low", "ci_high"}], "elapsed_us"}
+//	/estimate same request -> {"value", "variance", "ci_low", "ci_high", "elapsed_us"}
+//	/explain  {"sql": "..."} -> {"plan": "..."}
+//	/healthz  -> {"status": "ok", "models", "tables", "data_attached"}
+//
+// params entries may be JSON numbers or strings; strings are resolved
+// through the dictionaries persisted in the model, so string predicates
+// work without any data directory.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/deepdb"
+)
+
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	model := fs.String("model", "model.deepdb", "model file from deepdb learn")
+	addr := fs.String("addr", ":8491", "listen address")
+	dataDir := fs.String("data", "", "optional data directory (only needed if clients use exact-execution features)")
+	parallel := fs.Int("parallel", 0, "per-query fan-out parallelism (<=1 sequential)")
+	cache := fs.Int("cache", 0, "plan cache size (0 keeps the default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var opts []deepdb.Option
+	if *dataDir != "" {
+		opts = append(opts, deepdb.WithDataDir(*dataDir))
+	}
+	if *parallel > 1 {
+		opts = append(opts, deepdb.WithParallelism(*parallel))
+	}
+	if *cache > 0 {
+		opts = append(opts, deepdb.WithPlanCacheSize(*cache))
+	}
+	db, err := deepdb.Open(ctx, *model, opts...)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: *addr, Handler: newServeHandler(db)}
+	// Shut down gracefully on SIGINT/SIGTERM: stop accepting, drain
+	// in-flight queries.
+	sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-sigCtx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(shutCtx)
+	}()
+	fmt.Printf("deepdb: serving %s on %s (data-free: %v)\n", *model, *addr, db.Data() == nil)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-done
+}
+
+// serveHandler is the HTTP surface over one *DB. The DB's own RWMutex
+// makes concurrent request handling safe; no extra locking is needed.
+type serveHandler struct {
+	db *deepdb.DB
+}
+
+// newServeHandler builds the endpoint mux; split out of cmdServe so tests
+// can drive it through httptest without binding a port.
+func newServeHandler(db *deepdb.DB) http.Handler {
+	s := &serveHandler{db: db}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/estimate", s.handleEstimate)
+	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// apiRequest is the JSON request body of /query, /estimate and /explain.
+type apiRequest struct {
+	SQL string `json:"sql"`
+	// Params bind `?` placeholders in order; numbers or strings.
+	Params []any `json:"params,omitempty"`
+	// Confidence overrides the interval level for this request.
+	Confidence float64 `json:"confidence,omitempty"`
+}
+
+type apiGroup struct {
+	Key      []float64 `json:"key,omitempty"`
+	Labels   []string  `json:"labels,omitempty"`
+	Value    float64   `json:"value"`
+	Variance float64   `json:"variance"`
+	CILow    float64   `json:"ci_low"`
+	CIHigh   float64   `json:"ci_high"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// decodeRequest accepts a POSTed JSON body or a GET with ?sql=.
+func decodeRequest(w http.ResponseWriter, r *http.Request) (apiRequest, bool) {
+	var req apiRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.SQL = r.URL.Query().Get("sql")
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid JSON body: " + err.Error()})
+			return req, false
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{Error: "use GET with ?sql= or POST a JSON body"})
+		return req, false
+	}
+	if req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "missing sql"})
+		return req, false
+	}
+	if req.Confidence != 0 && (req.Confidence <= 0 || req.Confidence >= 1) {
+		writeJSON(w, http.StatusBadRequest,
+			apiError{Error: fmt.Sprintf("confidence must be in (0, 1), got %v", req.Confidence)})
+		return req, false
+	}
+	return req, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// execOpts converts the request's per-call options.
+func (req apiRequest) execOpts() []deepdb.ExecOption {
+	if req.Confidence > 0 {
+		return []deepdb.ExecOption{deepdb.AtConfidence(req.Confidence)}
+	}
+	return nil
+}
+
+// paramArgs merges params and options into a Stmt.Exec argument list.
+func (req apiRequest) paramArgs() []any {
+	args := append([]any(nil), req.Params...)
+	for _, o := range req.execOpts() {
+		args = append(args, o)
+	}
+	return args
+}
+
+func (s *serveHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	var res deepdb.Result
+	var err error
+	if len(req.Params) > 0 {
+		var stmt *deepdb.Stmt
+		stmt, err = s.db.Prepare(req.SQL)
+		if err == nil {
+			res, err = stmt.Exec(r.Context(), req.paramArgs()...)
+		}
+	} else {
+		res, err = s.db.Query(r.Context(), req.SQL, req.execOpts()...)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	groups := make([]apiGroup, 0, len(res.Groups))
+	for _, g := range res.Groups {
+		groups = append(groups, apiGroup{Key: g.Key, Labels: g.Labels,
+			Value: g.Value, Variance: g.Variance, CILow: g.CILow, CIHigh: g.CIHigh})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Groups    []apiGroup `json:"groups"`
+		ElapsedUS int64      `json:"elapsed_us"`
+	}{groups, time.Since(start).Microseconds()})
+}
+
+func (s *serveHandler) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	var est deepdb.Estimate
+	var err error
+	if len(req.Params) > 0 {
+		var stmt *deepdb.Stmt
+		stmt, err = s.db.Prepare(req.SQL)
+		if err == nil {
+			est, err = stmt.Estimate(r.Context(), req.paramArgs()...)
+		}
+	} else {
+		est, err = s.db.EstimateCardinality(r.Context(), req.SQL, req.execOpts()...)
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Value     float64 `json:"value"`
+		Variance  float64 `json:"variance"`
+		CILow     float64 `json:"ci_low"`
+		CIHigh    float64 `json:"ci_high"`
+		ElapsedUS int64   `json:"elapsed_us"`
+	}{est.Value, est.Variance, est.CILow, est.CIHigh, time.Since(start).Microseconds()})
+}
+
+func (s *serveHandler) handleExplain(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	plan, err := s.db.Explain(r.Context(), req.SQL)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Plan string `json:"plan"`
+	}{plan})
+}
+
+func (s *serveHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status       string `json:"status"`
+		Models       int    `json:"models"`
+		Tables       int    `json:"tables"`
+		DataAttached bool   `json:"data_attached"`
+	}{
+		Status:       "ok",
+		Models:       len(s.db.Models()),
+		Tables:       len(s.db.Schema().Tables),
+		DataAttached: s.db.Data() != nil,
+	})
+}

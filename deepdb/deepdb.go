@@ -11,8 +11,18 @@
 //	err = db.Save("model.deepdb")
 //	db, err = deepdb.Open(ctx, "model.deepdb", deepdb.WithDataDir("data/"))
 //
+// Queries run through a compile/execute split: every call compiles (or
+// fetches from a bounded LRU plan cache, keyed on normalized query shape)
+// a plan that is then executed with the call's literal values. For
+// high-QPS serving of a repeated query template, prepare it once:
+//
+//	stmt, err := db.Prepare("SELECT COUNT(*) FROM orders WHERE o_amount >= ?")
+//	res, err := stmt.Exec(ctx, 100)                       // binds ? = 100
+//	batch, err := stmt.ExecBatch(ctx, [][]any{{50}, {90}}) // many bindings, one lock
+//
 // A *DB is safe for concurrent use: queries run under a read lock and may
-// proceed in parallel; Update/Insert/Delete take the write lock.
+// proceed in parallel; Update/Insert/Delete take the write lock and
+// invalidate cached plans.
 package deepdb
 
 import (
@@ -35,6 +45,13 @@ type DB struct {
 	ens *ensemble.Ensemble
 	eng *core.Engine
 	cfg config
+	// plans caches compiled query plans by normalized shape (nil when
+	// disabled via WithPlanCacheSize(0)).
+	plans *planCache
+	// gen counts model mutations (Insert/Delete/Update/CheckStaleness);
+	// cached plans are tagged with it and recompiled when it moves.
+	// Written under mu's write lock, read under its read lock.
+	gen uint64
 }
 
 // Learn builds a DB over the schema's CSV files in dataDir (one
@@ -67,15 +84,16 @@ func learn(ctx context.Context, s *Schema, data Dataset, cfg config) (*DB, error
 }
 
 // Open reads a model written by Save. The model file is a self-contained
-// serving artifact: it carries per-table cardinalities and column metadata
-// captured at learning time, so without any data attached the DB answers
-// every query class — single-RSPN cases, multi-RSPN Theorem-2 combination,
-// GROUP BY, disjunctions, outer joins — entirely from statistics. Base
-// tables may still be reattached from WithDataDir (CSVs located with the
-// schema persisted in the model) or WithDataset; they are needed only for
-// updates, string-literal predicates (dictionary lookup) and exact
-// execution. Model files written before the versioned format are rejected
-// with a clear error; re-learn and re-save them.
+// serving artifact: it carries per-table cardinalities, column metadata
+// and categorical dictionaries captured at learning time, so without any
+// data attached the DB answers every query class — single-RSPN cases,
+// multi-RSPN Theorem-2 combination, GROUP BY (with decoded labels),
+// disjunctions, outer joins, string-literal predicates — entirely from the
+// model. Base tables may still be reattached from WithDataDir (CSVs
+// located with the schema persisted in the model) or WithDataset; they are
+// needed only for updates and exact execution. Model files written in an
+// older format version are rejected with a clear error; re-learn and
+// re-save them.
 func Open(ctx context.Context, modelPath string, opts ...Option) (*DB, error) {
 	cfg := defaultConfig()
 	cfg.apply(opts)
@@ -106,7 +124,37 @@ func newDB(ens *ensemble.Ensemble, cfg config) *DB {
 	eng.Strategy = cfg.coreStrategy()
 	eng.ConfidenceLevel = cfg.confidence
 	eng.Parallelism = cfg.parallelism
-	return &DB{ens: ens, eng: eng, cfg: cfg}
+	return &DB{ens: ens, eng: eng, cfg: cfg, plans: newPlanCache(cfg.planCache)}
+}
+
+// planFor returns the compiled plan for the query, consulting the plan
+// cache under the current model generation. shape may be "" (computed on
+// demand); prepared statements pass their precomputed key. Callers must
+// hold the read lock.
+func (db *DB) planFor(shape string, q query.Query) (*core.Plan, error) {
+	if db.plans == nil {
+		return db.eng.Compile(q)
+	}
+	if shape == "" {
+		shape = q.ShapeKey()
+	}
+	if p := db.plans.get(shape, db.gen); p != nil {
+		return p, nil
+	}
+	p, err := db.eng.Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	db.plans.put(shape, db.gen, p)
+	return p, nil
+}
+
+// PlanCacheLen reports how many compiled plans are currently cached.
+func (db *DB) PlanCacheLen() int {
+	if db.plans == nil {
+		return 0
+	}
+	return db.plans.size()
 }
 
 // Save writes the model (ensemble, dependency and per-table statistics,
@@ -144,26 +192,40 @@ func (db *DB) Models() []*rspn.RSPN { return db.ens.RSPNs }
 func (db *DB) Model(table string) *rspn.RSPN { return db.ens.RSPNFor(table) }
 
 // Parse compiles the SQL subset DeepDB supports into a structured query,
-// resolving string literals through the base tables' dictionaries.
+// resolving string literals through the dictionaries (live base tables
+// when attached, the dictionaries persisted in the model otherwise). `?`
+// placeholders parse into parameter markers — see Prepare.
 func (db *DB) Parse(sql string) (query.Query, error) {
+	// The resolver reads dictionaries that Insert may extend; take the
+	// read lock for the parse so it never races a concurrent update.
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return query.Parse(sql, db.resolver())
 }
 
 // Query answers an aggregate SQL query approximately, from the model only.
-func (db *DB) Query(ctx context.Context, sql string) (Result, error) {
+// Plans are transparently reused across calls sharing a query shape (same
+// tables, filter columns and operators — literal values may differ); pay
+// the parse too only once by preparing the statement with Prepare.
+func (db *DB) Query(ctx context.Context, sql string, opts ...ExecOption) (Result, error) {
 	q, err := db.Parse(sql)
 	if err != nil {
 		return Result{}, err
 	}
-	return db.ExecuteQuery(ctx, q)
+	return db.ExecuteQuery(ctx, q, opts...)
 }
 
 // ExecuteQuery is Query for an already-parsed (or programmatically built)
 // structured query.
-func (db *DB) ExecuteQuery(ctx context.Context, q query.Query) (Result, error) {
+func (db *DB) ExecuteQuery(ctx context.Context, q query.Query, opts ...ExecOption) (Result, error) {
+	eo := db.execOpts(opts)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	res, err := db.eng.ExecuteContext(ctx, q)
+	p, err := db.planFor("", q)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := p.ExecuteQuery(ctx, eo.core(), q)
 	if err != nil {
 		return Result{}, err
 	}
@@ -172,37 +234,50 @@ func (db *DB) ExecuteQuery(ctx context.Context, q query.Query) (Result, error) {
 
 // EstimateCardinality estimates COUNT(*) over the query's join with its
 // filters — the paper's cardinality-estimation task. Aggregate and
-// group-by clauses in the SQL are ignored.
-func (db *DB) EstimateCardinality(ctx context.Context, sql string) (Estimate, error) {
+// group-by clauses in the SQL are ignored. Plans are reused like in Query.
+func (db *DB) EstimateCardinality(ctx context.Context, sql string, opts ...ExecOption) (Estimate, error) {
 	q, err := db.Parse(sql)
 	if err != nil {
 		return Estimate{}, err
 	}
-	return db.EstimateCardinalityQuery(ctx, q)
+	return db.EstimateCardinalityQuery(ctx, q, opts...)
 }
 
 // EstimateCardinalityQuery is EstimateCardinality for a structured query.
-func (db *DB) EstimateCardinalityQuery(ctx context.Context, q query.Query) (Estimate, error) {
+func (db *DB) EstimateCardinalityQuery(ctx context.Context, q query.Query, opts ...ExecOption) (Estimate, error) {
+	eo := db.execOpts(opts)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	est, err := db.eng.EstimateCardinalityContext(ctx, q)
+	p, err := db.planFor("", q)
 	if err != nil {
 		return Estimate{}, err
 	}
-	return db.wrapEstimate(est), nil
+	est, err := p.EstimateCardinalityQuery(ctx, q)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return wrapEstimate(est, eo.level(db)), nil
 }
 
-// Explain renders the execution plan the engine would choose for the SQL
-// query — which compilation case applies and which ensemble members answer
-// each part — without evaluating it.
-func (db *DB) Explain(sql string) (string, error) {
+// Explain renders the execution plan for the SQL query — which compilation
+// case applies and which ensemble members answer each part — without
+// evaluating it. The output is produced from the same compiled (and
+// cached) plan that Query/EstimateCardinality execute.
+func (db *DB) Explain(ctx context.Context, sql string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	q, err := db.Parse(sql)
 	if err != nil {
 		return "", err
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.eng.Explain(q)
+	p, err := db.planFor("", q)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
 }
 
 // Exact executes the SQL query exactly against the attached base tables
@@ -249,6 +324,7 @@ func (db *DB) Insert(table string, values map[string]Value) error {
 	if db.ens.Tables == nil {
 		return fmt.Errorf("deepdb: no base tables attached (open with WithDataDir or WithDataset)")
 	}
+	db.gen++
 	return db.ens.Insert(table, values)
 }
 
@@ -260,6 +336,7 @@ func (db *DB) Delete(table string, pk float64) error {
 	if db.ens.Tables == nil {
 		return fmt.Errorf("deepdb: no base tables attached (open with WithDataDir or WithDataset)")
 	}
+	db.gen++
 	return db.ens.Delete(table, pk)
 }
 
@@ -273,6 +350,7 @@ func (db *DB) Update(rows ...Row) error {
 	if db.ens.Tables == nil {
 		return fmt.Errorf("deepdb: no base tables attached (open with WithDataDir or WithDataset)")
 	}
+	db.gen++
 	for i, r := range rows {
 		if err := db.ens.Insert(r.Table, r.Values); err != nil {
 			return fmt.Errorf("deepdb: update row %d: %w", i, err)
@@ -292,6 +370,9 @@ func (db *DB) CheckStaleness() (map[int]string, error) {
 	if db.ens.Tables == nil {
 		return nil, fmt.Errorf("deepdb: no base tables attached (open with WithDataDir or WithDataset)")
 	}
+	// The recomputation refreshes dependency statistics that plan choice
+	// reads; invalidate cached plans.
+	db.gen++
 	rep, err := db.ens.CheckStaleness()
 	if err != nil {
 		return nil, err
@@ -299,24 +380,20 @@ func (db *DB) CheckStaleness() (map[int]string, error) {
 	return rep.Stale, nil
 }
 
-// resolver maps string literals in predicates to dictionary codes of the
-// owning base table.
+// resolver maps string literals in predicates to dictionary codes —
+// through the live base tables when attached, through the dictionaries
+// persisted in the model (format v3) otherwise, so string predicates work
+// in model-only serving.
 func (db *DB) resolver() query.Resolver {
 	return func(column, literal string) (float64, error) {
-		if db.ens.Tables == nil {
-			return 0, fmt.Errorf("deepdb: string literal %q needs base tables for dictionary lookup", literal)
+		code, found, known := db.ens.ResolveLabel(column, literal)
+		if !known {
+			return 0, fmt.Errorf("deepdb: unknown column %s", column)
 		}
-		for _, t := range db.ens.Tables {
-			c := t.Column(column)
-			if c == nil {
-				continue
-			}
-			if code := c.Lookup(literal); code >= 0 {
-				return float64(code), nil
-			}
+		if !found {
 			return 0, fmt.Errorf("deepdb: value %q not found in column %s", literal, column)
 		}
-		return 0, fmt.Errorf("deepdb: unknown column %s", column)
+		return code, nil
 	}
 }
 
@@ -338,13 +415,14 @@ func (db *DB) wrapResult(q query.Query, res core.AQPResult) Result {
 	return out
 }
 
-func (db *DB) wrapEstimate(est core.Estimate) Estimate {
-	lo, hi := est.ConfidenceInterval(db.eng.ConfidenceLevel)
+func wrapEstimate(est core.Estimate, level float64) Estimate {
+	lo, hi := est.ConfidenceInterval(level)
 	return Estimate{Value: est.Value, Variance: est.Variance, CILow: lo, CIHigh: hi}
 }
 
 // decodeKey renders each component of a group key, decoding categorical
-// codes through the base-table dictionaries when available.
+// codes through the dictionaries (live base tables when attached, the
+// model's persisted dictionaries otherwise).
 func (db *DB) decodeKey(cols []string, key []float64) []string {
 	if len(key) == 0 {
 		return nil
@@ -355,13 +433,8 @@ func (db *DB) decodeKey(cols []string, key []float64) []string {
 		if i >= len(cols) {
 			continue
 		}
-		for _, t := range db.ens.Tables {
-			if c := t.Column(cols[i]); c != nil && c.DictSize() > 0 {
-				if s := c.Decode(int(key[i])); s != "" {
-					out[i] = s
-				}
-				break
-			}
+		if s := db.ens.DecodeLabel(cols[i], int(key[i])); s != "" {
+			out[i] = s
 		}
 	}
 	return out

@@ -406,7 +406,7 @@ func TestExplain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan, err := db.Explain("SELECT COUNT(*) FROM customer WHERE c_age < 30")
+	plan, err := db.Explain(ctx, "SELECT COUNT(*) FROM customer WHERE c_age < 30")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +414,7 @@ func TestExplain(t *testing.T) {
 		t.Fatalf("single-table plan missing case 1:\n%s", plan)
 	}
 	// With single-table RSPNs only, a join query needs Theorem 2.
-	plan, err = db.Explain("SELECT COUNT(*) FROM customer JOIN orders WHERE c_age < 30")
+	plan, err = db.Explain(ctx, "SELECT COUNT(*) FROM customer JOIN orders WHERE c_age < 30")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,13 +24,20 @@ type config struct {
 	parallelism int
 	dataDir     string
 	dataset     Dataset
+	planCache   int
 }
+
+// defaultPlanCacheSize bounds the plan cache when WithPlanCacheSize is not
+// given: generous for realistic workloads (shapes are per query template,
+// not per literal), small enough to keep eviction cheap.
+const defaultPlanCacheSize = 128
 
 func defaultConfig() config {
 	return config{
 		ens:        ensemble.DefaultConfig(),
 		strategy:   StrategyRDCGreedy,
 		confidence: 0.95,
+		planCache:  defaultPlanCacheSize,
 	}
 }
 
@@ -104,10 +111,20 @@ func WithExactLearner() Option {
 	return func(c *config) { c.ens.Exact = true }
 }
 
-// WithConfidenceLevel sets the level of the confidence intervals attached
-// to every estimate (default 0.95).
+// WithConfidenceLevel sets the DB-wide default level of the confidence
+// intervals attached to every estimate (default 0.95). Individual calls
+// can override it with the AtConfidence exec option.
 func WithConfidenceLevel(level float64) Option {
 	return func(c *config) { c.confidence = level }
+}
+
+// WithPlanCacheSize bounds the LRU cache of compiled query plans, keyed on
+// normalized query shape (default 128 entries). Cached plans make repeated
+// Query/EstimateCardinality calls of the same shape skip recompilation;
+// prepared statements pin their plan regardless. 0 disables the cache
+// (every unprepared call compiles from scratch).
+func WithPlanCacheSize(n int) Option {
+	return func(c *config) { c.planCache = n }
 }
 
 // WithDataDir tells Open where the base-table CSVs live; they are loaded
@@ -121,4 +138,48 @@ func WithDataDir(dir string) Option {
 // reading CSVs from a directory.
 func WithDataset(ds Dataset) Option {
 	return func(c *config) { c.dataset = ds }
+}
+
+// ---- per-call execution options ----
+
+// execOpts is the resolved per-call option set.
+type execOpts struct {
+	confidence float64 // 0 = DB default
+}
+
+// ExecOption customizes a single query execution (Query, ExecuteQuery,
+// EstimateCardinality, Stmt.Exec/ExecBatch/Estimate) without touching the
+// DB-wide configuration.
+type ExecOption func(*execOpts)
+
+// AtConfidence overrides the confidence-interval level for one call.
+func AtConfidence(level float64) ExecOption {
+	return func(o *execOpts) { o.confidence = level }
+}
+
+// execOpts resolves the per-call options against the DB defaults.
+func (db *DB) execOpts(opts []ExecOption) execOpts {
+	var o execOpts
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// core converts to the engine's per-execution options.
+func (o execOpts) core() core.ExecOpts {
+	return core.ExecOpts{ConfidenceLevel: o.confidence}
+}
+
+// level resolves the effective confidence level for facade-side interval
+// computation.
+func (o execOpts) level(db *DB) float64 {
+	if o.confidence > 0 && o.confidence < 1 {
+		return o.confidence
+	}
+	level := db.eng.ConfidenceLevel
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	return level
 }

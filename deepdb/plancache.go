@@ -1,0 +1,81 @@
+package deepdb
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// planCache is a bounded LRU of compiled query plans keyed on normalized
+// query shape (query.ShapeKey). Entries are tagged with the DB's model
+// generation: any Insert/Delete/Update bumps the generation, so a stale
+// plan (compiled against different statistics, group-by keys or dependency
+// scores) is recompiled on its next use instead of served.
+//
+// The cache has its own mutex because it is read and written by many
+// concurrent queries that all hold the DB's read lock.
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	lru *list.List // front = most recently used
+}
+
+type planEntry struct {
+	key  string
+	gen  uint64
+	plan *core.Plan
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &planCache{cap: capacity, m: make(map[string]*list.Element), lru: list.New()}
+}
+
+// get returns the cached plan for the shape key if it was compiled at the
+// given generation, evicting it otherwise.
+func (c *planCache) get(key string, gen uint64) *core.Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil
+	}
+	en := el.Value.(*planEntry)
+	if en.gen != gen {
+		c.lru.Remove(el)
+		delete(c.m, key)
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	return en.plan
+}
+
+// put inserts (or replaces) the plan for the shape key, evicting the least
+// recently used entries beyond capacity.
+func (c *planCache) put(key string, gen uint64, p *core.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		en := el.Value.(*planEntry)
+		en.gen, en.plan = gen, p
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.lru.PushFront(&planEntry{key: key, gen: gen, plan: p})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.m, back.Value.(*planEntry).key)
+	}
+}
+
+// size returns the number of cached plans.
+func (c *planCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

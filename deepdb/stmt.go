@@ -1,0 +1,279 @@
+package deepdb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/query"
+)
+
+// Stmt is a prepared statement: a SQL template, parsed and validated once,
+// whose `?` placeholders are bound per execution. The compiled plan is
+// shared with the DB's plan cache (a one-shot query of the same shape hits
+// the same entry) and additionally pinned on the statement itself, so
+// repeated executions skip parsing, validation, shape hashing and plan
+// compilation entirely. A Stmt is safe for concurrent use.
+//
+//	stmt, err := db.Prepare("SELECT COUNT(*) FROM orders JOIN customer WHERE c_age < ? AND c_region = ?")
+//	res, err := stmt.Exec(ctx, 40, "EU")
+//
+// Parameters may be numbers (any int/uint/float type) or strings; strings
+// are resolved through the dictionary of the placeholder's column at
+// execution time, which works model-only via the dictionaries persisted in
+// the model file.
+type Stmt struct {
+	db      *DB
+	q       query.Query
+	shape   string
+	nparams int
+	// paramCols[i] is the column of placeholder i+1, for string binding.
+	paramCols []string
+
+	mu   sync.Mutex
+	plan *core.Plan
+	gen  uint64
+}
+
+// Prepare parses the SQL template (which may contain `?` placeholders as
+// comparison values), validates it and compiles its plan eagerly, so shape
+// errors surface here rather than at execution.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	q, err := db.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stmt{db: db, q: q, shape: q.ShapeKey(), nparams: q.NumParams(),
+		paramCols: paramColumns(q)}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p, err := s.planLocked()
+	if err != nil {
+		return nil, err
+	}
+	// Force the execution-side compilation (group keys, aggregate member
+	// selection) too: a statement that can never execute must fail here,
+	// not on its first Exec.
+	if err := p.ExecErr(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// paramColumns maps placeholder ordinals to their predicate columns.
+func paramColumns(q query.Query) []string {
+	out := make([]string, q.NumParams())
+	for _, preds := range [][]query.Predicate{q.Filters, q.Disjunction} {
+		for _, p := range preds {
+			if p.Param > 0 {
+				out[p.Param-1] = p.Column
+			}
+		}
+	}
+	return out
+}
+
+// NumParams returns the number of `?` placeholders in the statement.
+func (s *Stmt) NumParams() int { return s.nparams }
+
+// SQL returns the parsed template rendered back to SQL-ish form.
+func (s *Stmt) SQL() string { return s.q.String() }
+
+// planLocked returns the statement's compiled plan, recompiling when the
+// model generation moved (after Insert/Delete/Update). Callers must hold
+// the DB's read lock.
+func (s *Stmt) planLocked() (*core.Plan, error) {
+	s.mu.Lock()
+	if s.plan != nil && s.gen == s.db.gen {
+		p := s.plan
+		s.mu.Unlock()
+		return p, nil
+	}
+	s.mu.Unlock()
+	p, err := s.db.planFor(s.shape, s.q)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.plan, s.gen = p, s.db.gen
+	s.mu.Unlock()
+	return p, nil
+}
+
+// Exec runs the statement with the given parameter values. Arguments of
+// type ExecOption (e.g. AtConfidence(0.99)) are applied as per-call
+// options; every other argument binds the next placeholder.
+func (s *Stmt) Exec(ctx context.Context, params ...any) (Result, error) {
+	vals, opts := splitArgs(params)
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	return s.execLocked(ctx, vals, opts)
+}
+
+func (s *Stmt) execLocked(ctx context.Context, vals []any, opts []ExecOption) (Result, error) {
+	eo := s.db.execOpts(opts)
+	p, err := s.planLocked()
+	if err != nil {
+		return Result{}, err
+	}
+	q, err := s.bindLocked(vals)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := p.ExecuteQuery(ctx, eo.core(), q)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.db.wrapResult(q, res), nil
+}
+
+// ExecBatch runs the statement once per parameter set, under one read lock
+// and one plan lookup, fanning the executions over the DB's configured
+// parallelism. The results are returned in batch order; the first error
+// aborts the batch.
+func (s *Stmt) ExecBatch(ctx context.Context, batch [][]any, opts ...ExecOption) ([]Result, error) {
+	eo := s.db.execOpts(opts)
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	p, err := s.planLocked()
+	if err != nil {
+		return nil, err
+	}
+	// Bind everything up front so an arity or type error in any set
+	// surfaces before work starts.
+	queries := make([]query.Query, len(batch))
+	for i, params := range batch {
+		q, err := s.bindLocked(params)
+		if err != nil {
+			return nil, fmt.Errorf("deepdb: batch entry %d: %w", i, err)
+		}
+		queries[i] = q
+	}
+	out := make([]Result, len(batch))
+	err = parallel.ForEach(len(batch), s.db.cfg.parallelism, func(i int) error {
+		res, err := p.ExecuteQuery(ctx, eo.core(), queries[i])
+		if err != nil {
+			return fmt.Errorf("deepdb: batch entry %d: %w", i, err)
+		}
+		out[i] = s.db.wrapResult(queries[i], res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Estimate runs the statement's cardinality-estimation view (COUNT(*)
+// over the join with the bound filters; aggregate and GROUP BY settings
+// are ignored). Arguments follow the Exec convention.
+func (s *Stmt) Estimate(ctx context.Context, params ...any) (Estimate, error) {
+	vals, opts := splitArgs(params)
+	eo := s.db.execOpts(opts)
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	p, err := s.planLocked()
+	if err != nil {
+		return Estimate{}, err
+	}
+	q, err := s.bindLocked(vals)
+	if err != nil {
+		return Estimate{}, err
+	}
+	est, err := p.EstimateCardinalityQuery(ctx, q)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return wrapEstimate(est, eo.level(s.db)), nil
+}
+
+// Explain renders the plan the statement executes.
+func (s *Stmt) Explain(ctx context.Context) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	p, err := s.planLocked()
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// splitArgs separates ExecOption arguments from parameter values.
+func splitArgs(args []any) ([]any, []ExecOption) {
+	vals := make([]any, 0, len(args))
+	var opts []ExecOption
+	for _, a := range args {
+		if o, ok := a.(ExecOption); ok {
+			opts = append(opts, o)
+			continue
+		}
+		vals = append(vals, a)
+	}
+	return vals, opts
+}
+
+// bindLocked converts the parameter values and binds them into the
+// template. Callers must hold the DB's read lock (string resolution reads
+// the dictionaries).
+func (s *Stmt) bindLocked(vals []any) (query.Query, error) {
+	if len(vals) != s.nparams {
+		return query.Query{}, fmt.Errorf("deepdb: statement has %d placeholder(s), got %d parameter(s)", s.nparams, len(vals))
+	}
+	bound := make([]float64, len(vals))
+	for i, v := range vals {
+		f, err := s.paramValue(i, v)
+		if err != nil {
+			return query.Query{}, err
+		}
+		bound[i] = f
+	}
+	return s.q.Bind(bound...)
+}
+
+// paramValue encodes one parameter: numbers pass through, strings resolve
+// through the dictionary of the placeholder's column.
+func (s *Stmt) paramValue(i int, v any) (float64, error) {
+	switch x := v.(type) {
+	case float64:
+		return x, nil
+	case float32:
+		return float64(x), nil
+	case int:
+		return float64(x), nil
+	case int8:
+		return float64(x), nil
+	case int16:
+		return float64(x), nil
+	case int32:
+		return float64(x), nil
+	case int64:
+		return float64(x), nil
+	case uint:
+		return float64(x), nil
+	case uint8:
+		return float64(x), nil
+	case uint16:
+		return float64(x), nil
+	case uint32:
+		return float64(x), nil
+	case uint64:
+		return float64(x), nil
+	case string:
+		col := s.paramCols[i]
+		code, found, known := s.db.ens.ResolveLabel(col, x)
+		if !known {
+			return 0, fmt.Errorf("deepdb: parameter %d: unknown column %s", i+1, col)
+		}
+		if !found {
+			return 0, fmt.Errorf("deepdb: parameter %d: value %q not found in column %s", i+1, x, col)
+		}
+		return code, nil
+	default:
+		return 0, fmt.Errorf("deepdb: parameter %d: unsupported type %T (use a number or string)", i+1, v)
+	}
+}

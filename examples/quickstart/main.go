@@ -81,7 +81,35 @@ func main() {
 			deepdb.AvgRelativeError(res, truth)*100)
 	}
 
-	// 5. Updates: insert 5000 young rich ASIA customers; no retraining.
+	// 5. Prepared statements: parse, validate and compile the plan once,
+	// then execute with different parameter bindings. Numbers bind
+	// numeric placeholders; strings resolve through the dictionaries.
+	stmt, err := db.Prepare("SELECT COUNT(*) FROM customer WHERE c_region = ? AND c_age < ?")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range [][]any{{"EUROPE", 30}, {"ASIA", 30}, {"EUROPE", 65}} {
+		est, err := stmt.Estimate(ctx, p...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("prepared %v: estimate %.1f  CI [%.1f, %.1f]\n", p, est.Value, est.CILow, est.CIHigh)
+	}
+	// A whole batch runs under one lock and one plan lookup; a per-call
+	// option widens the intervals for this execution only.
+	batch, err := stmt.ExecBatch(ctx,
+		[][]any{{"EUROPE", 25}, {"EUROPE", 45}, {"EUROPE", 85}}, deepdb.AtConfidence(0.99))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, res := range batch {
+		fmt.Printf("batch[%d]: %.1f  99%% CI [%.1f, %.1f]\n",
+			i, res.Scalar(), res.Groups[0].CILow, res.Groups[0].CIHigh)
+	}
+	fmt.Println()
+
+	// 6. Updates: insert 5000 young rich ASIA customers; no retraining.
+	// Cached plans are invalidated automatically.
 	for i := 0; i < 5000; i++ {
 		if err := db.Insert("customer", map[string]deepdb.Value{
 			"c_id":     deepdb.Int(100000 + i),

@@ -6,10 +6,8 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/rspn"
-	"repro/internal/spn"
 )
 
 // AQPGroup is one approximate result row: a group key (empty for ungrouped
@@ -17,7 +15,7 @@ import (
 type AQPGroup struct {
 	Key      []float64
 	Estimate Estimate
-	// CILow and CIHigh bound the estimate at the engine's confidence
+	// CILow and CIHigh bound the estimate at the execution's confidence
 	// level (Section 5.1).
 	CILow, CIHigh float64
 }
@@ -44,102 +42,17 @@ func (e *Engine) Execute(q query.Query) (AQPResult, error) {
 	return e.ExecuteContext(context.Background(), q)
 }
 
-// ExecuteContext is Execute with cancellation, checked between per-group
+// ExecuteContext is Execute with cancellation, checked between sub-
 // estimates. With Parallelism > 1 the groups of a GROUP BY query are
 // estimated concurrently (the query path is read-only, so this is safe).
+// It compiles a plan and executes it once; hold on to Compile's plan to
+// amortize compilation per query shape.
 func (e *Engine) ExecuteContext(ctx context.Context, q query.Query) (AQPResult, error) {
-	if err := e.validateQuery(q); err != nil {
-		return AQPResult{}, err
-	}
-	if len(q.GroupBy) == 0 {
-		est, err := e.estimateAggregate(ctx, q)
-		if err != nil {
-			return AQPResult{}, err
-		}
-		return AQPResult{Groups: []AQPGroup{e.finish(nil, est)}}, nil
-	}
-	keys, err := e.groupKeys(q)
+	p, err := e.Compile(q)
 	if err != nil {
 		return AQPResult{}, err
 	}
-	groups, err := e.estimateGroups(ctx, q, keys)
-	if err != nil {
-		return AQPResult{}, err
-	}
-	out := AQPResult{Groups: groups}
-	sort.Slice(out.Groups, func(i, j int) bool {
-		a, b := out.Groups[i].Key, out.Groups[j].Key
-		for k := 0; k < len(a) && k < len(b); k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return false
-	})
-	return out, nil
-}
-
-// estimateGroup answers one group of a GROUP BY query: nil when the model
-// believes the group is empty.
-func (e *Engine) estimateGroup(ctx context.Context, q query.Query, key []float64) (*AQPGroup, error) {
-	gq := q
-	gq.GroupBy = nil
-	gq.Filters = append(append([]query.Predicate(nil), q.Filters...), groupFilters(q.GroupBy, key)...)
-	var cnt Estimate
-	var err error
-	if len(gq.Disjunction) > 0 {
-		cnt, err = e.estimateDisjunctiveCount(ctx, gq)
-	} else {
-		cnt, err = e.estimateCount(ctx, gq.Tables, gq.Filters, e.effectiveOuter(gq))
-	}
-	if err != nil {
-		return nil, err
-	}
-	if cnt.Value < 0.5 {
-		return nil, nil
-	}
-	est := cnt
-	if q.Aggregate != query.Count {
-		est, err = e.estimateAggregate(ctx, gq)
-		if err != nil {
-			return nil, err
-		}
-	}
-	g := e.finish(key, est)
-	return &g, nil
-}
-
-// estimateGroups fans the per-group estimates over up to Parallelism
-// workers, preserving key order in the result.
-func (e *Engine) estimateGroups(ctx context.Context, q query.Query, keys [][]float64) ([]AQPGroup, error) {
-	results := make([]*AQPGroup, len(keys))
-	err := parallel.ForEach(len(keys), e.Parallelism, func(i int) error {
-		g, err := e.estimateGroup(ctx, q, keys[i])
-		if err != nil {
-			return err
-		}
-		results[i] = g
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	var out []AQPGroup
-	for _, g := range results {
-		if g != nil {
-			out = append(out, *g)
-		}
-	}
-	return out, nil
-}
-
-func (e *Engine) finish(key []float64, est Estimate) AQPGroup {
-	level := e.ConfidenceLevel
-	if level <= 0 || level >= 1 {
-		level = 0.95
-	}
-	lo, hi := est.ConfidenceInterval(level)
-	return AQPGroup{Key: key, Estimate: est, CILow: lo, CIHigh: hi}
+	return p.ExecuteQuery(ctx, ExecOpts{}, q)
 }
 
 func groupFilters(cols []string, key []float64) []query.Predicate {
@@ -207,28 +120,6 @@ func (e *Engine) columnValues(col string) ([]float64, error) {
 	return nil, fmt.Errorf("core: column %s not in any model", col)
 }
 
-// estimateAggregate answers an ungrouped COUNT/SUM/AVG. The up-front ctx
-// check covers the aggregate paths that never reach ctx-aware
-// estimateCount (AVG, and SUM answered by a covering RSPN).
-func (e *Engine) estimateAggregate(ctx context.Context, q query.Query) (Estimate, error) {
-	if err := ctx.Err(); err != nil {
-		return Estimate{}, err
-	}
-	if len(q.Disjunction) > 0 {
-		return e.estimateDisjunctiveAggregate(ctx, q)
-	}
-	switch q.Aggregate {
-	case query.Count:
-		return e.estimateCount(ctx, q.Tables, q.Filters, e.effectiveOuter(q))
-	case query.Avg:
-		return e.estimateAvg(q)
-	case query.Sum:
-		return e.estimateSum(ctx, q)
-	default:
-		return Estimate{}, fmt.Errorf("core: unsupported aggregate %v", q.Aggregate)
-	}
-}
-
 // pickForAggregate chooses the RSPN for an AVG/SUM: it must resolve the
 // aggregate column; among those, prefer the one with the strongest RDC
 // coupling between the aggregate column and the resolvable filters
@@ -260,108 +151,9 @@ func (e *Engine) pickForAggregate(q query.Query) (*rspn.RSPN, error) {
 	return best, nil
 }
 
-func subtractStrings(a, b []string) []string { return subtract(a, b) }
-
 func attrKey(a, b string) string {
 	if a > b {
 		a, b = b, a
 	}
 	return a + "|" + b
-}
-
-// avgTerms builds the numerator and denominator terms of the normalized
-// conditional expectation of Section 4.2:
-//
-//	AVG = E(A/F' * 1_C * N) / E(1/F' * 1_C * N * 1(A not null))
-//
-// restricted to the filters the chosen RSPN can resolve (the paper drops
-// the rest, accepting an approximation).
-func (e *Engine) avgTerms(r *rspn.RSPN, q query.Query) (num, den rspn.Term) {
-	var kept []query.Predicate
-	for _, f := range q.Filters {
-		if r.ResolvesColumn(f.Column) {
-			kept = append(kept, f)
-		}
-	}
-	inner := intersect(subtractStrings(q.Tables, e.effectiveOuter(q)), r.Tables)
-	fns := map[string]spn.Fn{}
-	for _, c := range r.InverseFactorColumns(q.Tables) {
-		fns[c] = spn.FnInv
-	}
-	numFns := map[string]spn.Fn{q.AggColumn: spn.FnIdent}
-	denFns := map[string]spn.Fn{}
-	for c, fn := range fns {
-		numFns[c] = fn
-		denFns[c] = fn
-	}
-	num = rspn.Term{Fns: numFns, Filters: kept, InnerTables: inner}
-	den = rspn.Term{Fns: denFns, Filters: kept, InnerTables: inner, NotNull: []string{q.AggColumn}}
-	return num, den
-}
-
-// estimateAvg evaluates an AVG query as a ratio of expectations.
-func (e *Engine) estimateAvg(q query.Query) (Estimate, error) {
-	r, err := e.pickForAggregate(q)
-	if err != nil {
-		return Estimate{}, err
-	}
-	numTerm, denTerm := e.avgTerms(r, q)
-	numV, err := r.Expectation(numTerm)
-	if err != nil {
-		return Estimate{}, err
-	}
-	denV, err := r.Expectation(denTerm)
-	if err != nil {
-		return Estimate{}, err
-	}
-	if denV <= 0 {
-		return Estimate{}, nil
-	}
-	numVar, err := e.termVariance(r, numTerm, numV)
-	if err != nil {
-		return Estimate{}, err
-	}
-	denVar, err := e.termVariance(r, denTerm, denV)
-	if err != nil {
-		return Estimate{}, err
-	}
-	return divEstimate(Estimate{Value: numV, Variance: numVar}, Estimate{Value: denV, Variance: denVar}), nil
-}
-
-// estimateSum evaluates SUM. With an RSPN covering all query tables the
-// sum is a single expectation |J| * E(A/F' * 1_C * N); otherwise it is
-// COUNT * AVG as in Section 4.2, with product-variance combination.
-func (e *Engine) estimateSum(ctx context.Context, q query.Query) (Estimate, error) {
-	if covering := e.Ens.Covering(q.Tables); len(covering) > 0 {
-		for _, r := range covering {
-			if !r.HasColumn(q.AggColumn) {
-				continue
-			}
-			numTerm, _ := e.avgTerms(r, q)
-			if len(numTerm.Filters) != len(q.Filters) {
-				continue // cannot resolve all filters; try another member
-			}
-			v, err := r.Expectation(numTerm)
-			if err != nil {
-				return Estimate{}, err
-			}
-			variance, err := e.termVariance(r, numTerm, v)
-			if err != nil {
-				return Estimate{}, err
-			}
-			return scaleEstimate(Estimate{Value: v, Variance: variance}, r.FullSize), nil
-		}
-	}
-	// COUNT * AVG fallback. The count must range over rows with a non-NULL
-	// aggregate column to match SQL SUM semantics; the AVG denominator
-	// already does, so the product is consistent up to NULL skew.
-	cnt, err := e.estimateCount(ctx, q.Tables, q.Filters, e.effectiveOuter(q))
-	if err != nil {
-		return Estimate{}, err
-	}
-	avg, err := e.estimateAvg(q)
-	if err != nil {
-		return Estimate{}, err
-	}
-	return mulEstimate(cnt, avg), nil
 }

@@ -1,10 +1,8 @@
 package core
 
 import (
-	"context"
 	"fmt"
 
-	"repro/internal/parallel"
 	"repro/internal/query"
 )
 
@@ -16,15 +14,21 @@ import (
 //
 // where each signed term is an ordinary conjunctive query the engine
 // already handles (conjuncts on the same column intersect their ranges).
-// SUM distributes the same way; AVG is SUM/COUNT.
+// SUM distributes the same way; AVG is SUM/COUNT. The expansion happens at
+// compile time (plan.go): each signed term gets its own compiled
+// conjunctive sub-plan, and execution re-binds only the predicate values.
 
-// expandInclusionExclusion returns the signed conjunctive sub-queries of a
-// disjunctive query.
+// signedQuery is one signed conjunctive sub-query of a disjunctive query:
+// the disjunct subset selected by mask, ANDed to the base filters.
 type signedQuery struct {
 	q    query.Query
 	sign float64
+	mask int
 }
 
+// expandInclusionExclusion returns the signed conjunctive sub-queries of a
+// disjunctive query. A query without a disjunction yields its single
+// positive term with mask 0.
 func expandInclusionExclusion(q query.Query) ([]signedQuery, error) {
 	k := len(q.Disjunction)
 	if k == 0 {
@@ -49,85 +53,7 @@ func expandInclusionExclusion(q query.Query) ([]signedQuery, error) {
 		if bits%2 == 0 {
 			sign = -1
 		}
-		out = append(out, signedQuery{q: sub, sign: sign})
+		out = append(out, signedQuery{q: sub, sign: sign, mask: mask})
 	}
 	return out, nil
-}
-
-// signedSum estimates every signed term with the given estimator — fanned
-// over up to Engine.Parallelism workers (the terms are independent
-// conjunctive queries) — and combines them in deterministic order.
-// Variances add (the terms are not independent, so this is the
-// conservative bound).
-func (e *Engine) signedSum(ctx context.Context, terms []signedQuery, estimate func(query.Query) (Estimate, error)) (Estimate, error) {
-	ests := make([]Estimate, len(terms))
-	err := parallel.ForEach(len(terms), e.Parallelism, func(i int) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		est, err := estimate(terms[i].q)
-		if err != nil {
-			return err
-		}
-		ests[i] = est
-		return nil
-	})
-	if err != nil {
-		return Estimate{}, err
-	}
-	var total Estimate
-	for i, t := range terms {
-		total.Value += t.sign * ests[i].Value
-		total.Variance += ests[i].Variance
-	}
-	return total, nil
-}
-
-// estimateDisjunctiveCount applies inclusion-exclusion to COUNT.
-func (e *Engine) estimateDisjunctiveCount(ctx context.Context, q query.Query) (Estimate, error) {
-	terms, err := expandInclusionExclusion(q)
-	if err != nil {
-		return Estimate{}, err
-	}
-	total, err := e.signedSum(ctx, terms, func(sub query.Query) (Estimate, error) {
-		return e.estimateCount(ctx, sub.Tables, sub.Filters, e.effectiveOuter(sub))
-	})
-	if err != nil {
-		return Estimate{}, err
-	}
-	if total.Value < 0 {
-		total.Value = 0
-	}
-	return total, nil
-}
-
-// estimateDisjunctiveAggregate handles SUM (distributes over the signed
-// terms) and AVG (SUM divided by COUNT).
-func (e *Engine) estimateDisjunctiveAggregate(ctx context.Context, q query.Query) (Estimate, error) {
-	switch q.Aggregate {
-	case query.Count:
-		return e.estimateDisjunctiveCount(ctx, q)
-	case query.Sum:
-		terms, err := expandInclusionExclusion(q)
-		if err != nil {
-			return Estimate{}, err
-		}
-		return e.signedSum(ctx, terms, func(sub query.Query) (Estimate, error) {
-			return e.estimateSum(ctx, sub)
-		})
-	case query.Avg:
-		sq := q
-		sq.Aggregate = query.Sum
-		sum, err := e.estimateDisjunctiveAggregate(ctx, sq)
-		if err != nil {
-			return Estimate{}, err
-		}
-		cnt, err := e.estimateDisjunctiveCount(ctx, q)
-		if err != nil {
-			return Estimate{}, err
-		}
-		return divEstimate(sum, cnt), nil
-	default:
-		return Estimate{}, fmt.Errorf("core: unsupported aggregate %v", q.Aggregate)
-	}
 }

@@ -12,6 +12,13 @@
 //
 // The engine also derives variances for every estimate (Section 5.1) and
 // turns them into confidence intervals.
+//
+// Queries run through an explicit compile/execute split: Compile resolves
+// validation, RSPN selection and the full Section-4 decomposition into a
+// Plan once per query shape, and executing the Plan is a pure walk over
+// the prebuilt structure (see plan.go). The one-shot EstimateCardinality
+// and Execute entry points below compile and execute in one call, so a
+// cached plan and a one-shot query produce bit-identical estimates.
 package core
 
 import (
@@ -21,7 +28,6 @@ import (
 	"sort"
 
 	"repro/internal/ensemble"
-	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/rspn"
 	"repro/internal/spn"
@@ -49,7 +55,8 @@ const (
 type Engine struct {
 	Ens      *ensemble.Ensemble
 	Strategy Strategy
-	// ConfidenceLevel for intervals, default 0.95.
+	// ConfidenceLevel for intervals, default 0.95. Overridable per
+	// execution with ExecOpts.
 	ConfidenceLevel float64
 	// Parallelism bounds the worker count of each fan-out of a query's
 	// independent sub-estimates: GROUP BY per-group estimates, Theorem-2
@@ -116,16 +123,15 @@ func (e *Engine) EstimateCardinality(q query.Query) (Estimate, error) {
 }
 
 // EstimateCardinalityContext is EstimateCardinality with cancellation: the
-// Theorem-2 recursion over uncovered branches checks ctx before every
-// sub-estimate.
+// execution walk checks ctx before every sub-estimate. It compiles a plan
+// and executes it once; hold on to Compile's plan to amortize that per
+// query shape.
 func (e *Engine) EstimateCardinalityContext(ctx context.Context, q query.Query) (Estimate, error) {
-	if err := e.validateQuery(q); err != nil {
+	p, err := e.Compile(q)
+	if err != nil {
 		return Estimate{}, err
 	}
-	if len(q.Disjunction) > 0 {
-		return e.estimateDisjunctiveCount(ctx, q)
-	}
-	return e.estimateCount(ctx, q.Tables, q.Filters, e.effectiveOuter(q))
+	return p.EstimateCardinalityQuery(ctx, q)
 }
 
 // validateQuery runs the schema-independent checks plus table resolution,
@@ -163,50 +169,6 @@ func (e *Engine) effectiveOuter(q query.Query) []string {
 	return out
 }
 
-// estimateCount dispatches between the single-RSPN cases and Theorem 2.
-func (e *Engine) estimateCount(ctx context.Context, tables []string, filters []query.Predicate, outer []string) (Estimate, error) {
-	if err := ctx.Err(); err != nil {
-		return Estimate{}, err
-	}
-	covering := e.Ens.Covering(tables)
-	if len(covering) > 0 {
-		if e.Strategy == StrategyMedian && len(covering) > 1 {
-			return e.medianCount(ctx, covering, tables, filters, outer)
-		}
-		r := e.pickCovering(covering, filters)
-		return e.theorem1(r, tables, filters, outer, nil)
-	}
-	return e.theorem2(ctx, tables, filters, outer)
-}
-
-// medianCount evaluates every covering RSPN and returns the median: the
-// middle estimate for an odd member count, the average of the two middle
-// estimates for an even one (variance of the two-point mean, treating the
-// members as independent).
-func (e *Engine) medianCount(ctx context.Context, covering []*rspn.RSPN, tables []string, filters []query.Predicate, outer []string) (Estimate, error) {
-	var ests []Estimate
-	for _, r := range covering {
-		if err := ctx.Err(); err != nil {
-			return Estimate{}, err
-		}
-		est, err := e.theorem1(r, tables, filters, outer, nil)
-		if err != nil {
-			return Estimate{}, err
-		}
-		ests = append(ests, est)
-	}
-	sort.Slice(ests, func(i, j int) bool { return ests[i].Value < ests[j].Value })
-	n := len(ests)
-	if n%2 == 1 {
-		return ests[n/2], nil
-	}
-	lo, hi := ests[n/2-1], ests[n/2]
-	return Estimate{
-		Value:    (lo.Value + hi.Value) / 2,
-		Variance: (lo.Variance + hi.Variance) / 4,
-	}, nil
-}
-
 // pickCovering implements the greedy execution strategy of Section 4.1:
 // choose the RSPN that handles the filter predicates with the highest sum
 // of pairwise RDC values; ties prefer smaller models.
@@ -241,33 +203,6 @@ func (e *Engine) filterScore(r *rspn.RSPN, filters []query.Predicate) float64 {
 		}
 	}
 	return score
-}
-
-// theorem1 evaluates |J| * E(1/F' * 1_C * prod N_T) on one RSPN for a query
-// over a subset of the RSPN's tables (Cases 1 and 2), with the variance
-// derivation of Section 5.1. extraFns lets Theorem 2 multiply bridge tuple
-// factors into the expectation.
-func (e *Engine) theorem1(r *rspn.RSPN, tables []string, filters []query.Predicate, outer []string, extraFns map[string]spn.Fn) (Estimate, error) {
-	fns := map[string]spn.Fn{}
-	for _, c := range r.InverseFactorColumns(tables) {
-		fns[c] = spn.FnInv
-	}
-	for c, fn := range extraFns {
-		fns[c] = fn
-	}
-	// Outer tables keep padded rows: their indicator constraint is
-	// dropped, so a row missing the outer side still counts once.
-	inner := intersect(subtract(tables, outer), r.Tables)
-	term := rspn.Term{Fns: fns, Filters: filters, InnerTables: inner}
-	full, err := r.Expectation(term)
-	if err != nil {
-		return Estimate{}, err
-	}
-	variance, err := e.termVariance(r, term, full)
-	if err != nil {
-		return Estimate{}, err
-	}
-	return scaleEstimate(Estimate{Value: full, Variance: variance}, r.FullSize), nil
 }
 
 // termVariance computes the estimator variance of E[term] following
@@ -325,102 +260,6 @@ func squareFn(fn spn.Fn) spn.Fn {
 		// Squares of squares are not needed by any compilation.
 		return fn
 	}
-}
-
-// theorem2 combines multiple RSPNs (Case 3). The best-scoring RSPN answers
-// the largest connected sub-query it covers, extended across each bridge FK
-// edge by multiplying the bridge tuple factor; every remaining branch
-// contributes the ratio (estimated count of the branch) / (size of its
-// bridgehead table), the Theorem 2 correction under conditional
-// independence.
-func (e *Engine) theorem2(ctx context.Context, tables []string, filters []query.Predicate, outer []string) (Estimate, error) {
-	r := e.pickPartial(tables, filters)
-	if r == nil {
-		return Estimate{}, fmt.Errorf("core: no RSPN covers any of tables %v", tables)
-	}
-	sl := e.connectedCovered(tables, r)
-	if len(sl) == 0 {
-		return Estimate{}, fmt.Errorf("core: internal: empty coverage for %v", tables)
-	}
-	rest := subtract(tables, sl)
-	branches, err := e.branchComponents(rest, sl)
-	if err != nil {
-		return Estimate{}, err
-	}
-	// Bridge factors multiply into the left expectation when the branch
-	// head is on the Many side of its bridge edge. A fully-outer branch
-	// (all its tables outer-joined, hence unfiltered after WHERE
-	// normalization) multiplies by max(F, 1): rows without partners still
-	// appear once.
-	outerSet := toSet(outer)
-	extraFns := map[string]spn.Fn{}
-	for _, br := range branches {
-		if !br.headIsMany {
-			continue
-		}
-		col := tableTupleFactor(br)
-		if !r.HasColumn(col) {
-			return Estimate{}, fmt.Errorf("core: RSPN %v lacks bridge factor column %s", r.Tables, col)
-		}
-		if branchAllOuter(br, outerSet) {
-			extraFns[col] = spn.FnMax1
-		} else {
-			extraFns[col] = spn.FnIdent
-		}
-	}
-	// Non-outer branches contribute selectivity ratios; unfiltered outer
-	// branches are fully handled by the max(F,1) factor above.
-	var active []branch
-	for _, br := range branches {
-		if !branchAllOuter(br, outerSet) {
-			active = append(active, br)
-		}
-	}
-	// The left sub-estimate and every branch ratio are independent
-	// evaluations: fan them out over up to Engine.Parallelism goroutines
-	// (<= 1 runs sequentially) and combine in deterministic order
-	// afterwards.
-	ests := make([]Estimate, 1+len(active))
-	err = parallel.ForEach(len(ests), e.Parallelism, func(i int) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if i == 0 {
-			left, err := e.theorem1(r, sl, filtersFor(e, sl, filters), intersect(outer, sl), extraFns)
-			if err != nil {
-				return err
-			}
-			ests[0] = left
-			return nil
-		}
-		br := active[i-1]
-		num, err := e.estimateCount(ctx, br.tables, filtersFor(e, br.tables, filters), intersect(outer, br.tables))
-		if err != nil {
-			return err
-		}
-		den, ok := e.Ens.TableRows(br.head)
-		if !ok {
-			return fmt.Errorf("core: no cardinality statistic or base table for %s (Theorem 2 needs its size)", br.head)
-		}
-		if den <= 0 {
-			// An empty bridgehead table joins to nothing: this branch's
-			// ratio is an exact zero. The remaining branches still
-			// evaluate, so their errors and cancellation surface the same
-			// way regardless of branch order.
-			ests[i] = Estimate{}
-			return nil
-		}
-		ests[i] = scaleEstimate(num, 1/den)
-		return nil
-	})
-	if err != nil {
-		return Estimate{}, err
-	}
-	result := ests[0]
-	for _, ratio := range ests[1:] {
-		result = mulEstimate(result, ratio)
-	}
-	return result, nil
 }
 
 // branchAllOuter reports whether every table of the branch is outer-joined.
@@ -571,18 +410,6 @@ func (e *Engine) connectedCovered(tables []string, r *rspn.RSPN) []string {
 	}
 	sort.Strings(bestComp)
 	return bestComp
-}
-
-// filtersFor keeps the predicates whose column belongs to one of the given
-// tables.
-func filtersFor(e *Engine, tables []string, filters []query.Predicate) []query.Predicate {
-	var out []query.Predicate
-	for _, f := range filters {
-		if e.columnOwner(f.Column, tables) != "" {
-			out = append(out, f)
-		}
-	}
-	return out
 }
 
 // columnOwner returns which of the tables owns the column ("" if none).

@@ -1,74 +1,124 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/query"
 )
 
-// Explain renders the execution plan the engine would choose for a query
-// without evaluating it: which compilation case of Section 4 applies
-// (exact-match RSPN, superset RSPN with 1/F' normalization, or the
-// Theorem-2 combination across bridge FK edges) and which ensemble members
-// answer each part.
-func (e *Engine) Explain(q query.Query) (string, error) {
-	if err := e.validateQuery(q); err != nil {
+// Explain renders the execution plan for a query without evaluating it:
+// which compilation case of Section 4 applies (exact-match RSPN, superset
+// RSPN with 1/F' normalization, or the Theorem-2 combination across bridge
+// FK edges) and which ensemble members answer each part. The output is
+// produced from the same compiled Plan that Execute walks, so it describes
+// exactly the plan that would run.
+func (e *Engine) Explain(ctx context.Context, q query.Query) (string, error) {
+	if err := ctx.Err(); err != nil {
 		return "", err
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "query: %s\n", q.String())
-	if len(q.GroupBy) > 0 {
-		fmt.Fprintf(&b, "group-by: one estimate per key combination of %s (keys enumerated from model leaves)\n",
-			strings.Join(q.GroupBy, ", "))
+	p, err := e.Compile(q)
+	if err != nil {
+		return "", err
 	}
-	if len(q.Disjunction) > 0 {
-		fmt.Fprintf(&b, "disjunction: inclusion-exclusion over %d OR-terms (%d conjunctive sub-queries)\n",
-			len(q.Disjunction), (1<<len(q.Disjunction))-1)
-	}
-	e.explainCount(&b, "", q.Tables, q.Filters)
-	return b.String(), nil
+	return p.Explain(), nil
 }
 
-// explainCount narrates the estimateCount dispatch for one table set.
-func (e *Engine) explainCount(b *strings.Builder, indent string, tables []string, filters []query.Predicate) {
-	covering := e.Ens.Covering(tables)
-	if len(covering) > 0 {
-		if e.Strategy == StrategyMedian && len(covering) > 1 {
-			fmt.Fprintf(b, "%smedian over %d covering RSPNs:\n", indent, len(covering))
-			for _, r := range covering {
-				fmt.Fprintf(b, "%s  RSPN[%s]\n", indent, strings.Join(r.Tables, " |x| "))
-			}
-			return
+// Explain renders the compiled plan.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\n", p.q.String())
+	if p.nparams > 0 {
+		fmt.Fprintf(&b, "parameters: %d placeholder(s), bound at execution\n", p.nparams)
+	}
+	if err := p.ensureExec(); err != nil {
+		fmt.Fprintf(&b, "execution would fail: %v\n", err)
+		p.explainCountTerms(&b, p.card, p.q.Filters)
+		return b.String()
+	}
+	if len(p.groupCols) > 0 {
+		fmt.Fprintf(&b, "group-by: one estimate per key combination of %s (%d keys enumerated from model leaves)\n",
+			strings.Join(p.groupCols, ", "), len(p.groupKeys))
+	}
+	if k := len(p.q.Disjunction); k > 0 {
+		fmt.Fprintf(&b, "disjunction: inclusion-exclusion over %d OR-terms (%d conjunctive sub-queries; the fully-conjoined term is shown)\n",
+			k, (1<<k)-1)
+	}
+	// The predicates of the rendered term: base filters, group-key
+	// placeholders, and — for disjunctions — every disjunct (the
+	// fully-conjoined inclusion-exclusion term).
+	preds := append([]query.Predicate(nil), p.q.Filters...)
+	counts := p.card
+	if len(p.groupCols) > 0 {
+		counts = p.count
+		for _, c := range p.groupCols {
+			preds = append(preds, query.Predicate{Column: c, Op: query.Eq})
 		}
-		r := e.pickCovering(covering, filters)
+	}
+	preds = append(preds, p.q.Disjunction...)
+	switch {
+	case p.avg != nil:
+		fmt.Fprintf(&b, "avg: RSPN[%s] ratio of expectations (Section 4.2), resolving %d/%d filters\n",
+			strings.Join(p.avg.r.Tables, " |x| "), countResolved(p.avg.r, preds), len(preds))
+		if len(p.groupCols) > 0 {
+			b.WriteString("group existence gate (COUNT >= 0.5):\n")
+			p.explainCountTerms(&b, counts, preds)
+		}
+	case len(p.sum) > 0:
+		last := p.sum[len(p.sum)-1]
+		if last.direct != nil {
+			fmt.Fprintf(&b, "sum: single expectation on RSPN[%s] (covering member resolves all filters)\n",
+				strings.Join(last.direct.r.Tables, " |x| "))
+		} else {
+			fmt.Fprintf(&b, "sum: COUNT * AVG fallback (AVG on RSPN[%s], resolving %d/%d filters); COUNT plan:\n",
+				strings.Join(last.avg.r.Tables, " |x| "), countResolved(last.avg.r, preds), len(preds))
+			last.cnt.explain(&b, "  ", preds)
+		}
+		if p.q.Aggregate == query.Avg || len(p.groupCols) > 0 {
+			b.WriteString("count divisor / group gate:\n")
+			p.explainCountTerms(&b, counts, preds)
+		}
+	default:
+		p.explainCountTerms(&b, counts, preds)
+	}
+	return b.String()
+}
+
+// explainCountTerms renders the count estimator: the single compiled node,
+// or — for disjunctions — the fully-conjoined inclusion-exclusion term as
+// the representative.
+func (p *Plan) explainCountTerms(b *strings.Builder, terms []signedCount, preds []query.Predicate) {
+	if len(terms) == 0 {
+		return
+	}
+	terms[len(terms)-1].node.explain(b, "", preds)
+}
+
+// explain narrates one compiled count node.
+func (n *countNode) explain(b *strings.Builder, indent string, preds []query.Predicate) {
+	switch n.kind {
+	case ckMedian:
+		fmt.Fprintf(b, "%smedian over %d covering RSPNs:\n", indent, len(n.median))
+		for _, c := range n.median {
+			fmt.Fprintf(b, "%s  RSPN[%s]\n", indent, strings.Join(c.r.Tables, " |x| "))
+		}
+	case ckSingle:
 		kase := "case 1 (exact table match)"
-		if len(r.Tables) > len(tables) {
+		if len(n.single.r.Tables) > len(n.tables) {
 			kase = "case 2 (superset RSPN, 1/F' tuple-factor normalization)"
 		}
 		fmt.Fprintf(b, "%s%s: RSPN[%s] answers %s, resolving %d/%d filters\n",
-			indent, kase, strings.Join(r.Tables, " |x| "), strings.Join(tables, ", "),
-			countResolved(r, filters), len(filters))
-		return
-	}
-	r := e.pickPartial(tables, filters)
-	if r == nil {
-		fmt.Fprintf(b, "%sno RSPN covers any of %s — the query would fail\n", indent, strings.Join(tables, ", "))
-		return
-	}
-	sl := e.connectedCovered(tables, r)
-	fmt.Fprintf(b, "%scase 3 (Theorem 2): RSPN[%s] answers sub-join %s\n",
-		indent, strings.Join(r.Tables, " |x| "), strings.Join(sl, ", "))
-	rest := subtract(tables, sl)
-	branches, err := e.branchComponents(rest, sl)
-	if err != nil {
-		fmt.Fprintf(b, "%s  branch decomposition failed: %v\n", indent, err)
-		return
-	}
-	for _, br := range branches {
-		fmt.Fprintf(b, "%s  branch %s via bridge %s<-%s (ratio count/|%s|):\n",
-			indent, strings.Join(br.tables, ", "), br.bridgeOne, br.bridgeMany, br.head)
-		e.explainCount(b, indent+"    ", br.tables, filtersFor(e, br.tables, filters))
+			indent, kase, strings.Join(n.single.r.Tables, " |x| "), strings.Join(n.tables, ", "),
+			countResolved(n.single.r, preds), len(preds))
+	default:
+		fmt.Fprintf(b, "%scase 3 (Theorem 2): RSPN[%s] answers sub-join %s\n",
+			indent, strings.Join(n.left.r.Tables, " |x| "), strings.Join(n.leftTables, ", "))
+		for _, bp := range n.branches {
+			fmt.Fprintf(b, "%s  branch %s via bridge %s<-%s (ratio count/|%s|):\n",
+				indent, strings.Join(bp.br.tables, ", "), bp.br.bridgeOne, bp.br.bridgeMany, bp.br.head)
+			bp.node.explain(b, indent+"    ", selectPreds(preds, bp.keep))
+		}
 	}
 }
 

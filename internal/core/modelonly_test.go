@@ -119,14 +119,27 @@ func TestMedianCountEvenAverages(t *testing.T) {
 	}
 }
 
-// TestMedianCountCancellation: medianCount checks the caller's context
-// between covering-RSPN evaluations.
+// TestMedianCountCancellation: the compiled median node checks the
+// caller's context between covering-RSPN evaluations.
 func TestMedianCountCancellation(t *testing.T) {
 	e, _, _ := exactEnsemble(t, false)
+	// Duplicate the customer RSPN so the median path (>= 2 covering
+	// members) actually compiles.
+	for _, r := range e.Ens.RSPNs {
+		if r.HasTable("customer") {
+			clone := *r
+			e.Ens.RSPNs = append(e.Ens.RSPNs, &clone)
+			break
+		}
+	}
+	e.Strategy = StrategyMedian
+	p, err := e.Compile(query.Query{Aggregate: query.Count, Tables: []string{"customer"}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := e.medianCount(ctx, e.Ens.Covering([]string{"customer"}), []string{"customer"}, nil, nil)
-	if !errors.Is(err, context.Canceled) {
+	if _, err := p.EstimateCardinality(ctx); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

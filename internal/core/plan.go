@@ -1,0 +1,871 @@
+package core
+
+// plan.go implements the engine's compile/execute split. Compile resolves
+// everything about a query that does not depend on literal values — SQL
+// validation, effective outer tables, the compilation case of Section 4
+// (exact RSPN, superset RSPN, median set, or the Theorem-2 branch
+// decomposition with per-branch RSPN picks), moment-function maps, filter
+// routing across branches, inclusion-exclusion masks, group-key
+// enumeration and aggregate member selection — into a Plan. Execution is
+// then a pure walk over the prebuilt structure with concrete predicate
+// values bound in, so one Plan can serve any number of executions of the
+// same query *shape* (a prepared statement with `?` parameters, or a plan
+// cache keyed on query.ShapeKey).
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/parallel"
+	"repro/internal/query"
+	"repro/internal/rspn"
+	"repro/internal/spn"
+)
+
+// ExecOpts are per-execution options, applied at execution time rather
+// than engine construction so one plan can serve callers with different
+// needs.
+type ExecOpts struct {
+	// ConfidenceLevel overrides the engine's interval level for this
+	// execution; 0 keeps the engine default.
+	ConfidenceLevel float64
+}
+
+// Plan is a query compiled against the engine's ensemble. A Plan is
+// immutable after Compile and safe for concurrent executions; it stays
+// valid until the ensemble changes (an Insert/Delete can add group-by keys
+// and shift statistics-based choices — recompile after updates, as the
+// deepdb facade's generation-tagged plan cache does).
+type Plan struct {
+	eng     *Engine
+	q       query.Query // validated template (may contain placeholders)
+	shape   string
+	nparams int
+
+	// card estimates COUNT(*) over the join with the query's filters,
+	// ignoring GROUP BY and the aggregate — the EstimateCardinality view
+	// (and the executed estimator for ungrouped COUNT queries).
+	card []signedCount
+
+	// Grouped execution: per-group estimators are compiled from the group
+	// template (the query with its group columns as extra equality
+	// filters, values bound per key at execution).
+	groupCols []string
+	groupKeys [][]float64
+	count     []signedCount // per-group COUNT / existence gate / AVG divisor
+
+	// Aggregate estimators (nil unless the aggregate needs them).
+	sum []signedSum // SUM terms; also the numerator of disjunctive AVG
+	avg *avgNode    // plain (non-disjunctive) AVG ratio
+
+	// The Execute-side estimators (group template, aggregate members,
+	// group-key enumeration) compile lazily on first use, guarded by
+	// execOnce: EstimateCardinality ignores aggregate and GROUP BY
+	// settings by contract and must neither pay for them nor fail on
+	// them. execErr holds the (sticky) compilation outcome.
+	execOnce sync.Once
+	execErr  error
+}
+
+// signedCount is one inclusion-exclusion term of a COUNT: the conjunctive
+// sub-query selected by mask over the disjunction predicates, compiled to
+// a countNode. Queries without a disjunction compile to a single term with
+// mask 0 and sign +1.
+type signedCount struct {
+	sign float64
+	mask int
+	node *countNode
+}
+
+// signedSum is one inclusion-exclusion term of a SUM: either a direct
+// single-expectation evaluation on a covering RSPN, or the COUNT * AVG
+// fallback of Section 4.2.
+type signedSum struct {
+	sign   float64
+	mask   int
+	direct *t1call
+	cnt    *countNode
+	avg    *avgNode
+}
+
+// countKind is the compilation case of a countNode.
+type countKind int
+
+const (
+	// ckSingle: one covering RSPN answers the node (Cases 1 and 2).
+	ckSingle countKind = iota
+	// ckMedian: the median over all covering RSPNs (StrategyMedian).
+	ckMedian
+	// ckTheorem2: a multi-RSPN combination across bridge FK edges.
+	ckTheorem2
+)
+
+// countNode is a compiled COUNT estimator over one table set.
+type countNode struct {
+	tables []string
+	outer  []string
+	kind   countKind
+
+	single t1call   // ckSingle
+	median []t1call // ckMedian
+
+	// ckTheorem2: the left sub-join evaluation plus one sub-plan per
+	// uncovered branch (fully-outer branches are folded into the left
+	// side's max(F,1) factor and have no sub-plan).
+	left       t1call
+	leftTables []string
+	branches   []*branchPlan
+}
+
+// branchPlan is one Theorem-2 branch: its compiled sub-estimator, the
+// filter columns routed to it, and the bridge metadata for the ratio
+// denominator (looked up at execution so maintained statistics stay
+// authoritative).
+type branchPlan struct {
+	br   branch
+	keep map[string]bool
+	node *countNode
+}
+
+// t1call captures one Theorem-1 evaluation: the RSPN, its precomputed
+// moment functions (inverse tuple factors plus any Theorem-2 bridge
+// factors), inner-join indicator tables, and the filter columns to keep
+// (nil passes every predicate through).
+type t1call struct {
+	r     *rspn.RSPN
+	fns   map[string]spn.Fn
+	inner []string
+	keep  map[string]bool
+}
+
+// avgNode is a compiled AVG: the chosen RSPN, the resolvable filter
+// columns, and the numerator/denominator moment functions of the
+// normalized conditional expectation of Section 4.2.
+type avgNode struct {
+	r      *rspn.RSPN
+	keep   map[string]bool
+	numFns map[string]spn.Fn
+	denFns map[string]spn.Fn
+	inner  []string
+	aggCol string
+}
+
+// Compile validates the query and builds its execution plan. Literal
+// values (and `?` parameter markers) play no role in compilation, so the
+// plan serves every query sharing the template's shape.
+func (e *Engine) Compile(q query.Query) (*Plan, error) {
+	if err := e.validateQuery(q); err != nil {
+		return nil, err
+	}
+	p := &Plan{eng: e, q: q, shape: q.ShapeKey(), nparams: q.NumParams()}
+	var err error
+	p.card, err = e.compileCountTerms(q)
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ensureExec compiles the Execute-side estimators on first use (safe
+// under concurrent executions); the outcome is sticky for the plan's
+// lifetime.
+func (p *Plan) ensureExec() error {
+	p.execOnce.Do(func() { p.execErr = p.compileExec(p.q) })
+	return p.execErr
+}
+
+// ExecErr forces the Execute-side compilation and reports its error, so
+// callers like Prepare can surface execution-compilation failures eagerly
+// without running the query.
+func (p *Plan) ExecErr() error { return p.ensureExec() }
+
+// compileExec builds the Execute-side estimators (group template and
+// aggregate members). Its error fails Execute but not EstimateCardinality,
+// preserving the contract that cardinality estimation ignores aggregate
+// and GROUP BY settings.
+func (p *Plan) compileExec(q query.Query) error {
+	e := p.eng
+	gt := q
+	if len(q.GroupBy) > 0 {
+		var err error
+		p.groupCols = q.GroupBy
+		p.groupKeys, err = e.groupKeys(q)
+		if err != nil {
+			return err
+		}
+		gt.GroupBy = nil
+		gfs := make([]query.Predicate, len(q.GroupBy))
+		for i, c := range q.GroupBy {
+			gfs[i] = query.Predicate{Column: c, Op: query.Eq}
+		}
+		gt.Filters = append(append([]query.Predicate(nil), q.Filters...), gfs...)
+		p.count, err = e.compileCountTerms(gt)
+		if err != nil {
+			return err
+		}
+	}
+	var err error
+	switch q.Aggregate {
+	case query.Count:
+		// The count terms above (or card, when ungrouped) are the answer.
+	case query.Sum:
+		p.sum, err = e.compileSumTerms(gt)
+	case query.Avg:
+		if len(q.Disjunction) > 0 {
+			// AVG over a disjunction is SUM / COUNT over the same masks.
+			st := gt
+			st.Aggregate = query.Sum
+			p.sum, err = e.compileSumTerms(st)
+		} else {
+			p.avg, err = e.compileAvg(gt)
+		}
+	default:
+		err = fmt.Errorf("core: unsupported aggregate %v", q.Aggregate)
+	}
+	return err
+}
+
+// compileCountTerms expands the query's disjunction (if any) with the
+// inclusion-exclusion principle and compiles each signed conjunctive term.
+// Outer-table semantics are resolved per term: a disjunct on an outer
+// table's column reverts that table to inner-join behaviour within its
+// terms only.
+func (e *Engine) compileCountTerms(q query.Query) ([]signedCount, error) {
+	subs, err := expandInclusionExclusion(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]signedCount, len(subs))
+	for i, sq := range subs {
+		node, err := e.compileCount(sq.q.Tables, sq.q.Filters, e.effectiveOuter(sq.q))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = signedCount{sign: sq.sign, mask: sq.mask, node: node}
+	}
+	return out, nil
+}
+
+// compileCount dispatches between the single-RSPN cases and Theorem 2 —
+// the compile-time mirror of the former per-call estimateCount. preds are
+// the template predicates visible at this node; only their columns matter.
+func (e *Engine) compileCount(tables []string, preds []query.Predicate, outer []string) (*countNode, error) {
+	covering := e.Ens.Covering(tables)
+	if len(covering) > 0 {
+		if e.Strategy == StrategyMedian && len(covering) > 1 {
+			calls := make([]t1call, len(covering))
+			for i, r := range covering {
+				calls[i] = e.compileT1(r, tables, outer, nil, nil)
+			}
+			return &countNode{tables: tables, outer: outer, kind: ckMedian, median: calls}, nil
+		}
+		r := e.pickCovering(covering, preds)
+		return &countNode{tables: tables, outer: outer, kind: ckSingle,
+			single: e.compileT1(r, tables, outer, nil, nil)}, nil
+	}
+	return e.compileTheorem2(tables, preds, outer)
+}
+
+// compileTheorem2 compiles the multi-RSPN combination of Case 3: the
+// best-scoring RSPN answers the largest connected sub-query it covers,
+// extended across each bridge FK edge; every remaining branch becomes a
+// compiled sub-plan whose ratio divides by its bridgehead's cardinality.
+func (e *Engine) compileTheorem2(tables []string, preds []query.Predicate, outer []string) (*countNode, error) {
+	r := e.pickPartial(tables, preds)
+	if r == nil {
+		return nil, fmt.Errorf("core: no RSPN covers any of tables %v", tables)
+	}
+	sl := e.connectedCovered(tables, r)
+	if len(sl) == 0 {
+		return nil, fmt.Errorf("core: internal: empty coverage for %v", tables)
+	}
+	rest := subtract(tables, sl)
+	branches, err := e.branchComponents(rest, sl)
+	if err != nil {
+		return nil, err
+	}
+	// Bridge factors multiply into the left expectation when the branch
+	// head is on the Many side of its bridge edge. A fully-outer branch
+	// (all its tables outer-joined, hence unfiltered after WHERE
+	// normalization) multiplies by max(F, 1): rows without partners still
+	// appear once.
+	outerSet := toSet(outer)
+	extraFns := map[string]spn.Fn{}
+	for _, br := range branches {
+		if !br.headIsMany {
+			continue
+		}
+		col := tableTupleFactor(br)
+		if !r.HasColumn(col) {
+			return nil, fmt.Errorf("core: RSPN %v lacks bridge factor column %s", r.Tables, col)
+		}
+		if branchAllOuter(br, outerSet) {
+			extraFns[col] = spn.FnMax1
+		} else {
+			extraFns[col] = spn.FnIdent
+		}
+	}
+	node := &countNode{tables: tables, outer: outer, kind: ckTheorem2, leftTables: sl,
+		left: e.compileT1(r, sl, intersect(outer, sl), extraFns, e.keepColumns(sl, preds))}
+	// Non-outer branches contribute selectivity ratios; unfiltered outer
+	// branches are fully handled by the max(F,1) factor above.
+	for _, br := range branches {
+		if branchAllOuter(br, outerSet) {
+			continue
+		}
+		keep := e.keepColumns(br.tables, preds)
+		sub, err := e.compileCount(br.tables, selectPreds(preds, keep), intersect(outer, br.tables))
+		if err != nil {
+			return nil, err
+		}
+		node.branches = append(node.branches, &branchPlan{br: br, keep: keep, node: sub})
+	}
+	return node, nil
+}
+
+// compileT1 precomputes one Theorem-1 evaluation on an RSPN.
+func (e *Engine) compileT1(r *rspn.RSPN, tables, outer []string, extraFns map[string]spn.Fn, keep map[string]bool) t1call {
+	fns := map[string]spn.Fn{}
+	for _, c := range r.InverseFactorColumns(tables) {
+		fns[c] = spn.FnInv
+	}
+	for c, fn := range extraFns {
+		fns[c] = fn
+	}
+	// Outer tables keep padded rows: their indicator constraint is
+	// dropped, so a row missing the outer side still counts once.
+	inner := intersect(subtract(tables, outer), r.Tables)
+	return t1call{r: r, fns: fns, inner: inner, keep: keep}
+}
+
+// compileSumTerms compiles the signed SUM terms of the (possibly
+// disjunctive) query.
+func (e *Engine) compileSumTerms(q query.Query) ([]signedSum, error) {
+	subs, err := expandInclusionExclusion(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]signedSum, len(subs))
+	for i, sq := range subs {
+		st, err := e.compileSum(sq.q)
+		if err != nil {
+			return nil, err
+		}
+		st.sign, st.mask = sq.sign, sq.mask
+		out[i] = st
+	}
+	return out, nil
+}
+
+// compileSum compiles one conjunctive SUM. With a covering RSPN that owns
+// the aggregate column and resolves every filter, the sum is a single
+// expectation |J| * E(A/F' * 1_C * N); otherwise it is COUNT * AVG as in
+// Section 4.2.
+func (e *Engine) compileSum(q query.Query) (signedSum, error) {
+	if covering := e.Ens.Covering(q.Tables); len(covering) > 0 {
+		for _, r := range covering {
+			if !r.HasColumn(q.AggColumn) {
+				continue
+			}
+			resolved := 0
+			for _, f := range q.Filters {
+				if r.ResolvesColumn(f.Column) {
+					resolved++
+				}
+			}
+			if resolved != len(q.Filters) {
+				continue // cannot resolve all filters; try another member
+			}
+			call := e.compileT1(r, q.Tables, e.effectiveOuter(q), nil, nil)
+			call.fns[q.AggColumn] = spn.FnIdent
+			return signedSum{direct: &call}, nil
+		}
+	}
+	// COUNT * AVG fallback. The count must range over rows with a non-NULL
+	// aggregate column to match SQL SUM semantics; the AVG denominator
+	// already does, so the product is consistent up to NULL skew.
+	cnt, err := e.compileCount(q.Tables, q.Filters, e.effectiveOuter(q))
+	if err != nil {
+		return signedSum{}, err
+	}
+	av, err := e.compileAvg(q)
+	if err != nil {
+		return signedSum{}, err
+	}
+	return signedSum{cnt: cnt, avg: av}, nil
+}
+
+// compileAvg compiles an AVG as the ratio of expectations of Section 4.2,
+// restricted to the filters the chosen RSPN can resolve (the paper drops
+// the rest, accepting an approximation).
+func (e *Engine) compileAvg(q query.Query) (*avgNode, error) {
+	r, err := e.pickForAggregate(q)
+	if err != nil {
+		return nil, err
+	}
+	keep := map[string]bool{}
+	for _, f := range q.Filters {
+		if r.ResolvesColumn(f.Column) {
+			keep[f.Column] = true
+		}
+	}
+	inner := intersect(subtract(q.Tables, e.effectiveOuter(q)), r.Tables)
+	numFns := map[string]spn.Fn{q.AggColumn: spn.FnIdent}
+	denFns := map[string]spn.Fn{}
+	for _, c := range r.InverseFactorColumns(q.Tables) {
+		numFns[c] = spn.FnInv
+		denFns[c] = spn.FnInv
+	}
+	return &avgNode{r: r, keep: keep, numFns: numFns, denFns: denFns, inner: inner, aggCol: q.AggColumn}, nil
+}
+
+// keepColumns returns the filter columns owned by one of the tables —
+// the compile-time image of the former per-call filtersFor.
+func (e *Engine) keepColumns(tables []string, preds []query.Predicate) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range preds {
+		if e.columnOwner(f.Column, tables) != "" {
+			out[f.Column] = true
+		}
+	}
+	return out
+}
+
+// selectPreds keeps the predicates whose column is in keep (nil keeps all).
+func selectPreds(preds []query.Predicate, keep map[string]bool) []query.Predicate {
+	if keep == nil {
+		return preds
+	}
+	var out []query.Predicate
+	for _, f := range preds {
+		if keep[f.Column] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ---- plan accessors ----
+
+// Shape returns the plan's normalized shape key (query.ShapeKey of its
+// template).
+func (p *Plan) Shape() string { return p.shape }
+
+// NumParams returns the number of parameter placeholders in the template.
+func (p *Plan) NumParams() int { return p.nparams }
+
+// Query returns the compiled template.
+func (p *Plan) Query() query.Query { return p.q }
+
+// ---- execution ----
+
+// Execute runs the plan with the given parameter values bound into its
+// placeholders (none for a literal query).
+func (p *Plan) Execute(ctx context.Context, params ...float64) (AQPResult, error) {
+	return p.ExecuteOpts(ctx, ExecOpts{}, params...)
+}
+
+// ExecuteOpts is Execute with per-call options.
+func (p *Plan) ExecuteOpts(ctx context.Context, opts ExecOpts, params ...float64) (AQPResult, error) {
+	q, err := p.q.Bind(params...)
+	if err != nil {
+		return AQPResult{}, err
+	}
+	return p.ExecuteQuery(ctx, opts, q)
+}
+
+// ExecuteQuery runs the plan against a fully-bound concrete query that
+// shares the plan's shape — the entry point for plan-cache reuse, where
+// the concrete query may differ from the template in literal values only.
+func (p *Plan) ExecuteQuery(ctx context.Context, opts ExecOpts, q query.Query) (AQPResult, error) {
+	if err := p.checkBound(q); err != nil {
+		return AQPResult{}, err
+	}
+	if err := p.ensureExec(); err != nil {
+		return AQPResult{}, err
+	}
+	level := p.level(opts)
+	if len(p.groupCols) == 0 {
+		est, err := p.aggregate(ctx, p.card, q.Filters, q.Disjunction)
+		if err != nil {
+			return AQPResult{}, err
+		}
+		return AQPResult{Groups: []AQPGroup{finish(nil, est, level)}}, nil
+	}
+	groups, err := p.executeGroups(ctx, q, level)
+	if err != nil {
+		return AQPResult{}, err
+	}
+	out := AQPResult{Groups: groups}
+	sort.Slice(out.Groups, func(i, j int) bool {
+		a, b := out.Groups[i].Key, out.Groups[j].Key
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out, nil
+}
+
+// EstimateCardinality estimates COUNT(*) over the join with the bound
+// filters, ignoring aggregate and GROUP BY settings.
+func (p *Plan) EstimateCardinality(ctx context.Context, params ...float64) (Estimate, error) {
+	q, err := p.q.Bind(params...)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return p.EstimateCardinalityQuery(ctx, q)
+}
+
+// EstimateCardinalityQuery is EstimateCardinality for a concrete query
+// sharing the plan's shape.
+func (p *Plan) EstimateCardinalityQuery(ctx context.Context, q query.Query) (Estimate, error) {
+	if err := p.checkBound(q); err != nil {
+		return Estimate{}, err
+	}
+	return p.runCount(ctx, p.card, q.Filters, q.Disjunction)
+}
+
+// checkBound verifies the concrete query is parameter-free and matches the
+// plan's shape.
+func (p *Plan) checkBound(q query.Query) error {
+	if n := q.NumParams(); n > 0 {
+		return fmt.Errorf("core: query has %d unbound parameters (bind values before executing, or use the params form)", n)
+	}
+	if !query.SameShape(p.q, q) {
+		return fmt.Errorf("core: query shape does not match the compiled plan (plan %s)", p.shape)
+	}
+	return nil
+}
+
+// level resolves the effective confidence level for one execution.
+func (p *Plan) level(opts ExecOpts) float64 {
+	level := opts.ConfidenceLevel
+	if level <= 0 || level >= 1 {
+		level = p.eng.ConfidenceLevel
+	}
+	if level <= 0 || level >= 1 {
+		level = 0.95
+	}
+	return level
+}
+
+// aggregate evaluates the plan's aggregate for one bound predicate set.
+// countTerms is the COUNT estimator matching the predicate set (card for
+// the base query, count for the group template).
+func (p *Plan) aggregate(ctx context.Context, countTerms []signedCount, preds, disj []query.Predicate) (Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, err
+	}
+	switch p.q.Aggregate {
+	case query.Count:
+		return p.runCount(ctx, countTerms, preds, disj)
+	case query.Sum:
+		return p.runSum(ctx, preds, disj)
+	case query.Avg:
+		if p.avg != nil {
+			return p.avg.estimate(p.eng, preds)
+		}
+		sum, err := p.runSum(ctx, preds, disj)
+		if err != nil {
+			return Estimate{}, err
+		}
+		cnt, err := p.runCount(ctx, countTerms, preds, disj)
+		if err != nil {
+			return Estimate{}, err
+		}
+		return divEstimate(sum, cnt), nil
+	default:
+		return Estimate{}, fmt.Errorf("core: unsupported aggregate %v", p.q.Aggregate)
+	}
+}
+
+// executeGroups fans the per-group estimates over up to Parallelism
+// workers, preserving key order in the result.
+func (p *Plan) executeGroups(ctx context.Context, q query.Query, level float64) ([]AQPGroup, error) {
+	results := make([]*AQPGroup, len(p.groupKeys))
+	err := parallel.ForEach(len(p.groupKeys), p.eng.Parallelism, func(i int) error {
+		g, err := p.estimateGroup(ctx, q, p.groupKeys[i], level)
+		if err != nil {
+			return err
+		}
+		results[i] = g
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []AQPGroup
+	for _, g := range results {
+		if g != nil {
+			out = append(out, *g)
+		}
+	}
+	return out, nil
+}
+
+// estimateGroup answers one group of a GROUP BY query: nil when the model
+// believes the group is empty.
+func (p *Plan) estimateGroup(ctx context.Context, q query.Query, key []float64, level float64) (*AQPGroup, error) {
+	preds := make([]query.Predicate, 0, len(q.Filters)+len(key))
+	preds = append(preds, q.Filters...)
+	preds = append(preds, groupFilters(p.groupCols, key)...)
+	cnt, err := p.runCount(ctx, p.count, preds, q.Disjunction)
+	if err != nil {
+		return nil, err
+	}
+	if cnt.Value < 0.5 {
+		return nil, nil
+	}
+	est := cnt
+	if p.q.Aggregate != query.Count {
+		est, err = p.aggregate(ctx, p.count, preds, q.Disjunction)
+		if err != nil {
+			return nil, err
+		}
+	}
+	g := finish(key, est, level)
+	return &g, nil
+}
+
+// runCount evaluates the signed COUNT terms with the bound predicates,
+// fanning the (independent) inclusion-exclusion terms over up to
+// Engine.Parallelism workers and combining in deterministic order.
+// Variances add — the terms are not independent, so this is the
+// conservative bound. The disjunctive total is clamped at zero.
+func (p *Plan) runCount(ctx context.Context, terms []signedCount, base, disj []query.Predicate) (Estimate, error) {
+	if len(terms) == 1 && terms[0].mask == 0 {
+		return terms[0].node.estimate(ctx, p.eng, base)
+	}
+	ests := make([]Estimate, len(terms))
+	err := parallel.ForEach(len(terms), p.eng.Parallelism, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		est, err := terms[i].node.estimate(ctx, p.eng, maskPreds(base, disj, terms[i].mask))
+		if err != nil {
+			return err
+		}
+		ests[i] = est
+		return nil
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	var total Estimate
+	for i, t := range terms {
+		total.Value += t.sign * ests[i].Value
+		total.Variance += ests[i].Variance
+	}
+	if total.Value < 0 {
+		total.Value = 0
+	}
+	return total, nil
+}
+
+// runSum evaluates the signed SUM terms (no clamping: SUM distributes over
+// inclusion-exclusion with its sign).
+func (p *Plan) runSum(ctx context.Context, base, disj []query.Predicate) (Estimate, error) {
+	terms := p.sum
+	if len(terms) == 1 && terms[0].mask == 0 {
+		return terms[0].estimate(ctx, p.eng, base)
+	}
+	ests := make([]Estimate, len(terms))
+	err := parallel.ForEach(len(terms), p.eng.Parallelism, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		est, err := terms[i].estimate(ctx, p.eng, maskPreds(base, disj, terms[i].mask))
+		if err != nil {
+			return err
+		}
+		ests[i] = est
+		return nil
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	var total Estimate
+	for i, t := range terms {
+		total.Value += t.sign * ests[i].Value
+		total.Variance += ests[i].Variance
+	}
+	return total, nil
+}
+
+// maskPreds appends the disjunction predicates selected by mask to the
+// base conjuncts.
+func maskPreds(base, disj []query.Predicate, mask int) []query.Predicate {
+	if mask == 0 {
+		return base
+	}
+	out := make([]query.Predicate, 0, len(base)+len(disj))
+	out = append(out, base...)
+	for i := 0; i < len(disj); i++ {
+		if mask&(1<<i) != 0 {
+			out = append(out, disj[i])
+		}
+	}
+	return out
+}
+
+// estimate walks one compiled COUNT node with bound predicates.
+func (n *countNode) estimate(ctx context.Context, e *Engine, preds []query.Predicate) (Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, err
+	}
+	switch n.kind {
+	case ckSingle:
+		return n.single.estimate(e, preds)
+	case ckMedian:
+		return n.estimateMedian(ctx, e, preds)
+	default:
+		return n.estimateTheorem2(ctx, e, preds)
+	}
+}
+
+// estimateMedian evaluates every covering RSPN and returns the median: the
+// middle estimate for an odd member count, the average of the two middle
+// estimates for an even one (variance of the two-point mean, treating the
+// members as independent).
+func (n *countNode) estimateMedian(ctx context.Context, e *Engine, preds []query.Predicate) (Estimate, error) {
+	ests := make([]Estimate, 0, len(n.median))
+	for _, call := range n.median {
+		if err := ctx.Err(); err != nil {
+			return Estimate{}, err
+		}
+		est, err := call.estimate(e, preds)
+		if err != nil {
+			return Estimate{}, err
+		}
+		ests = append(ests, est)
+	}
+	sort.Slice(ests, func(i, j int) bool { return ests[i].Value < ests[j].Value })
+	m := len(ests)
+	if m%2 == 1 {
+		return ests[m/2], nil
+	}
+	lo, hi := ests[m/2-1], ests[m/2]
+	return Estimate{
+		Value:    (lo.Value + hi.Value) / 2,
+		Variance: (lo.Variance + hi.Variance) / 4,
+	}, nil
+}
+
+// estimateTheorem2 evaluates the left sub-estimate and every branch ratio
+// — independent evaluations fanned over up to Engine.Parallelism workers
+// (<= 1 runs sequentially) — and combines them in deterministic order.
+func (n *countNode) estimateTheorem2(ctx context.Context, e *Engine, preds []query.Predicate) (Estimate, error) {
+	ests := make([]Estimate, 1+len(n.branches))
+	err := parallel.ForEach(len(ests), e.Parallelism, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if i == 0 {
+			left, err := n.left.estimate(e, preds)
+			if err != nil {
+				return err
+			}
+			ests[0] = left
+			return nil
+		}
+		b := n.branches[i-1]
+		num, err := b.node.estimate(ctx, e, selectPreds(preds, b.keep))
+		if err != nil {
+			return err
+		}
+		den, ok := e.Ens.TableRows(b.br.head)
+		if !ok {
+			return fmt.Errorf("core: no cardinality statistic or base table for %s (Theorem 2 needs its size)", b.br.head)
+		}
+		if den <= 0 {
+			// An empty bridgehead table joins to nothing: this branch's
+			// ratio is an exact zero. The remaining branches still
+			// evaluate, so their errors and cancellation surface the same
+			// way regardless of branch order.
+			ests[i] = Estimate{}
+			return nil
+		}
+		ests[i] = scaleEstimate(num, 1/den)
+		return nil
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	result := ests[0]
+	for _, ratio := range ests[1:] {
+		result = mulEstimate(result, ratio)
+	}
+	return result, nil
+}
+
+// estimate evaluates |J| * E(fns * 1_C * prod N_T) on the call's RSPN with
+// the variance derivation of Section 5.1.
+func (t t1call) estimate(e *Engine, preds []query.Predicate) (Estimate, error) {
+	term := rspn.Term{Fns: t.fns, Filters: selectPreds(preds, t.keep), InnerTables: t.inner}
+	full, err := t.r.Expectation(term)
+	if err != nil {
+		return Estimate{}, err
+	}
+	variance, err := e.termVariance(t.r, term, full)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return scaleEstimate(Estimate{Value: full, Variance: variance}, t.r.FullSize), nil
+}
+
+// estimate evaluates one signed SUM term.
+func (s signedSum) estimate(ctx context.Context, e *Engine, preds []query.Predicate) (Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, err
+	}
+	if s.direct != nil {
+		return s.direct.estimate(e, preds)
+	}
+	cnt, err := s.cnt.estimate(ctx, e, preds)
+	if err != nil {
+		return Estimate{}, err
+	}
+	av, err := s.avg.estimate(e, preds)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return mulEstimate(cnt, av), nil
+}
+
+// estimate evaluates the AVG ratio of expectations.
+func (a *avgNode) estimate(e *Engine, preds []query.Predicate) (Estimate, error) {
+	kept := selectPreds(preds, a.keep)
+	numTerm := rspn.Term{Fns: a.numFns, Filters: kept, InnerTables: a.inner}
+	denTerm := rspn.Term{Fns: a.denFns, Filters: kept, InnerTables: a.inner, NotNull: []string{a.aggCol}}
+	numV, err := a.r.Expectation(numTerm)
+	if err != nil {
+		return Estimate{}, err
+	}
+	denV, err := a.r.Expectation(denTerm)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if denV <= 0 {
+		return Estimate{}, nil
+	}
+	numVar, err := e.termVariance(a.r, numTerm, numV)
+	if err != nil {
+		return Estimate{}, err
+	}
+	denVar, err := e.termVariance(a.r, denTerm, denV)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return divEstimate(Estimate{Value: numV, Variance: numVar}, Estimate{Value: denV, Variance: denVar}), nil
+}
+
+// finish attaches the confidence interval at the given level.
+func finish(key []float64, est Estimate, level float64) AQPGroup {
+	lo, hi := est.ConfidenceInterval(level)
+	return AQPGroup{Key: key, Estimate: est, CILow: lo, CIHigh: hi}
+}

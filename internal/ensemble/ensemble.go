@@ -77,6 +77,11 @@ type TableStats struct {
 	// Columns lists every column the table owns, including the synthetic
 	// tuple-factor columns added during construction.
 	Columns []string
+	// Dicts maps each categorical column to its dictionary (strings
+	// indexed by code), so string-literal predicates resolve and group-by
+	// labels decode without the base tables attached. Refreshed from the
+	// live dictionaries on every Save (inserts can extend them).
+	Dicts map[string][]string
 }
 
 // HasColumn reports whether the snapshot lists the named column.
@@ -463,9 +468,9 @@ func (e *Ensemble) RSPNFor(tableName string) *rspn.RSPN {
 	return best
 }
 
-// captureStats snapshots per-table cardinalities and column sets from the
-// live base tables (call after tuple-factor augmentation). A no-op without
-// attached tables.
+// captureStats snapshots per-table cardinalities, column sets and
+// categorical dictionaries from the live base tables (call after
+// tuple-factor augmentation). A no-op without attached tables.
 func (e *Ensemble) captureStats() {
 	if e.Tables == nil {
 		return
@@ -475,8 +480,80 @@ func (e *Ensemble) captureStats() {
 		e.Stats[name] = TableStats{
 			Rows:    float64(t.NumRows()),
 			Columns: append([]string(nil), t.ColumnNames()...),
+			Dicts:   captureDicts(t),
 		}
 	}
+}
+
+// captureDicts copies the categorical dictionaries of one table.
+func captureDicts(t *table.Table) map[string][]string {
+	var out map[string][]string
+	for _, c := range t.Cols {
+		if c.DictSize() == 0 {
+			continue
+		}
+		if out == nil {
+			out = map[string][]string{}
+		}
+		out[c.Meta.Name] = append([]string(nil), c.Dict()...)
+	}
+	return out
+}
+
+// ResolveLabel maps a string literal on a column to its dictionary code —
+// through the live base table when attached, through the persisted
+// dictionaries otherwise. known reports whether any table owns the column;
+// found whether the literal exists in its dictionary.
+func (e *Ensemble) ResolveLabel(column, literal string) (code float64, found, known bool) {
+	if e.Tables != nil {
+		for _, t := range e.Tables {
+			c := t.Column(column)
+			if c == nil {
+				continue
+			}
+			if code := c.Lookup(literal); code >= 0 {
+				return float64(code), true, true
+			}
+			return 0, false, true
+		}
+		return 0, false, false
+	}
+	for _, st := range e.Stats {
+		if !st.HasColumn(column) {
+			continue
+		}
+		for code, s := range st.Dicts[column] {
+			if s == literal {
+				return float64(code), true, true
+			}
+		}
+		return 0, false, true
+	}
+	return 0, false, false
+}
+
+// DecodeLabel renders a dictionary code of a categorical column as its
+// string, preferring the live base table and falling back to the
+// persisted dictionaries. Returns "" when the column has no dictionary or
+// the code is out of range.
+func (e *Ensemble) DecodeLabel(column string, code int) string {
+	if e.Tables != nil {
+		for _, t := range e.Tables {
+			if c := t.Column(column); c != nil && c.DictSize() > 0 {
+				return c.Decode(code)
+			}
+		}
+		return ""
+	}
+	for _, st := range e.Stats {
+		if dict := st.Dicts[column]; len(dict) > 0 {
+			if code < 0 || code >= len(dict) {
+				return ""
+			}
+			return dict[code]
+		}
+	}
+	return ""
 }
 
 // statsRowDelta adjusts the maintained cardinality of one table by d rows.

@@ -21,8 +21,11 @@ const (
 	modelMagic = "deepdb-model"
 	// modelVersion is the persistence format version. Version 2 added the
 	// header itself and the per-table statistics that make query serving
-	// fully data-free; bump it whenever the payload changes incompatibly.
-	modelVersion = 2
+	// fully data-free; version 3 added the categorical dictionaries to
+	// those statistics, so string-literal predicates and group-by label
+	// decoding work model-only too. Bump it whenever the payload changes
+	// incompatibly.
+	modelVersion = 3
 )
 
 // fileHeader prefixes every model file.
@@ -44,7 +47,11 @@ type persisted struct {
 }
 
 // Save writes the ensemble's models and statistics to w in gob format,
-// prefixed by a versioned header.
+// prefixed by a versioned header. The persisted statistics carry the
+// current categorical dictionaries: when base tables are attached, the
+// snapshot is refreshed from the live dictionaries (inserts can have
+// extended them since the last capture) without mutating e.Stats — the
+// facade calls Save under a read lock shared with concurrent queries.
 func (e *Ensemble) Save(w io.Writer) error {
 	enc := gob.NewEncoder(w)
 	if err := enc.Encode(fileHeader{Magic: modelMagic, Version: modelVersion}); err != nil {
@@ -55,9 +62,26 @@ func (e *Ensemble) Save(w io.Writer) error {
 		RSPNs:   e.RSPNs,
 		AttrRDC: e.AttrRDC,
 		PairDep: e.PairDep,
-		Stats:   e.Stats,
+		Stats:   e.persistStats(),
 		Config:  e.cfg,
 	})
+}
+
+// persistStats returns the statistics to serialize: the maintained
+// snapshot, with dictionaries re-captured from the live tables when
+// attached.
+func (e *Ensemble) persistStats() map[string]TableStats {
+	if e.Tables == nil {
+		return e.Stats
+	}
+	out := make(map[string]TableStats, len(e.Stats))
+	for name, st := range e.Stats {
+		if t := e.Tables[name]; t != nil {
+			st.Dicts = captureDicts(t)
+		}
+		out[name] = st
+	}
+	return out
 }
 
 // Load reads an ensemble written by Save and reattaches the live base

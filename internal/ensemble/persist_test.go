@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/schema"
 	"repro/internal/table"
 )
 
@@ -163,5 +164,70 @@ func TestSaveFileAtomic(t *testing.T) {
 	// A failing save (unwritable directory) must not leave anything.
 	if err := e.SaveFile(filepath.Join(dir, "missing-subdir", "m.deepdb")); err == nil {
 		t.Fatal("expected error saving into a missing directory")
+	}
+}
+
+// TestDictionariesPersisted: format v3 carries the categorical
+// dictionaries, refreshed at Save time, so a model-only ensemble resolves
+// string literals and decodes labels — and a previous-version header is
+// rejected cleanly.
+func TestDictionariesPersisted(t *testing.T) {
+	s := &schema.Schema{Tables: []*schema.Table{{
+		Name:       "customer",
+		PrimaryKey: "c_id",
+		Columns: []schema.Column{
+			{Name: "c_id", Kind: schema.IntKind},
+			{Name: "c_region", Kind: schema.CategoricalKind},
+		},
+	}}}
+	cust := table.New(s.Table("customer"))
+	regions := []string{"EU", "ASIA", "US"}
+	for i := 0; i < 120; i++ {
+		cust.AppendRow(table.Int(i), table.Float(float64(cust.Column("c_region").Encode(regions[i%3]))))
+	}
+	tabs := map[string]*table.Table{"customer": cust}
+	cfg := testConfig()
+	cfg.BudgetFactor = 0
+	e, err := Build(context.Background(), s, tabs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catCol, catVal := "c_region", "ASIA"
+	// Extend the dictionary after Build: Save must persist the refreshed
+	// dictionary, not the one captured at construction.
+	newCode := cust.Column(catCol).Encode("added-after-build")
+
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Load(&buf, nil) // model-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, found, known := e2.ResolveLabel(catCol, catVal)
+	if !known || !found {
+		t.Fatalf("model-only ResolveLabel(%s, %q) = %v,%v,%v", catCol, catVal, code, found, known)
+	}
+	if got := e2.DecodeLabel(catCol, int(code)); got != catVal {
+		t.Fatalf("model-only DecodeLabel round-trip: %q != %q", got, catVal)
+	}
+	if c2, found, _ := e2.ResolveLabel(catCol, "added-after-build"); !found || int(c2) != newCode {
+		t.Fatalf("post-build dictionary entry not refreshed at Save: %v,%v", c2, found)
+	}
+	if _, found, known := e2.ResolveLabel(catCol, "no-such-value"); found || !known {
+		t.Fatal("unknown literal must be not-found on a known column")
+	}
+	if _, _, known := e2.ResolveLabel("no_such_column", "x"); known {
+		t.Fatal("unknown column must not resolve")
+	}
+
+	// A v2 file (previous format) is rejected with the version spelled out.
+	var v2 bytes.Buffer
+	if err := gob.NewEncoder(&v2).Encode(fileHeader{Magic: modelMagic, Version: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&v2, nil); err == nil || !strings.Contains(err.Error(), "format v2") {
+		t.Fatalf("v2 file error = %v, want format-version rejection", err)
 	}
 }

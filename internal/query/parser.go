@@ -22,6 +22,11 @@ type Resolver func(column, literal string) (float64, error)
 // implied by the schema's FK graph, matching the paper's equi-join-only
 // query class. String literals are single-quoted and resolved through the
 // supplied Resolver.
+//
+// A comparison value may be the placeholder ? (prepared-statement
+// parameter): the resulting predicate carries its 1-based ordinal in
+// Predicate.Param and Query.Bind substitutes the value later. Placeholders
+// are not supported inside IN lists.
 func Parse(sql string, resolve Resolver) (Query, error) {
 	toks, err := tokenize(sql)
 	if err != nil {
@@ -35,6 +40,7 @@ type parser struct {
 	toks    []token
 	pos     int
 	resolve Resolver
+	params  int
 }
 
 type token struct {
@@ -88,7 +94,7 @@ func tokenize(sql string) ([]token, error) {
 			}
 			toks = append(toks, token{tokNumber, sql[i:j]})
 			i = j
-		case strings.ContainsRune("<>=!(),*", rune(ch)):
+		case strings.ContainsRune("<>=!(),*?", rune(ch)):
 			// Two-char operators first.
 			if i+1 < len(sql) {
 				two := sql[i : i+2]
@@ -278,6 +284,9 @@ func (p *parser) predicate() (Predicate, error) {
 			return pred, err
 		}
 		for {
+			if p.peek().kind == tokSymbol && p.peek().text == "?" {
+				return pred, fmt.Errorf("query: parameter placeholder not supported in IN lists")
+			}
 			v, err := p.literal(pred.Column)
 			if err != nil {
 				return pred, err
@@ -309,6 +318,12 @@ func (p *parser) predicate() (Predicate, error) {
 		pred.Op = Ge
 	default:
 		return pred, fmt.Errorf("query: unsupported operator")
+	}
+	if p.peek().kind == tokSymbol && p.peek().text == "?" {
+		p.next()
+		p.params++
+		pred.Param = p.params
+		return pred, nil
 	}
 	v, err := p.literal(pred.Column)
 	if err != nil {

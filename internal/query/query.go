@@ -92,6 +92,11 @@ type Predicate struct {
 	Op     Op
 	Value  float64
 	Values []float64 // for In
+	// Param marks the predicate's value as the Param-th (1-based)
+	// placeholder of a prepared statement: Value is unset until Bind
+	// substitutes it. 0 means the predicate carries a literal value.
+	// Placeholders are not supported inside IN lists.
+	Param int
 }
 
 // Matches reports whether a non-NULL cell value v satisfies the predicate.
@@ -158,6 +163,9 @@ func (q Query) Validate() error {
 		if p.Op == In && len(p.Values) == 0 {
 			return fmt.Errorf("query: IN predicate on %s with no values", p.Column)
 		}
+		if p.Param > 0 && p.Op == In {
+			return fmt.Errorf("query: parameter placeholder in IN predicate on %s", p.Column)
+		}
 	}
 	if len(q.Disjunction) > 8 {
 		return fmt.Errorf("query: disjunction with %d terms (max 8)", len(q.Disjunction))
@@ -166,6 +174,12 @@ func (q Query) Validate() error {
 		if d.Column == "" {
 			return fmt.Errorf("query: disjunct with empty column")
 		}
+		if d.Param > 0 && d.Op == In {
+			return fmt.Errorf("query: parameter placeholder in IN disjunct on %s", d.Column)
+		}
+	}
+	if err := q.validateParams(); err != nil {
+		return err
 	}
 	for _, ot := range q.OuterTables {
 		found := false
@@ -189,6 +203,142 @@ func (q Query) WithExtraFilter(p Predicate) Query {
 	return c
 }
 
+// validateParams checks that the placeholder ordinals are exactly 1..n,
+// each used once, so Bind can substitute positionally.
+func (q Query) validateParams() error {
+	n := q.NumParams()
+	if n == 0 {
+		return nil
+	}
+	seen := make([]bool, n+1)
+	for _, preds := range [][]Predicate{q.Filters, q.Disjunction} {
+		for _, p := range preds {
+			if p.Param <= 0 {
+				continue
+			}
+			if p.Param > n || seen[p.Param] {
+				return fmt.Errorf("query: parameter ordinals must be 1..%d without repeats (got %d)", n, p.Param)
+			}
+			seen[p.Param] = true
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if !seen[i] {
+			return fmt.Errorf("query: parameter %d missing (ordinals must be 1..%d)", i, n)
+		}
+	}
+	return nil
+}
+
+// NumParams returns the number of parameter placeholders in the query.
+func (q Query) NumParams() int {
+	n := 0
+	for _, preds := range [][]Predicate{q.Filters, q.Disjunction} {
+		for _, p := range preds {
+			if p.Param > n {
+				n = p.Param
+			}
+		}
+	}
+	return n
+}
+
+// Bind returns a copy of q with every parameter placeholder replaced by the
+// corresponding value of params (placeholder order). The argument count
+// must match NumParams exactly.
+func (q Query) Bind(params ...float64) (Query, error) {
+	n := q.NumParams()
+	if len(params) != n {
+		return Query{}, fmt.Errorf("query: %d parameters bound, statement has %d placeholders", len(params), n)
+	}
+	if n == 0 {
+		return q, nil
+	}
+	c := q
+	c.Filters = bindPreds(q.Filters, params)
+	c.Disjunction = bindPreds(q.Disjunction, params)
+	return c, nil
+}
+
+func bindPreds(preds []Predicate, params []float64) []Predicate {
+	out := append([]Predicate(nil), preds...)
+	for i := range out {
+		if p := out[i].Param; p > 0 {
+			out[i].Value = params[p-1]
+			out[i].Param = 0
+		}
+	}
+	return out
+}
+
+// ShapeKey returns a canonical rendering of the query's shape: every part
+// that determines plan choice (aggregate, tables, outer tables, the columns
+// and operators of filters and disjuncts, group-by columns) and nothing
+// that does not (literal values, parameter bindings). Two queries with
+// equal shape keys can share one compiled plan; a prepared statement and
+// the equivalent literal query therefore hit the same cache entry.
+func (q Query) ShapeKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v(%s)|T:%s|O:%s|F:", q.Aggregate, q.AggColumn,
+		strings.Join(q.Tables, ","), strings.Join(q.OuterTables, ","))
+	shapePreds(&b, q.Filters)
+	b.WriteString("|D:")
+	shapePreds(&b, q.Disjunction)
+	fmt.Fprintf(&b, "|G:%s", strings.Join(q.GroupBy, ","))
+	return b.String()
+}
+
+func shapePreds(b *strings.Builder, preds []Predicate) {
+	for i, p := range preds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%s%v", p.Column, p.Op)
+		if p.Op == In {
+			// The value count changes the predicate's range set but not
+			// the plan, so IN collapses to the bare operator.
+			b.WriteString("(...)")
+		}
+	}
+}
+
+// SameShape reports whether two queries share a plan-compatible shape —
+// the cheap structural equivalent of comparing ShapeKey strings.
+func SameShape(a, b Query) bool {
+	if a.Aggregate != b.Aggregate || a.AggColumn != b.AggColumn {
+		return false
+	}
+	if !sameStrings(a.Tables, b.Tables) || !sameStrings(a.OuterTables, b.OuterTables) ||
+		!sameStrings(a.GroupBy, b.GroupBy) {
+		return false
+	}
+	return samePredShape(a.Filters, b.Filters) && samePredShape(a.Disjunction, b.Disjunction)
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func samePredShape(a, b []Predicate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Column != b[i].Column || a[i].Op != b[i].Op {
+			return false
+		}
+	}
+	return true
+}
+
 // String renders the query in SQL-ish form, useful in logs and test output.
 func (q Query) String() string {
 	var b strings.Builder
@@ -208,7 +358,7 @@ func (q Query) String() string {
 			if p.Op == In {
 				fmt.Fprintf(&b, "%s IN %v", p.Column, p.Values)
 			} else {
-				fmt.Fprintf(&b, "%s %v %v", p.Column, p.Op, p.Value)
+				fmt.Fprintf(&b, "%s %v %s", p.Column, p.Op, p.valueString())
 			}
 		}
 	}
@@ -222,7 +372,7 @@ func (q Query) String() string {
 			if i > 0 {
 				b.WriteString(" OR ")
 			}
-			fmt.Fprintf(&b, "%s %v %v", p.Column, p.Op, p.Value)
+			fmt.Fprintf(&b, "%s %v %s", p.Column, p.Op, p.valueString())
 		}
 		b.WriteString(")")
 	}
@@ -230,6 +380,15 @@ func (q Query) String() string {
 		fmt.Fprintf(&b, " GROUP BY %s", strings.Join(q.GroupBy, ", "))
 	}
 	return b.String()
+}
+
+// valueString renders a predicate's comparison value, or ? for an unbound
+// placeholder.
+func (p Predicate) valueString() string {
+	if p.Param > 0 {
+		return "?"
+	}
+	return fmt.Sprintf("%v", p.Value)
 }
 
 // Group is one result row of a (possibly grouped) aggregate query. For

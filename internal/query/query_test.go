@@ -254,3 +254,88 @@ func TestParseErrors(t *testing.T) {
 		t.Error("expected error for string literal without resolver")
 	}
 }
+
+// TestParsePlaceholders: ? comparison values become ordinal-numbered
+// parameters that Bind substitutes positionally.
+func TestParsePlaceholders(t *testing.T) {
+	q, err := Parse("SELECT COUNT(*) FROM t WHERE a >= ? AND b = 3 AND (c < ? OR d > ?)", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := q.NumParams(); n != 3 {
+		t.Fatalf("NumParams = %d, want 3", n)
+	}
+	if q.Filters[0].Param != 1 || q.Filters[1].Param != 0 || q.Disjunction[0].Param != 2 || q.Disjunction[1].Param != 3 {
+		t.Fatalf("ordinals wrong: %+v / %+v", q.Filters, q.Disjunction)
+	}
+	if s := q.String(); !contains(s, "a >= ?") {
+		t.Fatalf("String() should render placeholders: %s", s)
+	}
+	bound, err := q.Bind(10, 20, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.Filters[0].Value != 10 || bound.Disjunction[0].Value != 20 || bound.Disjunction[1].Value != 30 {
+		t.Fatalf("bound values wrong: %+v / %+v", bound.Filters, bound.Disjunction)
+	}
+	if bound.NumParams() != 0 {
+		t.Fatal("bound query still has parameters")
+	}
+	// Binding must not mutate the template.
+	if q.Filters[0].Param != 1 || q.Filters[0].Value != 0 {
+		t.Fatalf("template mutated by Bind: %+v", q.Filters[0])
+	}
+	if _, err := q.Bind(1, 2); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+	if _, err := Parse("SELECT COUNT(*) FROM t WHERE a IN (1, ?)", nil); err == nil {
+		t.Fatal("placeholder inside IN must fail")
+	}
+}
+
+// TestValidateParamOrdinals: hand-built queries with gapped or repeated
+// ordinals are rejected.
+func TestValidateParamOrdinals(t *testing.T) {
+	q := Query{Tables: []string{"t"}, Filters: []Predicate{
+		{Column: "a", Op: Lt, Param: 2},
+	}}
+	if err := q.Validate(); err == nil {
+		t.Fatal("gapped ordinals must fail validation")
+	}
+	q.Filters = []Predicate{{Column: "a", Op: Lt, Param: 1}, {Column: "b", Op: Gt, Param: 1}}
+	if err := q.Validate(); err == nil {
+		t.Fatal("repeated ordinals must fail validation")
+	}
+}
+
+// TestShapeKey: the key ignores values and parameter markers but keeps
+// everything that picks a plan.
+func TestShapeKey(t *testing.T) {
+	base := Query{Aggregate: Count, Tables: []string{"a", "b"},
+		Filters: []Predicate{{Column: "x", Op: Lt, Value: 1}}}
+	same := base
+	same.Filters = []Predicate{{Column: "x", Op: Lt, Param: 1}}
+	if base.ShapeKey() != same.ShapeKey() {
+		t.Fatalf("value vs placeholder changed the shape:\n%s\n%s", base.ShapeKey(), same.ShapeKey())
+	}
+	if !SameShape(base, same) {
+		t.Fatal("SameShape disagrees with ShapeKey")
+	}
+	for _, diff := range []Query{
+		{Aggregate: Sum, AggColumn: "x", Tables: []string{"a", "b"}, Filters: base.Filters},
+		{Aggregate: Count, Tables: []string{"a"}, Filters: base.Filters},
+		{Aggregate: Count, Tables: []string{"a", "b"}, Filters: []Predicate{{Column: "x", Op: Le, Value: 1}}},
+		{Aggregate: Count, Tables: []string{"a", "b"}, Filters: []Predicate{{Column: "y", Op: Lt, Value: 1}}},
+		{Aggregate: Count, Tables: []string{"a", "b"}, Filters: base.Filters, GroupBy: []string{"g"}},
+		{Aggregate: Count, Tables: []string{"a", "b"}, OuterTables: []string{"b"}, Filters: base.Filters},
+		{Aggregate: Count, Tables: []string{"a", "b"}, Filters: base.Filters,
+			Disjunction: []Predicate{{Column: "z", Op: Eq, Value: 0}}},
+	} {
+		if base.ShapeKey() == diff.ShapeKey() {
+			t.Fatalf("distinct query shares shape key: %v", diff)
+		}
+		if SameShape(base, diff) {
+			t.Fatalf("SameShape true for distinct query: %v", diff)
+		}
+	}
+}

@@ -103,6 +103,11 @@ func (c *Column) Decode(code int) string {
 // DictSize returns the number of distinct categorical values seen.
 func (c *Column) DictSize() int { return len(c.dict) }
 
+// Dict returns the dictionary strings indexed by code. The slice is the
+// column's live dictionary, not a copy — callers must treat it as
+// read-only (model persistence copies it before serializing).
+func (c *Column) Dict() []string { return c.dict }
+
 // Get returns the i-th value.
 func (c *Column) Get(i int) Value { return Value{F: c.Data[i], Null: c.Nul[i]} }
 

@@ -1,0 +1,44 @@
+#!/bin/sh
+# bench.sh — run the query-serving micro-benchmarks (prepared vs
+# unprepared estimation, batch execution, and the HTTP serve endpoint) and
+# emit the results as BENCH_query.json in the repo root.
+#
+#   BENCHTIME=500x ./scripts/bench.sh     # override iteration count
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-200x}"
+out="BENCH_query.json"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'Prepared|Unprepared|ServeEstimate' -benchmem \
+    -benchtime "$benchtime" . ./cmd/deepdb | tee "$tmp"
+
+# Parse `BenchmarkName-8  N  T ns/op ...` lines into a JSON array.
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    iters = $2
+    ns = ""
+    bytes = ""
+    allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, (ns == "" ? "null" : ns)
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n]" }
+' "$tmp" > "$out"
+
+echo "wrote $out"

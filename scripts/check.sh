@@ -1,6 +1,8 @@
 #!/bin/sh
 # check.sh — the repo's full verification gate: formatting, vet, build,
-# and the test suite under the race detector. CI and `make check` run this.
+# the test suite under the race detector, and a one-iteration benchmark
+# smoke (catches bit-rot in the bench suite without timing anything).
+# CI and `make check` run this.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,5 +23,8 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== benchmark smoke (1 iteration each) =="
+go test -run '^$' -bench . -benchtime 1x . ./cmd/deepdb
 
 echo "OK"
