@@ -26,8 +26,10 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -41,8 +43,24 @@ func cmdServe(ctx context.Context, args []string) error {
 	dataDir := fs.String("data", "", "optional data directory (only needed if clients use exact-execution features)")
 	parallel := fs.Int("parallel", 0, "per-query fan-out parallelism (<=1 sequential)")
 	cache := fs.Int("cache", 0, "plan cache size (0 keeps the default)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the serving process to this file (finalized at shutdown)")
+	withPprof := fs.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/ for live hot-path diagnosis")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("deepdb: creating cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("deepdb: starting cpu profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 	var opts []deepdb.Option
 	if *dataDir != "" {
@@ -58,7 +76,11 @@ func cmdServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Addr: *addr, Handler: newServeHandler(db)}
+	handler := newServeHandler(db)
+	if *withPprof {
+		handler = withPprofEndpoints(handler)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	// Shut down gracefully on SIGINT/SIGTERM: stop accepting, drain
 	// in-flight queries.
 	sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
@@ -75,6 +97,20 @@ func cmdServe(ctx context.Context, args []string) error {
 		return err
 	}
 	return <-done
+}
+
+// withPprofEndpoints overlays the net/http/pprof debug endpoints on the
+// serving mux, so hot-path regressions are diagnosable against the live
+// process (`go tool pprof http://host/debug/pprof/profile`).
+func withPprofEndpoints(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", netpprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	return mux
 }
 
 // serveHandler is the HTTP surface over one *DB. The DB's own RWMutex

@@ -332,3 +332,29 @@ func BenchmarkServeEstimate(b *testing.B) {
 		}
 	}
 }
+
+// TestServePprofEndpoints: with the pprof overlay the debug endpoints
+// respond and the API endpoints keep working through the wrapping mux.
+func TestServePprofEndpoints(t *testing.T) {
+	db := serveFixture(t)
+	srv := httptest.NewServer(withPprofEndpoints(newServeHandler(db)))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz through pprof mux: status %d", resp.StatusCode)
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"repro/internal/core"
-	"repro/internal/parallel"
 	"repro/internal/query"
 )
 
@@ -130,9 +129,13 @@ func (s *Stmt) execLocked(ctx context.Context, vals []any, opts []ExecOption) (R
 }
 
 // ExecBatch runs the statement once per parameter set, under one read lock
-// and one plan lookup, fanning the executions over the DB's configured
-// parallelism. The results are returned in batch order; the first error
-// aborts the batch.
+// and one plan lookup. All bindings flow through the plan's batched
+// evaluator: every binding's expectation requests (including per-group
+// requests of a GROUP BY template) are evaluated together on each model's
+// flattened arrays, chunked over the DB's configured parallelism — one
+// pass per chunk instead of one model traversal per binding per moment.
+// The results are returned in batch order, bit-identical to calling Exec
+// once per set; the first error aborts the batch.
 func (s *Stmt) ExecBatch(ctx context.Context, batch [][]any, opts ...ExecOption) ([]Result, error) {
 	eo := s.db.execOpts(opts)
 	s.db.mu.RLock()
@@ -151,17 +154,13 @@ func (s *Stmt) ExecBatch(ctx context.Context, batch [][]any, opts ...ExecOption)
 		}
 		queries[i] = q
 	}
-	out := make([]Result, len(batch))
-	err = parallel.ForEach(len(batch), s.db.cfg.parallelism, func(i int) error {
-		res, err := p.ExecuteQuery(ctx, eo.core(), queries[i])
-		if err != nil {
-			return fmt.Errorf("deepdb: batch entry %d: %w", i, err)
-		}
-		out[i] = s.db.wrapResult(queries[i], res)
-		return nil
-	})
+	ress, err := p.ExecuteBatch(ctx, eo.core(), queries)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("deepdb: %w", err)
+	}
+	out := make([]Result, len(batch))
+	for i, res := range ress {
+		out[i] = s.db.wrapResult(queries[i], res)
 	}
 	return out, nil
 }

@@ -205,37 +205,25 @@ func (e *Engine) filterScore(r *rspn.RSPN, filters []query.Predicate) float64 {
 	return score
 }
 
-// termVariance computes the estimator variance of E[term] following
-// Section 5.1: the expectation is split into P(C) * E(G | C); the
-// probability part is binomial over the model's training sample, the
-// conditional part uses Koenig-Huygens with the squared term, and the two
-// combine with the product-variance formula.
-func (e *Engine) termVariance(r *rspn.RSPN, term rspn.Term, full float64) (float64, error) {
-	n := r.Model.RowCount
+// momentVariance derives the estimator variance of one expectation from
+// its already-evaluated parts, following Section 5.1: the expectation is
+// split into P(C) * E(G | C); the probability part is binomial over the
+// model's n training rows, the conditional part uses Koenig-Huygens with
+// the squared term, and the two combine with the product-variance formula.
+// full is E[term], p is the probability-only expectation (the term with
+// its moment functions stripped), sq the squared-function expectation
+// (ignored when hasFns is false). The batched executor (plan_exec.go)
+// fetches the parts from one evaluation pass and calls this.
+func momentVariance(n, p, full, sq float64, hasFns bool) float64 {
 	if n <= 1 {
-		return 0, nil
-	}
-	probTerm := term
-	probTerm.Fns = nil
-	p, err := r.Expectation(probTerm)
-	if err != nil {
-		return 0, err
+		return 0
 	}
 	varP := stats.BinomialVariance(p, int(n))
-	if len(term.Fns) == 0 {
-		return varP, nil
+	if !hasFns {
+		return varP
 	}
 	if p <= 0 {
-		return 0, nil
-	}
-	sqTerm := term
-	sqTerm.Fns = map[string]spn.Fn{}
-	for c, fn := range term.Fns {
-		sqTerm.Fns[c] = squareFn(fn)
-	}
-	sq, err := r.Expectation(sqTerm)
-	if err != nil {
-		return 0, err
+		return 0
 	}
 	condMean := full / p
 	condVar := sq/p - condMean*condMean
@@ -244,7 +232,7 @@ func (e *Engine) termVariance(r *rspn.RSPN, term rspn.Term, full float64) (float
 	}
 	nC := n * p
 	varCond := condVar / math.Max(1, nC)
-	return stats.ProductVariance(p, varP, condMean, varCond), nil
+	return stats.ProductVariance(p, varP, condMean, varCond)
 }
 
 // squareFn maps each moment function to its square.

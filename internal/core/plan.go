@@ -15,10 +15,8 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 
-	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/rspn"
 	"repro/internal/spn"
@@ -132,24 +130,36 @@ type branchPlan struct {
 // t1call captures one Theorem-1 evaluation: the RSPN, its precomputed
 // moment functions (inverse tuple factors plus any Theorem-2 bridge
 // factors), inner-join indicator tables, and the filter columns to keep
-// (nil passes every predicate through).
+// (nil passes every predicate through). tmpl is the term's precompiled
+// constraint layout — binding a concrete predicate list fills range
+// values into prebuilt slots instead of re-deriving column routing per
+// evaluation; nil (an unresolvable template) falls back to the generic
+// path, which also carries the original error-surfacing behavior.
 type t1call struct {
 	r     *rspn.RSPN
 	fns   map[string]spn.Fn
 	inner []string
 	keep  map[string]bool
+	tmpl  *rspn.TermTemplate
+	// keptIdx maps the template's filter ordinals into the full predicate
+	// list (nil: identity), so binding skips the filtered copy.
+	keptIdx []int
 }
 
 // avgNode is a compiled AVG: the chosen RSPN, the resolvable filter
-// columns, and the numerator/denominator moment functions of the
-// normalized conditional expectation of Section 4.2.
+// columns, the numerator/denominator moment functions of the normalized
+// conditional expectation of Section 4.2, and the two terms' precompiled
+// constraint layouts (nil falls back to the generic path).
 type avgNode struct {
-	r      *rspn.RSPN
-	keep   map[string]bool
-	numFns map[string]spn.Fn
-	denFns map[string]spn.Fn
-	inner  []string
-	aggCol string
+	r       *rspn.RSPN
+	keep    map[string]bool
+	numFns  map[string]spn.Fn
+	denFns  map[string]spn.Fn
+	inner   []string
+	aggCol  string
+	numTmpl *rspn.TermTemplate
+	denTmpl *rspn.TermTemplate
+	keptIdx []int
 }
 
 // Compile validates the query and builds its execution plan. Literal
@@ -257,13 +267,13 @@ func (e *Engine) compileCount(tables []string, preds []query.Predicate, outer []
 		if e.Strategy == StrategyMedian && len(covering) > 1 {
 			calls := make([]t1call, len(covering))
 			for i, r := range covering {
-				calls[i] = e.compileT1(r, tables, outer, nil, nil)
+				calls[i] = e.compileT1(r, tables, outer, nil, nil, preds)
 			}
 			return &countNode{tables: tables, outer: outer, kind: ckMedian, median: calls}, nil
 		}
 		r := e.pickCovering(covering, preds)
 		return &countNode{tables: tables, outer: outer, kind: ckSingle,
-			single: e.compileT1(r, tables, outer, nil, nil)}, nil
+			single: e.compileT1(r, tables, outer, nil, nil, preds)}, nil
 	}
 	return e.compileTheorem2(tables, preds, outer)
 }
@@ -308,7 +318,7 @@ func (e *Engine) compileTheorem2(tables []string, preds []query.Predicate, outer
 		}
 	}
 	node := &countNode{tables: tables, outer: outer, kind: ckTheorem2, leftTables: sl,
-		left: e.compileT1(r, sl, intersect(outer, sl), extraFns, e.keepColumns(sl, preds))}
+		left: e.compileT1(r, sl, intersect(outer, sl), extraFns, e.keepColumns(sl, preds), preds)}
 	// Non-outer branches contribute selectivity ratios; unfiltered outer
 	// branches are fully handled by the max(F,1) factor above.
 	for _, br := range branches {
@@ -325,8 +335,12 @@ func (e *Engine) compileTheorem2(tables []string, preds []query.Predicate, outer
 	return node, nil
 }
 
-// compileT1 precomputes one Theorem-1 evaluation on an RSPN.
-func (e *Engine) compileT1(r *rspn.RSPN, tables, outer []string, extraFns map[string]spn.Fn, keep map[string]bool) t1call {
+// compileT1 precomputes one Theorem-1 evaluation on an RSPN, including
+// the term's constraint template (derived from the query's template
+// predicates — only their columns matter). An unresolvable template (a
+// filter the RSPN cannot resolve) leaves tmpl nil so the generic path
+// surfaces its error at evaluation time, exactly as before.
+func (e *Engine) compileT1(r *rspn.RSPN, tables, outer []string, extraFns map[string]spn.Fn, keep map[string]bool, preds []query.Predicate) t1call {
 	fns := map[string]spn.Fn{}
 	for _, c := range r.InverseFactorColumns(tables) {
 		fns[c] = spn.FnInv
@@ -337,7 +351,38 @@ func (e *Engine) compileT1(r *rspn.RSPN, tables, outer []string, extraFns map[st
 	// Outer tables keep padded rows: their indicator constraint is
 	// dropped, so a row missing the outer side still counts once.
 	inner := intersect(subtract(tables, outer), r.Tables)
-	return t1call{r: r, fns: fns, inner: inner, keep: keep}
+	call := t1call{r: r, fns: fns, inner: inner, keep: keep}
+	kept, keptIdx := keptPreds(preds, keep)
+	tmpl, err := r.CompileTerm(rspn.Term{Fns: fns, Filters: kept, InnerTables: inner})
+	if err == nil {
+		call.tmpl, call.keptIdx = tmpl, keptIdx
+	}
+	return call
+}
+
+// keptPreds is selectPreds plus the kept ordinals (nil when keep is nil,
+// i.e. every predicate passes through at its own position). Compile-time
+// only: the ordinals are what lets exec-time template binding skip the
+// filtered copy, so both functions must share one keep rule (keepsPred).
+func keptPreds(preds []query.Predicate, keep map[string]bool) ([]query.Predicate, []int) {
+	if keep == nil {
+		return preds, nil
+	}
+	kept := make([]query.Predicate, 0, len(preds))
+	idx := make([]int, 0, len(preds))
+	for i, f := range preds {
+		if keepsPred(keep, f) {
+			kept = append(kept, f)
+			idx = append(idx, i)
+		}
+	}
+	return kept, idx
+}
+
+// keepsPred is the one predicate-selection rule shared by selectPreds and
+// keptPreds (nil keeps all).
+func keepsPred(keep map[string]bool, f query.Predicate) bool {
+	return keep == nil || keep[f.Column]
 }
 
 // compileSumTerms compiles the signed SUM terms of the (possibly
@@ -378,8 +423,8 @@ func (e *Engine) compileSum(q query.Query) (signedSum, error) {
 			if resolved != len(q.Filters) {
 				continue // cannot resolve all filters; try another member
 			}
-			call := e.compileT1(r, q.Tables, e.effectiveOuter(q), nil, nil)
-			call.fns[q.AggColumn] = spn.FnIdent
+			call := e.compileT1(r, q.Tables, e.effectiveOuter(q),
+				map[string]spn.Fn{q.AggColumn: spn.FnIdent}, nil, q.Filters)
 			return signedSum{direct: &call}, nil
 		}
 	}
@@ -418,7 +463,16 @@ func (e *Engine) compileAvg(q query.Query) (*avgNode, error) {
 		numFns[c] = spn.FnInv
 		denFns[c] = spn.FnInv
 	}
-	return &avgNode{r: r, keep: keep, numFns: numFns, denFns: denFns, inner: inner, aggCol: q.AggColumn}, nil
+	a := &avgNode{r: r, keep: keep, numFns: numFns, denFns: denFns, inner: inner, aggCol: q.AggColumn}
+	kept, keptIdx := keptPreds(q.Filters, keep)
+	a.keptIdx = keptIdx
+	if tmpl, err := r.CompileTerm(rspn.Term{Fns: numFns, Filters: kept, InnerTables: inner}); err == nil {
+		a.numTmpl = tmpl
+	}
+	if tmpl, err := r.CompileTerm(rspn.Term{Fns: denFns, Filters: kept, InnerTables: inner, NotNull: []string{q.AggColumn}}); err == nil {
+		a.denTmpl = tmpl
+	}
+	return a, nil
 }
 
 // keepColumns returns the filter columns owned by one of the tables —
@@ -433,14 +487,15 @@ func (e *Engine) keepColumns(tables []string, preds []query.Predicate) map[strin
 	return out
 }
 
-// selectPreds keeps the predicates whose column is in keep (nil keeps all).
+// selectPreds keeps the predicates passing keepsPred (nil keeps all) —
+// the exec-path variant of keptPreds, without the ordinal allocation.
 func selectPreds(preds []query.Predicate, keep map[string]bool) []query.Predicate {
 	if keep == nil {
 		return preds
 	}
 	var out []query.Predicate
 	for _, f := range preds {
-		if keep[f.Column] {
+		if keepsPred(keep, f) {
 			out = append(out, f)
 		}
 	}
@@ -459,7 +514,10 @@ func (p *Plan) NumParams() int { return p.nparams }
 // Query returns the compiled template.
 func (p *Plan) Query() query.Query { return p.q }
 
-// ---- execution ----
+// ---- execution entry points ----
+//
+// Execution itself — the batched gather/evaluate/resolve walk — lives in
+// plan_exec.go.
 
 // Execute runs the plan with the given parameter values bound into its
 // placeholders (none for a literal query).
@@ -476,41 +534,6 @@ func (p *Plan) ExecuteOpts(ctx context.Context, opts ExecOpts, params ...float64
 	return p.ExecuteQuery(ctx, opts, q)
 }
 
-// ExecuteQuery runs the plan against a fully-bound concrete query that
-// shares the plan's shape — the entry point for plan-cache reuse, where
-// the concrete query may differ from the template in literal values only.
-func (p *Plan) ExecuteQuery(ctx context.Context, opts ExecOpts, q query.Query) (AQPResult, error) {
-	if err := p.checkBound(q); err != nil {
-		return AQPResult{}, err
-	}
-	if err := p.ensureExec(); err != nil {
-		return AQPResult{}, err
-	}
-	level := p.level(opts)
-	if len(p.groupCols) == 0 {
-		est, err := p.aggregate(ctx, p.card, q.Filters, q.Disjunction)
-		if err != nil {
-			return AQPResult{}, err
-		}
-		return AQPResult{Groups: []AQPGroup{finish(nil, est, level)}}, nil
-	}
-	groups, err := p.executeGroups(ctx, q, level)
-	if err != nil {
-		return AQPResult{}, err
-	}
-	out := AQPResult{Groups: groups}
-	sort.Slice(out.Groups, func(i, j int) bool {
-		a, b := out.Groups[i].Key, out.Groups[j].Key
-		for k := 0; k < len(a) && k < len(b); k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return false
-	})
-	return out, nil
-}
-
 // EstimateCardinality estimates COUNT(*) over the join with the bound
 // filters, ignoring aggregate and GROUP BY settings.
 func (p *Plan) EstimateCardinality(ctx context.Context, params ...float64) (Estimate, error) {
@@ -519,15 +542,6 @@ func (p *Plan) EstimateCardinality(ctx context.Context, params ...float64) (Esti
 		return Estimate{}, err
 	}
 	return p.EstimateCardinalityQuery(ctx, q)
-}
-
-// EstimateCardinalityQuery is EstimateCardinality for a concrete query
-// sharing the plan's shape.
-func (p *Plan) EstimateCardinalityQuery(ctx context.Context, q query.Query) (Estimate, error) {
-	if err := p.checkBound(q); err != nil {
-		return Estimate{}, err
-	}
-	return p.runCount(ctx, p.card, q.Filters, q.Disjunction)
 }
 
 // checkBound verifies the concrete query is parameter-free and matches the
@@ -554,149 +568,6 @@ func (p *Plan) level(opts ExecOpts) float64 {
 	return level
 }
 
-// aggregate evaluates the plan's aggregate for one bound predicate set.
-// countTerms is the COUNT estimator matching the predicate set (card for
-// the base query, count for the group template).
-func (p *Plan) aggregate(ctx context.Context, countTerms []signedCount, preds, disj []query.Predicate) (Estimate, error) {
-	if err := ctx.Err(); err != nil {
-		return Estimate{}, err
-	}
-	switch p.q.Aggregate {
-	case query.Count:
-		return p.runCount(ctx, countTerms, preds, disj)
-	case query.Sum:
-		return p.runSum(ctx, preds, disj)
-	case query.Avg:
-		if p.avg != nil {
-			return p.avg.estimate(p.eng, preds)
-		}
-		sum, err := p.runSum(ctx, preds, disj)
-		if err != nil {
-			return Estimate{}, err
-		}
-		cnt, err := p.runCount(ctx, countTerms, preds, disj)
-		if err != nil {
-			return Estimate{}, err
-		}
-		return divEstimate(sum, cnt), nil
-	default:
-		return Estimate{}, fmt.Errorf("core: unsupported aggregate %v", p.q.Aggregate)
-	}
-}
-
-// executeGroups fans the per-group estimates over up to Parallelism
-// workers, preserving key order in the result.
-func (p *Plan) executeGroups(ctx context.Context, q query.Query, level float64) ([]AQPGroup, error) {
-	results := make([]*AQPGroup, len(p.groupKeys))
-	err := parallel.ForEach(len(p.groupKeys), p.eng.Parallelism, func(i int) error {
-		g, err := p.estimateGroup(ctx, q, p.groupKeys[i], level)
-		if err != nil {
-			return err
-		}
-		results[i] = g
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	var out []AQPGroup
-	for _, g := range results {
-		if g != nil {
-			out = append(out, *g)
-		}
-	}
-	return out, nil
-}
-
-// estimateGroup answers one group of a GROUP BY query: nil when the model
-// believes the group is empty.
-func (p *Plan) estimateGroup(ctx context.Context, q query.Query, key []float64, level float64) (*AQPGroup, error) {
-	preds := make([]query.Predicate, 0, len(q.Filters)+len(key))
-	preds = append(preds, q.Filters...)
-	preds = append(preds, groupFilters(p.groupCols, key)...)
-	cnt, err := p.runCount(ctx, p.count, preds, q.Disjunction)
-	if err != nil {
-		return nil, err
-	}
-	if cnt.Value < 0.5 {
-		return nil, nil
-	}
-	est := cnt
-	if p.q.Aggregate != query.Count {
-		est, err = p.aggregate(ctx, p.count, preds, q.Disjunction)
-		if err != nil {
-			return nil, err
-		}
-	}
-	g := finish(key, est, level)
-	return &g, nil
-}
-
-// runCount evaluates the signed COUNT terms with the bound predicates,
-// fanning the (independent) inclusion-exclusion terms over up to
-// Engine.Parallelism workers and combining in deterministic order.
-// Variances add — the terms are not independent, so this is the
-// conservative bound. The disjunctive total is clamped at zero.
-func (p *Plan) runCount(ctx context.Context, terms []signedCount, base, disj []query.Predicate) (Estimate, error) {
-	if len(terms) == 1 && terms[0].mask == 0 {
-		return terms[0].node.estimate(ctx, p.eng, base)
-	}
-	ests := make([]Estimate, len(terms))
-	err := parallel.ForEach(len(terms), p.eng.Parallelism, func(i int) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		est, err := terms[i].node.estimate(ctx, p.eng, maskPreds(base, disj, terms[i].mask))
-		if err != nil {
-			return err
-		}
-		ests[i] = est
-		return nil
-	})
-	if err != nil {
-		return Estimate{}, err
-	}
-	var total Estimate
-	for i, t := range terms {
-		total.Value += t.sign * ests[i].Value
-		total.Variance += ests[i].Variance
-	}
-	if total.Value < 0 {
-		total.Value = 0
-	}
-	return total, nil
-}
-
-// runSum evaluates the signed SUM terms (no clamping: SUM distributes over
-// inclusion-exclusion with its sign).
-func (p *Plan) runSum(ctx context.Context, base, disj []query.Predicate) (Estimate, error) {
-	terms := p.sum
-	if len(terms) == 1 && terms[0].mask == 0 {
-		return terms[0].estimate(ctx, p.eng, base)
-	}
-	ests := make([]Estimate, len(terms))
-	err := parallel.ForEach(len(terms), p.eng.Parallelism, func(i int) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		est, err := terms[i].estimate(ctx, p.eng, maskPreds(base, disj, terms[i].mask))
-		if err != nil {
-			return err
-		}
-		ests[i] = est
-		return nil
-	})
-	if err != nil {
-		return Estimate{}, err
-	}
-	var total Estimate
-	for i, t := range terms {
-		total.Value += t.sign * ests[i].Value
-		total.Variance += ests[i].Variance
-	}
-	return total, nil
-}
-
 // maskPreds appends the disjunction predicates selected by mask to the
 // base conjuncts.
 func maskPreds(base, disj []query.Predicate, mask int) []query.Predicate {
@@ -711,157 +582,6 @@ func maskPreds(base, disj []query.Predicate, mask int) []query.Predicate {
 		}
 	}
 	return out
-}
-
-// estimate walks one compiled COUNT node with bound predicates.
-func (n *countNode) estimate(ctx context.Context, e *Engine, preds []query.Predicate) (Estimate, error) {
-	if err := ctx.Err(); err != nil {
-		return Estimate{}, err
-	}
-	switch n.kind {
-	case ckSingle:
-		return n.single.estimate(e, preds)
-	case ckMedian:
-		return n.estimateMedian(ctx, e, preds)
-	default:
-		return n.estimateTheorem2(ctx, e, preds)
-	}
-}
-
-// estimateMedian evaluates every covering RSPN and returns the median: the
-// middle estimate for an odd member count, the average of the two middle
-// estimates for an even one (variance of the two-point mean, treating the
-// members as independent).
-func (n *countNode) estimateMedian(ctx context.Context, e *Engine, preds []query.Predicate) (Estimate, error) {
-	ests := make([]Estimate, 0, len(n.median))
-	for _, call := range n.median {
-		if err := ctx.Err(); err != nil {
-			return Estimate{}, err
-		}
-		est, err := call.estimate(e, preds)
-		if err != nil {
-			return Estimate{}, err
-		}
-		ests = append(ests, est)
-	}
-	sort.Slice(ests, func(i, j int) bool { return ests[i].Value < ests[j].Value })
-	m := len(ests)
-	if m%2 == 1 {
-		return ests[m/2], nil
-	}
-	lo, hi := ests[m/2-1], ests[m/2]
-	return Estimate{
-		Value:    (lo.Value + hi.Value) / 2,
-		Variance: (lo.Variance + hi.Variance) / 4,
-	}, nil
-}
-
-// estimateTheorem2 evaluates the left sub-estimate and every branch ratio
-// — independent evaluations fanned over up to Engine.Parallelism workers
-// (<= 1 runs sequentially) — and combines them in deterministic order.
-func (n *countNode) estimateTheorem2(ctx context.Context, e *Engine, preds []query.Predicate) (Estimate, error) {
-	ests := make([]Estimate, 1+len(n.branches))
-	err := parallel.ForEach(len(ests), e.Parallelism, func(i int) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		if i == 0 {
-			left, err := n.left.estimate(e, preds)
-			if err != nil {
-				return err
-			}
-			ests[0] = left
-			return nil
-		}
-		b := n.branches[i-1]
-		num, err := b.node.estimate(ctx, e, selectPreds(preds, b.keep))
-		if err != nil {
-			return err
-		}
-		den, ok := e.Ens.TableRows(b.br.head)
-		if !ok {
-			return fmt.Errorf("core: no cardinality statistic or base table for %s (Theorem 2 needs its size)", b.br.head)
-		}
-		if den <= 0 {
-			// An empty bridgehead table joins to nothing: this branch's
-			// ratio is an exact zero. The remaining branches still
-			// evaluate, so their errors and cancellation surface the same
-			// way regardless of branch order.
-			ests[i] = Estimate{}
-			return nil
-		}
-		ests[i] = scaleEstimate(num, 1/den)
-		return nil
-	})
-	if err != nil {
-		return Estimate{}, err
-	}
-	result := ests[0]
-	for _, ratio := range ests[1:] {
-		result = mulEstimate(result, ratio)
-	}
-	return result, nil
-}
-
-// estimate evaluates |J| * E(fns * 1_C * prod N_T) on the call's RSPN with
-// the variance derivation of Section 5.1.
-func (t t1call) estimate(e *Engine, preds []query.Predicate) (Estimate, error) {
-	term := rspn.Term{Fns: t.fns, Filters: selectPreds(preds, t.keep), InnerTables: t.inner}
-	full, err := t.r.Expectation(term)
-	if err != nil {
-		return Estimate{}, err
-	}
-	variance, err := e.termVariance(t.r, term, full)
-	if err != nil {
-		return Estimate{}, err
-	}
-	return scaleEstimate(Estimate{Value: full, Variance: variance}, t.r.FullSize), nil
-}
-
-// estimate evaluates one signed SUM term.
-func (s signedSum) estimate(ctx context.Context, e *Engine, preds []query.Predicate) (Estimate, error) {
-	if err := ctx.Err(); err != nil {
-		return Estimate{}, err
-	}
-	if s.direct != nil {
-		return s.direct.estimate(e, preds)
-	}
-	cnt, err := s.cnt.estimate(ctx, e, preds)
-	if err != nil {
-		return Estimate{}, err
-	}
-	av, err := s.avg.estimate(e, preds)
-	if err != nil {
-		return Estimate{}, err
-	}
-	return mulEstimate(cnt, av), nil
-}
-
-// estimate evaluates the AVG ratio of expectations.
-func (a *avgNode) estimate(e *Engine, preds []query.Predicate) (Estimate, error) {
-	kept := selectPreds(preds, a.keep)
-	numTerm := rspn.Term{Fns: a.numFns, Filters: kept, InnerTables: a.inner}
-	denTerm := rspn.Term{Fns: a.denFns, Filters: kept, InnerTables: a.inner, NotNull: []string{a.aggCol}}
-	numV, err := a.r.Expectation(numTerm)
-	if err != nil {
-		return Estimate{}, err
-	}
-	denV, err := a.r.Expectation(denTerm)
-	if err != nil {
-		return Estimate{}, err
-	}
-	if denV <= 0 {
-		return Estimate{}, nil
-	}
-	numVar, err := e.termVariance(a.r, numTerm, numV)
-	if err != nil {
-		return Estimate{}, err
-	}
-	denVar, err := e.termVariance(a.r, denTerm, denV)
-	if err != nil {
-		return Estimate{}, err
-	}
-	return divEstimate(Estimate{Value: numV, Variance: numVar}, Estimate{Value: denV, Variance: denVar}), nil
 }
 
 // finish attaches the confidence interval at the given level.

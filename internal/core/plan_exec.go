@@ -1,0 +1,656 @@
+package core
+
+// plan_exec.go executes compiled plans through a batched evaluator.
+// Execution has three phases:
+//
+//  1. gather: walk the plan's compiled structure for every binding (each
+//     ExecBatch query, each GROUP BY key, each Theorem-2 branch, each
+//     inclusion-exclusion term, and each variance part) and collect the
+//     SPN inference requests it needs, grouped per RSPN;
+//  2. evaluate: answer each RSPN's requests in chunks over its flattened
+//     model arrays (spn.Compiled), fanning the chunks over up to
+//     Engine.Parallelism workers;
+//  3. resolve: combine the evaluated expectations into estimates with
+//     exactly the arithmetic (and combination order) of the former
+//     per-call path, so batched and one-at-a-time execution produce
+//     bit-identical results.
+//
+// The former path paid one full model traversal — plus a map allocation
+// and a weight renormalization per sum node — for every expectation; a
+// GROUP BY over k keys with variance terms cost 3k+ traversals. The
+// batched walk pays one pass per chunk instead.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/parallel"
+	"repro/internal/query"
+	"repro/internal/rspn"
+	"repro/internal/spn"
+)
+
+// estimator resolves one enqueued estimate after the batch has run.
+type estimator func() (Estimate, error)
+
+// batchGroup is the request batch of one RSPN.
+type batchGroup struct {
+	r    *rspn.RSPN
+	reqs []spn.Request
+	vals []float64
+}
+
+// valRef locates one enqueued request's evaluated value.
+type valRef struct {
+	g   *batchGroup
+	idx int
+}
+
+func (v valRef) value() float64 { return v.g.vals[v.idx] }
+
+// batcher collects every inference request one execution needs, grouped
+// per RSPN and in deterministic order. A plan touches a handful of RSPNs,
+// so a linear scan beats a map.
+type batcher struct {
+	order []*batchGroup
+	// hint presizes each group's request slice (an execution knows
+	// roughly how many bindings it will enqueue).
+	hint int
+}
+
+func newBatcher(hint int) *batcher { return &batcher{hint: hint} }
+
+// addRequest appends a prebuilt request to its RSPN's batch.
+func (b *batcher) addRequest(r *rspn.RSPN, req spn.Request) valRef {
+	var g *batchGroup
+	for _, cand := range b.order {
+		if cand.r == r {
+			g = cand
+			break
+		}
+	}
+	if g == nil {
+		g = &batchGroup{r: r}
+		if b.hint > 0 {
+			g.reqs = make([]spn.Request, 0, b.hint)
+		}
+		b.order = append(b.order, g)
+	}
+	g.reqs = append(g.reqs, req)
+	return valRef{g: g, idx: len(g.reqs) - 1}
+}
+
+// run evaluates all collected requests. Each RSPN's batch is split into
+// chunks sized so roughly `parallelism` chunks exist across the whole
+// execution, and the chunks are fanned over up to `parallelism` workers —
+// the WithParallelism fan-out now spans individual expectations rather
+// than whole groups or branches, so load balances evenly. Each chunk is
+// one pass over its model's flat arrays.
+func (b *batcher) run(ctx context.Context, parallelism int) error {
+	total := 0
+	for _, g := range b.order {
+		total += len(g.reqs)
+	}
+	if total == 0 {
+		return ctx.Err()
+	}
+	// Chunk sizing: split roughly evenly across workers, but keep chunks
+	// large enough to amortize a pass over the flat arrays and small
+	// enough to bound the per-pass scratch (O(model nodes x chunk size))
+	// and honor cancellation between passes.
+	const minChunk, maxChunk = 8, 128
+	size := total
+	if parallelism > 1 {
+		size = (total + parallelism - 1) / parallelism
+	}
+	if size < minChunk {
+		size = minChunk
+	}
+	if size > maxChunk {
+		size = maxChunk
+	}
+	type chunk struct {
+		g      *batchGroup
+		lo, hi int
+	}
+	var chunks []chunk
+	for _, g := range b.order {
+		g.vals = make([]float64, len(g.reqs))
+		for lo := 0; lo < len(g.reqs); lo += size {
+			hi := lo + size
+			if hi > len(g.reqs) {
+				hi = len(g.reqs)
+			}
+			chunks = append(chunks, chunk{g: g, lo: lo, hi: hi})
+		}
+	}
+	if parallelism <= 1 {
+		for _, ck := range chunks {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := ck.g.r.EvaluateRequests(ck.g.reqs[ck.lo:ck.hi], ck.g.vals[ck.lo:ck.hi]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return parallel.ForEach(len(chunks), parallelism, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ck := chunks[i]
+		return ck.g.r.EvaluateRequests(ck.g.reqs[ck.lo:ck.hi], ck.g.vals[ck.lo:ck.hi])
+	})
+}
+
+// ---- per-node gather/resolve ----
+
+// termRefs bundles the value refs one expectation-with-variance needs:
+// the full term, the probability-only term for the binomial part, and the
+// squared term for the conditional part (Section 5.1).
+type termRefs struct {
+	full, prob, sq valRef
+	n              float64
+	hasVar, hasFns bool
+}
+
+// buildTermRequest binds the term's constraint set: through the
+// precompiled template (an ordinal-indexed fill of prebuilt slots) when
+// available, through the generic BuildRequest derivation otherwise. The
+// fallback also carries the original error-surfacing behavior for terms
+// whose template could not compile (e.g. an unresolvable filter column).
+func buildTermRequest(r *rspn.RSPN, tmpl *rspn.TermTemplate, keptIdx []int,
+	fns map[string]spn.Fn, inner []string, notNull []string,
+	preds []query.Predicate, keep map[string]bool) (spn.Request, error) {
+	if tmpl != nil {
+		req, ok, err := tmpl.BindIndexed(preds, keptIdx)
+		if err != nil {
+			return spn.Request{}, err
+		}
+		if ok {
+			return req, nil
+		}
+	}
+	term := rspn.Term{Fns: fns, Filters: selectPreds(preds, keep), InnerTables: inner, NotNull: notNull}
+	return r.BuildRequest(term)
+}
+
+// enqueueTerm collects the full/probability/squared expectations of one
+// bound request (the latter two only when the model's row count makes the
+// variance non-trivial, matching the former per-call control flow). The
+// probability and squared requests are derived from the full request by
+// rewriting the per-column moment functions — exactly the requests the
+// Fns-stripped and Fns-squared terms would build, at a fraction of the
+// cost.
+func enqueueTerm(b *batcher, r *rspn.RSPN, req spn.Request, hasFns bool) termRefs {
+	t := termRefs{n: r.Model.RowCount, hasFns: hasFns}
+	t.full = b.addRequest(r, req)
+	t.hasVar = t.n > 1
+	if t.hasVar {
+		if !t.hasFns {
+			// Without moment functions the probability-only term *is* the
+			// term: reuse the full request's value instead of evaluating
+			// the identical request again (the per-call path paid a whole
+			// second traversal here).
+			t.prob = t.full
+		} else {
+			t.prob = b.addRequest(r, probRequest(req))
+			t.sq = b.addRequest(r, squareRequest(req))
+		}
+	}
+	return t
+}
+
+// probRequest derives the probability-only request of a term's request:
+// every moment function reverts to the indicator FnOne, and columns whose
+// only constraint was their moment function drop out entirely — the same
+// constraint set the term with Fns stripped would build.
+func probRequest(req spn.Request) spn.Request {
+	cols := make([]spn.ColQuery, 0, len(req.Cols))
+	for _, c := range req.Cols {
+		if len(c.Ranges) == 0 && !c.ExcludeNull {
+			continue
+		}
+		c.Fn = spn.FnOne
+		cols = append(cols, c)
+	}
+	return spn.Request{Cols: cols}
+}
+
+// squareRequest derives the squared-moment request: identical constraints
+// with every moment function squared (Koenig-Huygens term of Section 5.1).
+func squareRequest(req spn.Request) spn.Request {
+	cols := make([]spn.ColQuery, len(req.Cols))
+	for i, c := range req.Cols {
+		c.Fn = squareFn(c.Fn)
+		cols[i] = c
+	}
+	return spn.Request{Cols: cols}
+}
+
+// estimate reads the evaluated parts into an (unscaled) estimate.
+func (t termRefs) estimate() Estimate {
+	v := t.full.value()
+	variance := 0.0
+	if t.hasVar {
+		sq := 0.0
+		if t.hasFns {
+			sq = t.sq.value()
+		}
+		variance = momentVariance(t.n, t.prob.value(), v, sq, t.hasFns)
+	}
+	return Estimate{Value: v, Variance: variance}
+}
+
+// enqueue collects one Theorem-1 evaluation |J| * E(fns * 1_C * prod N_T)
+// with its variance parts.
+func (t t1call) enqueue(b *batcher, preds []query.Predicate) (estimator, error) {
+	req, err := buildTermRequest(t.r, t.tmpl, t.keptIdx, t.fns, t.inner, nil, preds, t.keep)
+	if err != nil {
+		return nil, err
+	}
+	refs := enqueueTerm(b, t.r, req, len(t.fns) > 0)
+	size := t.r.FullSize
+	return func() (Estimate, error) {
+		return scaleEstimate(refs.estimate(), size), nil
+	}, nil
+}
+
+// enqueue collects one compiled COUNT node: the single call, the median
+// panel, or the Theorem-2 left side plus every branch sub-plan — all
+// independent, so they land in the same batch.
+func (n *countNode) enqueue(e *Engine, b *batcher, preds []query.Predicate) (estimator, error) {
+	switch n.kind {
+	case ckSingle:
+		return n.single.enqueue(b, preds)
+	case ckMedian:
+		resolvers := make([]estimator, len(n.median))
+		for i, call := range n.median {
+			res, err := call.enqueue(b, preds)
+			if err != nil {
+				return nil, err
+			}
+			resolvers[i] = res
+		}
+		// The median: the middle estimate for an odd member count, the
+		// average of the two middle estimates for an even one (variance of
+		// the two-point mean, treating the members as independent).
+		return func() (Estimate, error) {
+			ests := make([]Estimate, 0, len(resolvers))
+			for _, res := range resolvers {
+				est, err := res()
+				if err != nil {
+					return Estimate{}, err
+				}
+				ests = append(ests, est)
+			}
+			sort.Slice(ests, func(i, j int) bool { return ests[i].Value < ests[j].Value })
+			m := len(ests)
+			if m%2 == 1 {
+				return ests[m/2], nil
+			}
+			lo, hi := ests[m/2-1], ests[m/2]
+			return Estimate{
+				Value:    (lo.Value + hi.Value) / 2,
+				Variance: (lo.Variance + hi.Variance) / 4,
+			}, nil
+		}, nil
+	default: // ckTheorem2
+		left, err := n.left.enqueue(b, preds)
+		if err != nil {
+			return nil, err
+		}
+		branches := make([]estimator, len(n.branches))
+		for i, br := range n.branches {
+			sub, err := br.node.enqueue(e, b, selectPreds(preds, br.keep))
+			if err != nil {
+				return nil, err
+			}
+			branches[i] = sub
+		}
+		plans := n.branches
+		return func() (Estimate, error) {
+			result, err := left()
+			if err != nil {
+				return Estimate{}, err
+			}
+			for i, res := range branches {
+				num, err := res()
+				if err != nil {
+					return Estimate{}, err
+				}
+				den, ok := e.Ens.TableRows(plans[i].br.head)
+				if !ok {
+					return Estimate{}, fmt.Errorf("core: no cardinality statistic or base table for %s (Theorem 2 needs its size)", plans[i].br.head)
+				}
+				var ratio Estimate
+				if den > 0 {
+					ratio = scaleEstimate(num, 1/den)
+				}
+				// den <= 0: an empty bridgehead table joins to nothing, so
+				// the branch ratio is an exact zero.
+				result = mulEstimate(result, ratio)
+			}
+			return result, nil
+		}, nil
+	}
+}
+
+// enqueue collects one signed SUM term: either the direct single
+// expectation, or the COUNT * AVG fallback of Section 4.2.
+func (s signedSum) enqueue(e *Engine, b *batcher, preds []query.Predicate) (estimator, error) {
+	if s.direct != nil {
+		return s.direct.enqueue(b, preds)
+	}
+	cnt, err := s.cnt.enqueue(e, b, preds)
+	if err != nil {
+		return nil, err
+	}
+	av, err := s.avg.enqueue(b, preds)
+	if err != nil {
+		return nil, err
+	}
+	return func() (Estimate, error) {
+		cntE, err := cnt()
+		if err != nil {
+			return Estimate{}, err
+		}
+		avE, err := av()
+		if err != nil {
+			return Estimate{}, err
+		}
+		return mulEstimate(cntE, avE), nil
+	}, nil
+}
+
+// enqueue collects the AVG ratio of expectations (numerator, denominator,
+// and their variance parts — six requests, one batch).
+func (a *avgNode) enqueue(b *batcher, preds []query.Predicate) (estimator, error) {
+	numReq, err := buildTermRequest(a.r, a.numTmpl, a.keptIdx, a.numFns, a.inner, nil, preds, a.keep)
+	if err != nil {
+		return nil, err
+	}
+	denReq, err := buildTermRequest(a.r, a.denTmpl, a.keptIdx, a.denFns, a.inner, []string{a.aggCol}, preds, a.keep)
+	if err != nil {
+		return nil, err
+	}
+	num := enqueueTerm(b, a.r, numReq, len(a.numFns) > 0)
+	den := enqueueTerm(b, a.r, denReq, len(a.denFns) > 0)
+	return func() (Estimate, error) {
+		denE := den.estimate()
+		if denE.Value <= 0 {
+			return Estimate{}, nil
+		}
+		return divEstimate(num.estimate(), denE), nil
+	}, nil
+}
+
+// enqueueSigned collects a list of signed inclusion-exclusion terms for
+// one predicate binding. The resolver combines them in deterministic term
+// order; variances add — the terms are not independent, so this is the
+// conservative bound. clampZero applies COUNT's lower bound of zero (SUM
+// distributes over inclusion-exclusion with its sign and stays unclamped).
+func enqueueSigned(b *batcher, n int, clampZero bool,
+	enqueue func(i int) (estimator, float64, error)) (estimator, error) {
+	resolvers := make([]estimator, n)
+	signs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		res, sign, err := enqueue(i)
+		if err != nil {
+			return nil, err
+		}
+		resolvers[i], signs[i] = res, sign
+	}
+	return func() (Estimate, error) {
+		var total Estimate
+		for i, res := range resolvers {
+			est, err := res()
+			if err != nil {
+				return Estimate{}, err
+			}
+			total.Value += signs[i] * est.Value
+			total.Variance += est.Variance
+		}
+		if clampZero && total.Value < 0 {
+			total.Value = 0
+		}
+		return total, nil
+	}, nil
+}
+
+// enqueueCount collects the signed COUNT terms for one predicate binding.
+func (p *Plan) enqueueCount(b *batcher, terms []signedCount, base, disj []query.Predicate) (estimator, error) {
+	if len(terms) == 1 && terms[0].mask == 0 {
+		return terms[0].node.enqueue(p.eng, b, base)
+	}
+	return enqueueSigned(b, len(terms), true, func(i int) (estimator, float64, error) {
+		res, err := terms[i].node.enqueue(p.eng, b, maskPreds(base, disj, terms[i].mask))
+		return res, terms[i].sign, err
+	})
+}
+
+// enqueueSum collects the signed SUM terms.
+func (p *Plan) enqueueSum(b *batcher, base, disj []query.Predicate) (estimator, error) {
+	terms := p.sum
+	if len(terms) == 1 && terms[0].mask == 0 {
+		return terms[0].enqueue(p.eng, b, base)
+	}
+	return enqueueSigned(b, len(terms), false, func(i int) (estimator, float64, error) {
+		res, err := terms[i].enqueue(p.eng, b, maskPreds(base, disj, terms[i].mask))
+		return res, terms[i].sign, err
+	})
+}
+
+// enqueueAggregate collects the plan's aggregate for one bound predicate
+// set. countTerms is the COUNT estimator matching the predicate set (card
+// for the base query, count for the group template).
+func (p *Plan) enqueueAggregate(b *batcher, countTerms []signedCount, preds, disj []query.Predicate) (estimator, error) {
+	switch p.q.Aggregate {
+	case query.Count:
+		return p.enqueueCount(b, countTerms, preds, disj)
+	case query.Sum:
+		return p.enqueueSum(b, preds, disj)
+	case query.Avg:
+		if p.avg != nil {
+			return p.avg.enqueue(b, preds)
+		}
+		sum, err := p.enqueueSum(b, preds, disj)
+		if err != nil {
+			return nil, err
+		}
+		cnt, err := p.enqueueCount(b, countTerms, preds, disj)
+		if err != nil {
+			return nil, err
+		}
+		return func() (Estimate, error) {
+			s, err := sum()
+			if err != nil {
+				return Estimate{}, err
+			}
+			c, err := cnt()
+			if err != nil {
+				return Estimate{}, err
+			}
+			return divEstimate(s, c), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("core: unsupported aggregate %v", p.q.Aggregate)
+	}
+}
+
+// ---- execution ----
+
+// ExecuteQuery runs the plan against a fully-bound concrete query that
+// shares the plan's shape — the entry point for plan-cache reuse, where
+// the concrete query may differ from the template in literal values only.
+func (p *Plan) ExecuteQuery(ctx context.Context, opts ExecOpts, q query.Query) (AQPResult, error) {
+	res, err := p.ExecuteBatch(ctx, opts, []query.Query{q})
+	if err != nil {
+		return AQPResult{}, err
+	}
+	return res[0], nil
+}
+
+// ExecuteBatch executes the plan for many bound queries of the plan's
+// shape in one batched evaluation: every query's expectation requests —
+// and for GROUP BY queries, every group key's — are collected and
+// answered together on each model's flat arrays, instead of one traversal
+// per query per group per moment. Results are returned in query order and
+// are bit-identical to executing the queries one at a time.
+func (p *Plan) ExecuteBatch(ctx context.Context, opts ExecOpts, queries []query.Query) ([]AQPResult, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	for _, q := range queries {
+		if err := p.checkBound(q); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.ensureExec(); err != nil {
+		return nil, err
+	}
+	level := p.level(opts)
+	if len(p.groupCols) == 0 {
+		b := newBatcher(2 * len(queries))
+		resolvers := make([]estimator, len(queries))
+		for i, q := range queries {
+			res, err := p.enqueueAggregate(b, p.card, q.Filters, q.Disjunction)
+			if err != nil {
+				return nil, err
+			}
+			resolvers[i] = res
+		}
+		if err := b.run(ctx, p.eng.Parallelism); err != nil {
+			return nil, err
+		}
+		out := make([]AQPResult, len(queries))
+		for i, res := range resolvers {
+			est, err := res()
+			if err != nil {
+				return nil, batchEntryErr(len(queries), i, err)
+			}
+			out[i] = AQPResult{Groups: []AQPGroup{finish(nil, est, level)}}
+		}
+		return out, nil
+	}
+	return p.executeGroupsBatch(ctx, queries, level)
+}
+
+// batchEntryErr attributes a resolve-phase error to its batch entry —
+// pointless noise for a single-query execution, essential context for a
+// multi-binding batch.
+func batchEntryErr(batchLen, i int, err error) error {
+	if batchLen <= 1 {
+		return err
+	}
+	return fmt.Errorf("batch entry %d: %w", i, err)
+}
+
+// executeGroupsBatch answers GROUP BY executions in two batched stages:
+// stage one evaluates the per-group COUNT gate of every (query, key)
+// pair in one batch; stage two evaluates the aggregate of every surviving
+// group (skipped entirely for COUNT queries, whose gate is the answer).
+func (p *Plan) executeGroupsBatch(ctx context.Context, queries []query.Query, level float64) ([]AQPResult, error) {
+	nk := len(p.groupKeys)
+	bindings := make([][]query.Predicate, len(queries)*nk)
+	gates := make([]estimator, len(queries)*nk)
+	b := newBatcher(2 * len(queries) * nk)
+	for qi, q := range queries {
+		for ki, key := range p.groupKeys {
+			preds := make([]query.Predicate, 0, len(q.Filters)+len(key))
+			preds = append(preds, q.Filters...)
+			preds = append(preds, groupFilters(p.groupCols, key)...)
+			i := qi*nk + ki
+			bindings[i] = preds
+			res, err := p.enqueueCount(b, p.count, preds, q.Disjunction)
+			if err != nil {
+				return nil, err
+			}
+			gates[i] = res
+		}
+	}
+	if err := b.run(ctx, p.eng.Parallelism); err != nil {
+		return nil, err
+	}
+	counts := make([]Estimate, len(gates))
+	live := make([]bool, len(gates))
+	for i, res := range gates {
+		est, err := res()
+		if err != nil {
+			return nil, batchEntryErr(len(queries), i/nk, err)
+		}
+		counts[i] = est
+		// A group the model believes empty is dropped from the result.
+		live[i] = est.Value >= 0.5
+	}
+	aggs := make([]estimator, len(gates))
+	if p.q.Aggregate != query.Count {
+		b2 := newBatcher(2 * len(queries) * nk)
+		for qi, q := range queries {
+			for ki := range p.groupKeys {
+				i := qi*nk + ki
+				if !live[i] {
+					continue
+				}
+				res, err := p.enqueueAggregate(b2, p.count, bindings[i], q.Disjunction)
+				if err != nil {
+					return nil, err
+				}
+				aggs[i] = res
+			}
+		}
+		if err := b2.run(ctx, p.eng.Parallelism); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]AQPResult, len(queries))
+	for qi := range queries {
+		var groups []AQPGroup
+		for ki, key := range p.groupKeys {
+			i := qi*nk + ki
+			if !live[i] {
+				continue
+			}
+			est := counts[i]
+			if aggs[i] != nil {
+				var err error
+				est, err = aggs[i]()
+				if err != nil {
+					return nil, batchEntryErr(len(queries), qi, err)
+				}
+			}
+			groups = append(groups, finish(key, est, level))
+		}
+		sort.Slice(groups, func(i, j int) bool {
+			a, b := groups[i].Key, groups[j].Key
+			for k := 0; k < len(a) && k < len(b); k++ {
+				if a[k] != b[k] {
+					return a[k] < b[k]
+				}
+			}
+			return false
+		})
+		out[qi] = AQPResult{Groups: groups}
+	}
+	return out, nil
+}
+
+// EstimateCardinalityQuery is EstimateCardinality for a concrete query
+// sharing the plan's shape. It touches only the cardinality terms, so it
+// neither pays for nor fails on the Execute-side compilation.
+func (p *Plan) EstimateCardinalityQuery(ctx context.Context, q query.Query) (Estimate, error) {
+	if err := p.checkBound(q); err != nil {
+		return Estimate{}, err
+	}
+	b := newBatcher(2)
+	res, err := p.enqueueCount(b, p.card, q.Filters, q.Disjunction)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if err := b.run(ctx, p.eng.Parallelism); err != nil {
+		return Estimate{}, err
+	}
+	return res()
+}

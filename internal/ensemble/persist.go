@@ -114,6 +114,10 @@ func Load(r io.Reader, tables map[string]*table.Table) (*Ensemble, error) {
 		if err := m.Model.Root.Validate(); err != nil {
 			return nil, fmt.Errorf("ensemble: invalid model after load: %w", err)
 		}
+		// gob skips the unexported evaluation caches (sum totals, the
+		// compiled flat evaluator, indicator indices); rebuild them
+		// before serving.
+		m.Refresh()
 	}
 	e := &Ensemble{
 		Schema:  p.Schema,

@@ -97,14 +97,16 @@ func Learn(ctx context.Context, tbl *table.Table, tables []string, edges []schem
 	if err != nil {
 		return nil, err
 	}
-	return &RSPN{
+	r := &RSPN{
 		Model:      model,
 		Tables:     append([]string(nil), tables...),
 		Edges:      append([]schema.Relationship(nil), edges...),
 		FullSize:   float64(rows),
 		SampleRate: sampleRate,
 		FDs:        fds,
-	}, nil
+	}
+	r.Refresh()
+	return r, nil
 }
 
 // clampFactorColumns lifts tuple-factor values to at least 1 in join

@@ -56,6 +56,41 @@ type RSPN struct {
 	// FDs are the functional-dependency dictionaries attached to this
 	// model's tables.
 	FDs []FD
+
+	// ntIdx caches the model column index of each covered table's join
+	// indicator N_t, so constraint building does not concatenate the
+	// indicator column name per request. Unexported (gob skips it) and
+	// precomputed by Refresh; hand-built RSPNs fall back to a direct
+	// lookup.
+	ntIdx map[string]int
+	// ntRange is the shared, read-only N_t = 1 range every indicator
+	// constraint uses (one allocation per RSPN instead of one per
+	// request).
+	ntRange []spn.Range
+}
+
+// Refresh rebuilds the RSPN's derived lookup state — the model's compiled
+// flat evaluator and caches (spn.SPN.Refresh) plus the per-table join
+// indicator column indices. Learning and deserialization call it.
+func (r *RSPN) Refresh() {
+	r.Model.Refresh()
+	r.ntIdx = make(map[string]int, len(r.Tables))
+	for _, t := range r.Tables {
+		r.ntIdx[t] = r.Model.ColumnIndex(table.IndicatorColumn(t))
+	}
+	r.ntRange = []spn.Range{spn.PointRange(1)}
+}
+
+// indicatorIndex returns the model column index of table t's join
+// indicator, or -1.
+func (r *RSPN) indicatorIndex(t string) int {
+	if r.ntIdx != nil {
+		if idx, ok := r.ntIdx[t]; ok {
+			return idx
+		}
+		return -1
+	}
+	return r.Model.ColumnIndex(table.IndicatorColumn(t))
 }
 
 // CoversTables reports whether the RSPN's table set includes every one of
@@ -123,34 +158,55 @@ type Term struct {
 // produce an error so the caller can pick a different RSPN or drop them
 // explicitly.
 func (r *RSPN) Expectation(term Term) (float64, error) {
-	cons, err := r.buildConstraints(term)
+	req, err := r.BuildRequest(term)
 	if err != nil {
 		return 0, err
-	}
-	req := spn.Request{}
-	for _, c := range cons {
-		req.Cols = append(req.Cols, c)
 	}
 	return r.Model.Evaluate(req)
 }
 
-// buildConstraints merges the term's parts into one ColQuery per column.
+// BuildRequest compiles a term into the single SPN inference request its
+// evaluation needs. Callers that evaluate many terms should build their
+// requests up front and hand them to EvaluateRequests in one batch, so the
+// model's flat arrays are walked once for all of them.
+func (r *RSPN) BuildRequest(term Term) (spn.Request, error) {
+	cons, err := r.buildConstraints(term)
+	if err != nil {
+		return spn.Request{}, err
+	}
+	return spn.Request{Cols: cons}, nil
+}
+
+// EvaluateRequests evaluates a batch of prebuilt requests in one pass over
+// the model's compiled flat form, writing request i's value into out[i]
+// (len(out) >= len(reqs)). Results are bit-identical to evaluating each
+// request alone.
+func (r *RSPN) EvaluateRequests(reqs []spn.Request, out []float64) error {
+	return r.Model.EvaluateBatch(reqs, out)
+}
+
+// buildConstraints merges the term's parts into one ColQuery per column,
+// in deterministic first-touch order.
 func (r *RSPN) buildConstraints(term Term) ([]spn.ColQuery, error) {
 	type colState struct {
+		col      int
 		fn       spn.Fn
 		hasFn    bool
 		ranges   []spn.Range // nil means unconstrained so far
 		hasRange bool
 		notNull  bool
 	}
-	states := map[int]*colState{}
+	// A term touches a handful of columns; a linear scan over a small
+	// slice beats the map the per-call path used to allocate.
+	states := make([]colState, 0, 8)
 	state := func(col int) *colState {
-		if s, ok := states[col]; ok {
-			return s
+		for i := range states {
+			if states[i].col == col {
+				return &states[i]
+			}
 		}
-		s := &colState{}
-		states[col] = s
-		return s
+		states = append(states, colState{col: col})
+		return &states[len(states)-1]
 	}
 
 	// Filters, with FD translation.
@@ -177,17 +233,20 @@ func (r *RSPN) buildConstraints(term Term) ([]spn.ColQuery, error) {
 	}
 	// Indicator columns.
 	for _, t := range term.InnerTables {
-		col := table.IndicatorColumn(t)
-		idx := r.Model.ColumnIndex(col)
+		idx := r.indicatorIndex(t)
 		if idx < 0 {
 			if len(r.Tables) == 1 && r.Tables[0] == t {
 				continue // single-table RSPN: every row is a real row
 			}
-			return nil, fmt.Errorf("rspn: missing indicator column %s", col)
+			return nil, fmt.Errorf("rspn: missing indicator column %s", table.IndicatorColumn(t))
 		}
 		s := state(idx)
-		ind := []spn.Range{spn.PointRange(1)}
+		ind := r.ntRange
+		if ind == nil {
+			ind = []spn.Range{spn.PointRange(1)}
+		}
 		if !s.hasRange {
+			// Shared read-only slice: never mutated downstream.
 			s.ranges, s.hasRange = ind, true
 		} else {
 			s.ranges = IntersectRanges(s.ranges, ind)
@@ -215,8 +274,9 @@ func (r *RSPN) buildConstraints(term Term) ([]spn.ColQuery, error) {
 	}
 
 	out := make([]spn.ColQuery, 0, len(states))
-	for col, s := range states {
-		cq := spn.ColQuery{Col: col, Fn: s.fn, ExcludeNull: s.notNull}
+	for i := range states {
+		s := &states[i]
+		cq := spn.ColQuery{Col: s.col, Fn: s.fn, ExcludeNull: s.notNull}
 		if s.hasRange {
 			cq.Ranges = s.ranges
 			if len(cq.Ranges) == 0 {

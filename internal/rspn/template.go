@@ -1,0 +1,195 @@
+package rspn
+
+// template.go precompiles the value-independent structure of a Term. A
+// compiled query plan evaluates the same term shape over and over with
+// only the predicate *values* changing (per prepared-statement binding,
+// per GROUP BY key, per inclusion-exclusion mask), yet the generic
+// BuildRequest path re-derives column routing, FD-translation decisions,
+// moment-function placement and indicator constraints on every call. A
+// TermTemplate performs that derivation once: binding a concrete
+// predicate list reduces to filling range values into a prebuilt slot
+// layout.
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/spn"
+)
+
+// ttSlot is one output column of the template's request: which model
+// column, its fixed moment function and not-null flag, which filter
+// ordinals merge into it (in order), and whether the N_t = 1 indicator
+// range merges in after them — the exact merge sequence buildConstraints
+// performs, so bound requests are bit-identical to generically built ones.
+type ttSlot struct {
+	col       int
+	fn        spn.Fn
+	hasFn     bool
+	notNull   bool
+	indicator bool
+	filters   []int
+}
+
+// TermTemplate is a Term with its constraint structure resolved against
+// one RSPN. It is immutable after CompileTerm and safe for concurrent
+// BindRequest calls.
+type TermTemplate struct {
+	r     *RSPN
+	slots []ttSlot
+	// Per filter ordinal: the expected column (a defensive shape check at
+	// bind time) and whether the predicate needs FD translation.
+	cols []string
+	fd   []bool
+}
+
+// CompileTerm resolves the term's structure — column routing, FD
+// decisions, indicator and moment placement — against the model. The
+// term's filter values are ignored; only their columns and order matter,
+// and BindRequest expects the same filter shape (as query.SameShape
+// guarantees for plan executions).
+func (r *RSPN) CompileTerm(term Term) (*TermTemplate, error) {
+	t := &TermTemplate{
+		r:    r,
+		cols: make([]string, len(term.Filters)),
+		fd:   make([]bool, len(term.Filters)),
+	}
+	slotOf := func(col int) *ttSlot {
+		for i := range t.slots {
+			if t.slots[i].col == col {
+				return &t.slots[i]
+			}
+		}
+		t.slots = append(t.slots, ttSlot{col: col})
+		return &t.slots[len(t.slots)-1]
+	}
+	for k, p := range term.Filters {
+		t.cols[k] = p.Column
+		pred := p
+		if !r.HasColumn(pred.Column) {
+			translated, err := r.translateFD(pred)
+			if err != nil {
+				return nil, err
+			}
+			t.fd[k] = true
+			pred = translated
+		}
+		idx := r.Model.ColumnIndex(pred.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("rspn: column %s not in model", pred.Column)
+		}
+		s := slotOf(idx)
+		s.filters = append(s.filters, k)
+	}
+	for _, tbl := range term.InnerTables {
+		idx := r.indicatorIndex(tbl)
+		if idx < 0 {
+			if len(r.Tables) == 1 && r.Tables[0] == tbl {
+				continue // single-table RSPN: every row is a real row
+			}
+			return nil, fmt.Errorf("rspn: missing indicator column for table %s", tbl)
+		}
+		slotOf(idx).indicator = true
+	}
+	for col, fn := range term.Fns {
+		idx := r.Model.ColumnIndex(col)
+		if idx < 0 {
+			return nil, fmt.Errorf("rspn: moment column %s not in model", col)
+		}
+		s := slotOf(idx)
+		if s.hasFn {
+			return nil, fmt.Errorf("rspn: column %s assigned two moment functions", col)
+		}
+		s.fn, s.hasFn = fn, true
+	}
+	for _, col := range term.NotNull {
+		idx := r.Model.ColumnIndex(col)
+		if idx < 0 {
+			return nil, fmt.Errorf("rspn: not-null column %s not in model", col)
+		}
+		slotOf(idx).notNull = true
+	}
+	return t, nil
+}
+
+// BindRequest builds the template's request for one concrete predicate
+// list. ok is false when the filter shape differs from the compiled one
+// (the caller then falls back to the generic BuildRequest path); errors
+// only arise from value-dependent FD translation.
+func (t *TermTemplate) BindRequest(filters []query.Predicate) (req spn.Request, ok bool, err error) {
+	return t.BindIndexed(filters, nil)
+}
+
+// BindIndexed is BindRequest through an ordinal indirection: template
+// filter k reads filters[idx[k]] (idx nil means identity). A plan whose
+// term keeps only a subset of the query's predicates stores the kept
+// ordinals once at compile time and binds against the full predicate list
+// directly, instead of materializing the filtered copy per evaluation.
+func (t *TermTemplate) BindIndexed(filters []query.Predicate, idx []int) (req spn.Request, ok bool, err error) {
+	if idx == nil {
+		if len(filters) != len(t.cols) {
+			return spn.Request{}, false, nil
+		}
+		for k := range filters {
+			if filters[k].Column != t.cols[k] {
+				return spn.Request{}, false, nil
+			}
+		}
+	} else {
+		if len(idx) != len(t.cols) {
+			return spn.Request{}, false, nil
+		}
+		for k, j := range idx {
+			if j < 0 || j >= len(filters) || filters[j].Column != t.cols[k] {
+				return spn.Request{}, false, nil
+			}
+		}
+	}
+	cols := make([]spn.ColQuery, len(t.slots))
+	for i := range t.slots {
+		sl := &t.slots[i]
+		cq := spn.ColQuery{Col: sl.col, Fn: sl.fn, ExcludeNull: sl.notNull}
+		var ranges []spn.Range
+		hasRange := false
+		for _, k := range sl.filters {
+			j := k
+			if idx != nil {
+				j = idx[k]
+			}
+			pred := filters[j]
+			if t.fd[k] {
+				pred, err = t.r.translateFD(pred)
+				if err != nil {
+					return spn.Request{}, false, err
+				}
+			}
+			rs := PredicateRanges(pred)
+			if !hasRange {
+				ranges, hasRange = rs, true
+			} else {
+				ranges = IntersectRanges(ranges, rs)
+			}
+		}
+		if sl.indicator {
+			ind := t.r.ntRange
+			if ind == nil {
+				ind = []spn.Range{spn.PointRange(1)}
+			}
+			if !hasRange {
+				ranges, hasRange = ind, true
+			} else {
+				ranges = IntersectRanges(ranges, ind)
+			}
+		}
+		if hasRange {
+			cq.Ranges = ranges
+			if len(cq.Ranges) == 0 {
+				// Contradictory constraints: probability zero. Encode as an
+				// impossible range.
+				cq.Ranges = []spn.Range{{Lo: 1, Hi: 0}}
+			}
+		}
+		cols[i] = cq
+	}
+	return spn.Request{Cols: cols}, true, nil
+}

@@ -1,0 +1,386 @@
+package spn
+
+// compiled.go implements the flattened SPN evaluator. The learned tree is
+// lowered once into a postorder structure-of-arrays form — node kinds,
+// child index ranges, normalized sum weights, leaf references and scope
+// bitsets in contiguous arrays — and batches of inference requests are
+// answered in a single recursion-free pass over those arrays. Compared to
+// the reference tree walk (infer.go) this removes the per-call column map,
+// the per-visit weight renormalization, the pointer chasing and the
+// scope-overlap map probes; requests in a batch additionally share the
+// node walk, so evaluating the many expectations a query plan emits (per
+// group key, per Theorem-2 branch, per inclusion-exclusion term, per
+// prepared-statement binding) costs one pass instead of one traversal
+// each. Results are bit-identical to Evaluate's tree walk: the flat form
+// performs the same floating-point operations in the same order.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Compiled is the flattened, evaluation-optimized form of an SPN tree.
+// Nodes are stored in postorder (children strictly before parents), so a
+// single forward loop evaluates bottom-up. A Compiled is read-only during
+// evaluation and safe for concurrent EvaluateBatch calls. Updates never
+// change the tree structure, and leaf distributions are shared by pointer
+// with the tree, so SPN.Insert/Delete only re-derive the normalized
+// mixing weights in place (refreshWeights) on the model's write path.
+type Compiled struct {
+	numCols int
+	words   int // scope bitset words per node
+
+	kind     []Kind
+	childOff []int32 // children of node i: childIdx[childOff[i]:childOff[i+1]]
+	childIdx []int32
+	// weight is parallel to childIdx: for sum nodes the normalized mixing
+	// weight (the same cnt/total division the tree walk performs, so the
+	// two paths agree bit for bit); unused (zero) for product nodes.
+	weight []float64
+	// counts is parallel to nodes: for sum nodes the node's live
+	// ChildCounts slice (mutated in place by updates, never reallocated),
+	// from which refreshWeights re-derives weight; nil otherwise.
+	counts  [][]float64
+	leaf    []*Leaf // parallel to nodes; nil for internal nodes
+	leafCol []int32 // parallel to nodes; -1 for internal nodes
+	scope   []uint64
+	root    int32
+}
+
+// compileTree flattens a (validated) SPN tree over numCols columns.
+func compileTree(root *Node, numCols int) *Compiled {
+	n := root.NumNodes()
+	c := &Compiled{
+		numCols:  numCols,
+		words:    (numCols + 63) / 64,
+		kind:     make([]Kind, 0, n),
+		childOff: make([]int32, 0, n+1),
+		leaf:     make([]*Leaf, 0, n),
+		leafCol:  make([]int32, 0, n),
+	}
+	c.scope = make([]uint64, 0, n*c.words)
+	c.root = c.flatten(root)
+	c.childOff = append(c.childOff, int32(len(c.childIdx)))
+	return c
+}
+
+// flatten emits the subtree in postorder and returns the node's index.
+// Child index lists land contiguously in childIdx because every node
+// appends its (already-emitted) children exactly when it is emitted.
+func (c *Compiled) flatten(n *Node) int32 {
+	kids := make([]int32, len(n.Children))
+	for i, ch := range n.Children {
+		kids[i] = c.flatten(ch)
+	}
+	idx := int32(len(c.kind))
+	c.kind = append(c.kind, n.Kind)
+	c.childOff = append(c.childOff, int32(len(c.childIdx)))
+	c.childIdx = append(c.childIdx, kids...)
+	switch n.Kind {
+	case SumKind:
+		total := n.childTotal()
+		for _, cnt := range n.ChildCounts {
+			w := 0.0
+			if total != 0 {
+				w = cnt / total
+			}
+			c.weight = append(c.weight, w)
+		}
+		c.counts = append(c.counts, n.ChildCounts)
+	default:
+		for range kids {
+			c.weight = append(c.weight, 0)
+		}
+		c.counts = append(c.counts, nil)
+	}
+	if n.Kind == LeafKind {
+		c.leaf = append(c.leaf, n.Leaf)
+		c.leafCol = append(c.leafCol, int32(n.Leaf.Col))
+	} else {
+		c.leaf = append(c.leaf, nil)
+		c.leafCol = append(c.leafCol, -1)
+	}
+	mask := make([]uint64, c.words)
+	for _, s := range n.Scope {
+		if s >= 0 && s < c.numCols {
+			mask[s>>6] |= 1 << (uint(s) & 63)
+		}
+	}
+	c.scope = append(c.scope, mask...)
+	return idx
+}
+
+// NumNodes returns the flattened node count.
+func (c *Compiled) NumNodes() int { return len(c.kind) }
+
+// refreshWeights re-derives every sum node's normalized weights from its
+// live ChildCounts — a pure, allocation-free arithmetic pass, called on
+// the write path after an update changed counts. The total is summed in
+// child order, matching childTotal and the tree walk bit for bit.
+func (c *Compiled) refreshWeights() {
+	for i, counts := range c.counts {
+		if counts == nil {
+			continue
+		}
+		total := 0.0
+		for _, cnt := range counts {
+			total += cnt
+		}
+		off := int(c.childOff[i])
+		for k, cnt := range counts {
+			w := 0.0
+			if total != 0 {
+				w = cnt / total
+			}
+			c.weight[off+k] = w
+		}
+	}
+}
+
+// evalScratch holds the pooled per-call buffers of EvaluateBatch, so a
+// steady-state batch evaluation allocates nothing.
+type evalScratch struct {
+	colRef []int32
+	masks  []uint64
+	union  []uint64
+	active []bool
+	vals   []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+// grow resizes a pooled scratch slice to n elements, reallocating only
+// when capacity is insufficient. Contents are unspecified.
+func grow[T any](s *[]T, n int) []T {
+	if cap(*s) < n {
+		*s = make([]T, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// sameColQuery reports whether two column queries are identical (same
+// function, null handling and ranges), so one moment value serves both.
+// Shared range slices (derived variance requests alias the full request's)
+// hit the pointer fast path.
+func sameColQuery(a, b *ColQuery) bool {
+	if a.Fn != b.Fn || a.ExcludeNull != b.ExcludeNull || len(a.Ranges) != len(b.Ranges) {
+		return false
+	}
+	if len(a.Ranges) == 0 {
+		return true
+	}
+	if &a.Ranges[0] == &b.Ranges[0] {
+		return true
+	}
+	for i := range a.Ranges {
+		if a.Ranges[i] != b.Ranges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func maskIntersects(a, b []uint64) bool {
+	for k := range a {
+		if a[k]&b[k] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// EvaluateBatch evaluates len(reqs) inference requests in one pass over
+// the flat arrays, writing request i's value into out[i]. The pass has
+// three phases: request validation (duplicate/range checks, per-request
+// column bitsets), a top-down sweep marking the nodes any request can
+// reach (subtrees outside the batch's union scope — or behind a
+// zero-weight sum child — are skipped wholesale), and one bottom-up sweep
+// computing all requests' values per active node. Per-request skipping at
+// product nodes mirrors the tree walk's scopeTouches check exactly.
+func (c *Compiled) EvaluateBatch(reqs []Request, out []float64) error {
+	nb := len(reqs)
+	if nb == 0 {
+		return nil
+	}
+	if len(out) < nb {
+		return fmt.Errorf("spn: result buffer holds %d values for %d requests", len(out), nb)
+	}
+	n := len(c.kind)
+	w := c.words
+	sc := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(sc)
+
+	// colRef[col*nb + b] indexes the ColQuery of request b constraining
+	// col (-1 when unconstrained) — the dense, allocation-free image of
+	// the tree walk's map[int]ColQuery.
+	colRef := grow(&sc.colRef, c.numCols*nb)
+	for i := range colRef {
+		colRef[i] = -1
+	}
+	masks := grow(&sc.masks, nb*w)
+	for i := range masks {
+		masks[i] = 0
+	}
+	union := grow(&sc.union, w)
+	for i := range union {
+		union[i] = 0
+	}
+	for b := range reqs {
+		for j := range reqs[b].Cols {
+			col := reqs[b].Cols[j].Col
+			if col < 0 || col >= c.numCols {
+				return fmt.Errorf("spn: column index %d out of range", col)
+			}
+			slot := col*nb + b
+			if colRef[slot] >= 0 {
+				return fmt.Errorf("spn: duplicate column %d in request", col)
+			}
+			colRef[slot] = int32(j)
+			masks[b*w+(col>>6)] |= 1 << (uint(col) & 63)
+		}
+	}
+	for b := 0; b < nb; b++ {
+		for k := 0; k < w; k++ {
+			union[k] |= masks[b*w+k]
+		}
+	}
+
+	// Top-down reachability: in postorder, iterating from the end visits
+	// every parent before its children.
+	active := grow(&sc.active, n)
+	for i := range active {
+		active[i] = false
+	}
+	active[c.root] = true
+	for i := n - 1; i >= 0; i-- {
+		if !active[i] {
+			continue
+		}
+		lo, hi := c.childOff[i], c.childOff[i+1]
+		switch c.kind[i] {
+		case ProductKind:
+			for k := lo; k < hi; k++ {
+				ci := c.childIdx[k]
+				if maskIntersects(c.scope[int(ci)*w:int(ci)*w+w], union) {
+					active[ci] = true
+				}
+			}
+		case SumKind:
+			for k := lo; k < hi; k++ {
+				if c.weight[k] != 0 {
+					active[c.childIdx[k]] = true
+				}
+			}
+		}
+	}
+
+	// Bottom-up evaluation; vals[i*nb+b] is node i's value for request b.
+	vals := grow(&sc.vals, n*nb)
+	for i := 0; i < n; i++ {
+		if !active[i] {
+			continue
+		}
+		base := i * nb
+		lo, hi := c.childOff[i], c.childOff[i+1]
+		switch c.kind[i] {
+		case LeafKind:
+			lf := c.leaf[i]
+			colBase := int(c.leafCol[i]) * nb
+			// Adjacent requests in a plan batch frequently constrain a
+			// column identically (GROUP BY bindings share every filter but
+			// the group key; variance requests share every range): reuse
+			// the previous moment when the column query is equal.
+			var prevQ *ColQuery
+			var prevV float64
+			for b := 0; b < nb; b++ {
+				if ref := colRef[colBase+b]; ref >= 0 {
+					q := &reqs[b].Cols[ref]
+					if prevQ == nil || !sameColQuery(prevQ, q) {
+						prevQ, prevV = q, lf.moment(q)
+					}
+					vals[base+b] = prevV
+				} else {
+					vals[base+b] = 1
+				}
+			}
+		case ProductKind:
+			for b := 0; b < nb; b++ {
+				m := masks[b*w : b*w+w]
+				acc := 1.0
+				for k := lo; k < hi; k++ {
+					ci := int(c.childIdx[k])
+					if !maskIntersects(c.scope[ci*w:ci*w+w], m) {
+						continue
+					}
+					acc *= vals[ci*nb+b]
+					if acc == 0 {
+						break
+					}
+				}
+				vals[base+b] = acc
+			}
+		case SumKind:
+			for b := 0; b < nb; b++ {
+				acc := 0.0
+				for k := lo; k < hi; k++ {
+					wt := c.weight[k]
+					if wt == 0 {
+						continue
+					}
+					acc += wt * vals[int(c.childIdx[k])*nb+b]
+				}
+				vals[base+b] = acc
+			}
+		}
+	}
+
+	rootBase := int(c.root) * nb
+	for b := 0; b < nb; b++ {
+		v := vals[rootBase+b]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("spn: non-finite inference result")
+		}
+		out[b] = v
+	}
+	return nil
+}
+
+// Refresh rebuilds the SPN's derived evaluation state: the cached sum-node
+// count totals and the compiled flat evaluator. Learning and
+// deserialization call it; call it manually after building or mutating a
+// tree by hand if the batch path should use the flat evaluator.
+func (s *SPN) Refresh() {
+	s.Root.RefreshTotals()
+	s.flat = compileTree(s.Root, len(s.Columns))
+	s.colIdx = make(map[string]int, len(s.Columns))
+	for i, c := range s.Columns {
+		s.colIdx[c] = i
+	}
+}
+
+// Compiled returns the flat evaluator, or nil for a hand-built SPN that
+// was never Refreshed (the batch path then falls back to the tree walk).
+func (s *SPN) Compiled() *Compiled { return s.flat }
+
+// EvaluateBatch evaluates many requests in one pass over the compiled
+// flat form, writing request i's value into out[i]. Results are
+// bit-identical to per-request Evaluate; when the SPN was never compiled
+// it falls back to exactly that.
+func (s *SPN) EvaluateBatch(reqs []Request, out []float64) error {
+	if len(out) < len(reqs) {
+		return fmt.Errorf("spn: result buffer holds %d values for %d requests", len(out), len(reqs))
+	}
+	if s.flat != nil {
+		return s.flat.EvaluateBatch(reqs, out)
+	}
+	for i := range reqs {
+		v, err := s.Evaluate(reqs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	return nil
+}

@@ -60,10 +60,7 @@ func evalNode(n *Node, byCol map[int]ColQuery) float64 {
 		}
 		return acc
 	case SumKind:
-		total := 0.0
-		for _, cnt := range n.ChildCounts {
-			total += cnt
-		}
+		total := n.childTotal()
 		if total == 0 {
 			return 0
 		}
@@ -109,12 +106,21 @@ func (s *SPN) MostProbableValue(target int, candidates []float64, evidence []Col
 	if len(candidates) == 0 {
 		return 0, fmt.Errorf("spn: no candidate values for column %d", target)
 	}
+	// Build the request once — evidence plus one target entry whose point
+	// range is overwritten per candidate — instead of re-copying the
+	// evidence slice for every candidate value.
+	cols := make([]ColQuery, len(evidence)+1)
+	for i, c := range evidence {
+		c.Fn = FnOne
+		cols[i] = c
+	}
+	targetRange := []Range{PointRange(candidates[0])}
+	cols[len(cols)-1] = ColQuery{Col: target, Fn: FnOne, Ranges: targetRange}
+	req := Request{Cols: cols}
 	best, bestP := candidates[0], -1.0
 	for _, cand := range candidates {
-		cols := append(append([]ColQuery(nil), evidence...), ColQuery{
-			Col: target, Fn: FnOne, Ranges: []Range{PointRange(cand)},
-		})
-		p, err := s.Probability(cols)
+		targetRange[0] = PointRange(cand)
+		p, err := s.Evaluate(req)
 		if err != nil {
 			return 0, err
 		}

@@ -239,7 +239,11 @@ func (l *Leaf) binOf(v float64) int {
 // where the expectation is over all mass including NULL (NULL contributes
 // zero unless the query is fully unconstrained, in which case the result is
 // exactly 1 for FnOne).
-func (l *Leaf) Moment(q ColQuery) float64 {
+func (l *Leaf) Moment(q ColQuery) float64 { return l.moment(&q) }
+
+// moment is Moment without the ColQuery copy — the batch evaluator calls
+// it once per (leaf, request) pair.
+func (l *Leaf) moment(q *ColQuery) float64 {
 	if l.Total == 0 {
 		return 0
 	}
@@ -289,11 +293,29 @@ func (l *Leaf) exactMass(r Range, fn Fn) float64 {
 
 // binnedMass integrates fn over the part of each bin covered by r, assuming
 // values are uniformly spread inside a bin (the fraction of overlap scales
-// every per-bin aggregate linearly).
+// every per-bin aggregate linearly). Only bins overlapping r are visited;
+// the skipped bins contributed exactly zero, so the bounded loop sums the
+// same terms in the same order.
 func (l *Leaf) binnedMass(r Range, fn Fn) float64 {
+	if math.IsNaN(r.Lo) || math.IsNaN(r.Hi) {
+		// A NaN bound is an invalid binding; propagate NaN so the root
+		// check reports a non-finite result (as the unbounded loop did)
+		// instead of silently returning zero mass.
+		return math.NaN()
+	}
 	acc := 0.0
 	n := len(l.BinW)
-	for b := 0; b < n; b++ {
+	// A bin [Edges[b], Edges[b+1]] overlaps iff Edges[b+1] >= r.Lo and
+	// Edges[b] <= r.Hi.
+	start := sort.SearchFloat64s(l.Edges, r.Lo) - 1
+	if start < 0 {
+		start = 0
+	}
+	end := sort.Search(len(l.Edges), func(i int) bool { return l.Edges[i] > r.Hi }) - 1
+	if end > n-1 {
+		end = n - 1
+	}
+	for b := start; b <= end; b++ {
 		lo, hi := l.Edges[b], l.Edges[b+1]
 		overlapLo := math.Max(lo, r.Lo)
 		overlapHi := math.Min(hi, r.Hi)

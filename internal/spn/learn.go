@@ -51,10 +51,25 @@ type SPN struct {
 	Columns  []string // column names by scope index
 	RowCount float64  // training rows (updated by Insert/Delete)
 	Config   LearnConfig
+
+	// flat is the compiled structure-of-arrays evaluator (compiled.go),
+	// built by Refresh at the end of learning and after deserialization,
+	// and rebuilt by Insert/Delete. Unexported so gob skips it. nil for
+	// hand-built trees; EvaluateBatch then falls back to the tree walk.
+	flat *Compiled
+	// colIdx caches name -> scope index (built by Refresh; nil falls back
+	// to a linear scan).
+	colIdx map[string]int
 }
 
 // ColumnIndex returns the scope index of the named column, or -1.
 func (s *SPN) ColumnIndex(name string) int {
+	if s.colIdx != nil {
+		if i, ok := s.colIdx[name]; ok {
+			return i
+		}
+		return -1
+	}
 	for i, c := range s.Columns {
 		if c == name {
 			return i
@@ -117,6 +132,7 @@ func LearnContext(ctx context.Context, data [][]float64, columns []string, cfg L
 	if err := root.Validate(); err != nil {
 		return nil, err
 	}
+	spn.Refresh()
 	return spn, nil
 }
 
@@ -155,7 +171,9 @@ func LearnExact(data [][]float64, columns []string) (*SPN, error) {
 	}
 	if len(groups) == 1 {
 		root := exactRowNode(groups[0].row, columns, scope)
-		return &SPN{Root: root, Columns: columns, RowCount: float64(len(data))}, nil
+		s := &SPN{Root: root, Columns: columns, RowCount: float64(len(data))}
+		s.Refresh()
+		return s, nil
 	}
 	root := &Node{Kind: SumKind, Scope: scope}
 	mins := make([]float64, len(columns))
@@ -195,6 +213,7 @@ func LearnExact(data [][]float64, columns []string) (*SPN, error) {
 	if err := root.Validate(); err != nil {
 		return nil, err
 	}
+	spn.Refresh()
 	return spn, nil
 }
 

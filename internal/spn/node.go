@@ -51,18 +51,62 @@ type Node struct {
 
 	// Leaf nodes.
 	Leaf *Leaf
+
+	// total caches the sum of ChildCounts so sum-node evaluation does not
+	// re-add the counts on every visit. Unexported: gob skips it, so
+	// deserialized trees start invalid and callers re-derive it with
+	// RefreshTotals. When invalid, readers recompute without storing — the
+	// query path runs concurrently and must never write shared state.
+	total   float64
+	totalOK bool
 }
 
 // Weight returns the mixing weight of child i (count fraction).
 func (n *Node) Weight(i int) float64 {
-	total := 0.0
-	for _, c := range n.ChildCounts {
-		total += c
-	}
+	total := n.childTotal()
 	if total == 0 {
 		return 1 / float64(len(n.Children))
 	}
 	return n.ChildCounts[i] / total
+}
+
+// childTotal returns the (cached) sum of ChildCounts. The summation order
+// matches the pre-cache per-visit loop, so cached and recomputed totals are
+// bit-identical.
+func (n *Node) childTotal() float64 {
+	if n.totalOK {
+		return n.total
+	}
+	total := 0.0
+	for _, c := range n.ChildCounts {
+		total += c
+	}
+	return total
+}
+
+// refreshTotal recomputes and caches the ChildCounts sum. Only the write
+// path (learning, updates, deserialization) may call it.
+func (n *Node) refreshTotal() {
+	total := 0.0
+	for _, c := range n.ChildCounts {
+		total += c
+	}
+	n.total, n.totalOK = total, true
+}
+
+// RefreshTotals caches the count total of every sum node in the subtree.
+// Required after deserializing a tree (gob skips the unexported cache) or
+// mutating ChildCounts directly.
+func (n *Node) RefreshTotals() {
+	if n == nil {
+		return
+	}
+	if n.Kind == SumKind {
+		n.refreshTotal()
+	}
+	for _, c := range n.Children {
+		c.RefreshTotals()
+	}
 }
 
 // NumNodes returns the total node count of the subtree.

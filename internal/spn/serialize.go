@@ -21,6 +21,8 @@ func Load(r io.Reader) (*SPN, error) {
 	if err := s.Root.Validate(); err != nil {
 		return nil, err
 	}
+	// gob skips the unexported evaluation caches; rebuild them.
+	s.Refresh()
 	return &s, nil
 }
 

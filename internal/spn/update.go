@@ -18,6 +18,7 @@ func (s *SPN) Insert(tuple []float64) error {
 	}
 	updateTuple(s.Root, tuple, 1)
 	s.RowCount++
+	s.recompile()
 	return nil
 }
 
@@ -30,7 +31,21 @@ func (s *SPN) Delete(tuple []float64) error {
 	if s.RowCount > 0 {
 		s.RowCount--
 	}
+	s.recompile()
 	return nil
+}
+
+// recompile refreshes the flat evaluator after an update changed mixing
+// weights (leaf distributions are shared by pointer and need nothing).
+// The tree structure never changes, so this is an in-place,
+// allocation-free weight re-derivation rather than a rebuild; hand-built
+// SPNs that were never compiled stay on the tree path. Updates run on the
+// write path (the facade holds the write lock), so the mutation never
+// races a reader.
+func (s *SPN) recompile() {
+	if s.flat != nil {
+		s.flat.refreshWeights()
+	}
 }
 
 // updateTuple is Algorithm 1 with a weight parameter so insert (+1) and
@@ -45,6 +60,9 @@ func updateTuple(n *Node, tuple []float64, w float64) {
 		if n.ChildCounts[nearest] < 0 {
 			n.ChildCounts[nearest] = 0
 		}
+		// Recompute (not increment) the cached total so it stays
+		// bit-identical to a fresh summation of the counts.
+		n.refreshTotal()
 		updateTuple(n.Children[nearest], tuple, w)
 	case ProductKind:
 		// Product nodes split the column set: each child receives the

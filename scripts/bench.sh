@@ -1,7 +1,12 @@
 #!/bin/sh
-# bench.sh — run the query-serving micro-benchmarks (prepared vs
-# unprepared estimation, batch execution, and the HTTP serve endpoint) and
-# emit the results as BENCH_query.json in the repo root.
+# bench.sh — run the serving micro-benchmarks and emit the results as JSON
+# in the repo root:
+#
+#   BENCH_query.json — query-path benches: prepared vs unprepared
+#       estimation, batch execution, GROUP BY (batched vs per-group), and
+#       the HTTP serve endpoint.
+#   BENCH_spn.json   — SPN inference micro-benches: the reference tree
+#       walk vs the compiled flat evaluator, single-request and batched.
 #
 #   BENCHTIME=500x ./scripts/bench.sh     # override iteration count
 set -eu
@@ -9,15 +14,10 @@ set -eu
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-200x}"
-out="BENCH_query.json"
-tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'Prepared|Unprepared|ServeEstimate' -benchmem \
-    -benchtime "$benchtime" . ./cmd/deepdb | tee "$tmp"
-
-# Parse `BenchmarkName-8  N  T ns/op ...` lines into a JSON array.
-awk '
+# parse_bench turns `go test -bench` output on stdin into a JSON array.
+parse_bench() {
+    awk '
 BEGIN { print "["; first = 1 }
 /^Benchmark/ {
     name = $1
@@ -39,6 +39,18 @@ BEGIN { print "["; first = 1 }
     printf "}"
 }
 END { print "\n]" }
-' "$tmp" > "$out"
+'
+}
 
-echo "wrote $out"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'Prepared|Unprepared|GroupByBatched|GroupByPerGroup|ServeEstimate' -benchmem \
+    -benchtime "$benchtime" . ./cmd/deepdb | tee "$tmp"
+parse_bench < "$tmp" > BENCH_query.json
+echo "wrote BENCH_query.json"
+
+go test -run '^$' -bench 'SPNEval' -benchmem \
+    -benchtime "$benchtime" ./internal/spn | tee "$tmp"
+parse_bench < "$tmp" > BENCH_spn.json
+echo "wrote BENCH_spn.json"
