@@ -113,12 +113,17 @@ func TestLearnQueryRoundTrip(t *testing.T) {
 		t.Fatalf("round-trip estimate q-error %.2f (est %.1f true %.1f)", qe, est.Value, truth.Scalar())
 	}
 	// Updates must work on a reopened model too (tuple-factor columns are
-	// re-derived on open).
+	// re-derived on open). Inserts are asynchronous: only Flush proves the
+	// apply succeeded.
 	if err := db2.Insert("cast_info", map[string]deepdb.Value{
 		"ci_id": deepdb.Int(999999), "ci_t_id": deepdb.Int(0), "ci_role_id": deepdb.Int(1),
 	}); err != nil {
 		t.Fatalf("insert after open: %v", err)
 	}
+	if err := db2.Flush(ctx); err != nil {
+		t.Fatalf("applying insert after open: %v", err)
+	}
+	defer db2.Close()
 	// The plan for a model-covered query must render without error.
 	if plan, err := db2.Explain(ctx, sql); err != nil || plan == "" {
 		t.Fatalf("explain: %q, %v", plan, err)

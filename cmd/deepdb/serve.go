@@ -13,11 +13,19 @@ package main
 //	          -> {"groups": [{"key", "labels", "value", "variance", "ci_low", "ci_high"}], "elapsed_us"}
 //	/estimate same request -> {"value", "variance", "ci_low", "ci_high", "elapsed_us"}
 //	/explain  {"sql": "..."} -> {"plan": "..."}
-//	/healthz  -> {"status": "ok", "models", "tables", "data_attached"}
+//	/insert   {"table": "...", "values": {"col": 1.5, "region": "EU", "note": null}}
+//	          -> {"queued": true, "generation"}   (enqueued; apply is asynchronous)
+//	/delete   {"table": "...", "pk": 123} -> {"queued": true, "generation"}
+//	/flush    {} -> {"flushed": true, "generation"}   (read-your-writes barrier)
+//	/healthz  -> {"status": "ok", "models", "tables", "data_attached",
+//	              "readonly", "updates": {queue depth, lag, batches, ...}}
 //
 // params entries may be JSON numbers or strings; strings are resolved
 // through the dictionaries persisted in the model, so string predicates
-// work without any data directory.
+// work without any data directory. Insert values follow the same rule.
+// Mutations require the server to have data attached (-data) and are
+// rejected with 403 under -readonly; queries keep serving from immutable
+// snapshots either way and never wait for writers.
 
 import (
 	"context"
@@ -45,6 +53,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	cache := fs.Int("cache", 0, "plan cache size (0 keeps the default)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the serving process to this file (finalized at shutdown)")
 	withPprof := fs.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/ for live hot-path diagnosis")
+	readonly := fs.Bool("readonly", false, "reject /insert, /delete and /flush (serve a frozen snapshot)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,7 +85,10 @@ func cmdServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	handler := newServeHandler(db)
+	// Drain the update pipeline on shutdown so accepted mutations are
+	// applied before the process exits.
+	defer db.Close()
+	handler := newServeHandler(db, *readonly)
 	if *withPprof {
 		handler = withPprofEndpoints(handler)
 	}
@@ -113,20 +125,25 @@ func withPprofEndpoints(h http.Handler) http.Handler {
 	return mux
 }
 
-// serveHandler is the HTTP surface over one *DB. The DB's own RWMutex
-// makes concurrent request handling safe; no extra locking is needed.
+// serveHandler is the HTTP surface over one *DB. The DB serves queries
+// from immutable published snapshots and serializes updates internally;
+// no extra locking is needed here.
 type serveHandler struct {
-	db *deepdb.DB
+	db       *deepdb.DB
+	readonly bool
 }
 
 // newServeHandler builds the endpoint mux; split out of cmdServe so tests
 // can drive it through httptest without binding a port.
-func newServeHandler(db *deepdb.DB) http.Handler {
-	s := &serveHandler{db: db}
+func newServeHandler(db *deepdb.DB, readonly bool) http.Handler {
+	s := &serveHandler{db: db, readonly: readonly}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/estimate", s.handleEstimate)
 	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/insert", s.handleInsert)
+	mux.HandleFunc("/delete", s.handleDelete)
+	mux.HandleFunc("/flush", s.handleFlush)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -283,16 +300,180 @@ func (s *serveHandler) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}{plan})
 }
 
-func (s *serveHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+// mutationRequest is the JSON body of /insert and /delete.
+type mutationRequest struct {
+	Table string `json:"table"`
+	// Values holds the inserted row (insert): JSON numbers pass through,
+	// strings resolve through the column's dictionary, null becomes NULL.
+	Values map[string]any `json:"values,omitempty"`
+	// PK locates the deleted row (delete). A pointer so a request that
+	// forgot the field is rejected instead of silently targeting pk 0.
+	PK *float64 `json:"pk,omitempty"`
+}
+
+// rejectMutation enforces -readonly and the POST method on the mutation
+// endpoints.
+func (s *serveHandler) rejectMutation(w http.ResponseWriter, r *http.Request) bool {
+	if s.readonly {
+		writeJSON(w, http.StatusForbidden, apiError{Error: "server is readonly"})
+		return true
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{Error: "POST a JSON body"})
+		return true
+	}
+	return false
+}
+
+func decodeMutation(w http.ResponseWriter, r *http.Request) (mutationRequest, bool) {
+	var req mutationRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid JSON body: " + err.Error()})
+		return req, false
+	}
+	if req.Table == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "missing table"})
+		return req, false
+	}
+	return req, true
+}
+
+type mutationResponse struct {
+	Queued     bool   `json:"queued"`
+	Generation uint64 `json:"generation"`
+}
+
+func (s *serveHandler) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if s.rejectMutation(w, r) {
+		return
+	}
+	req, ok := decodeMutation(w, r)
+	if !ok {
+		return
+	}
+	meta := s.db.Schema().Table(req.Table)
+	if meta == nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("unknown table %s", req.Table)})
+		return
+	}
+	values := make(map[string]deepdb.Value, len(req.Values))
+	for col, v := range req.Values {
+		// Reject unknown columns here: the apply path silently NULLs
+		// missing ones, so a typo would otherwise insert an all-NULL row
+		// and report success.
+		if _, ok := meta.Column(col); !ok {
+			writeJSON(w, http.StatusBadRequest,
+				apiError{Error: fmt.Sprintf("table %s has no column %s", req.Table, col)})
+			return
+		}
+		switch x := v.(type) {
+		case nil:
+			values[col] = deepdb.Null()
+		case float64:
+			values[col] = deepdb.Float(x)
+		case string:
+			code, err := s.db.ResolveLabel(col, x)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+				return
+			}
+			values[col] = deepdb.Float(code)
+		default:
+			writeJSON(w, http.StatusBadRequest,
+				apiError{Error: fmt.Sprintf("column %s: unsupported value %v (use a number, string or null)", col, v)})
+			return
+		}
+	}
+	if err := s.db.Insert(req.Table, values); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, mutationResponse{Queued: true, Generation: s.db.Generation()})
+}
+
+func (s *serveHandler) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.rejectMutation(w, r) {
+		return
+	}
+	req, ok := decodeMutation(w, r)
+	if !ok {
+		return
+	}
+	if s.db.Schema().Table(req.Table) == nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("unknown table %s", req.Table)})
+		return
+	}
+	if req.PK == nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "missing pk"})
+		return
+	}
+	if err := s.db.Delete(req.Table, *req.PK); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, mutationResponse{Queued: true, Generation: s.db.Generation()})
+}
+
+// handleFlush blocks until every mutation accepted before the request is
+// applied and published, delivering deferred apply errors — the
+// read-your-writes barrier for HTTP clients.
+func (s *serveHandler) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if s.rejectMutation(w, r) {
+		return
+	}
+	if err := s.db.Flush(r.Context()); err != nil {
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+		return
+	}
 	writeJSON(w, http.StatusOK, struct {
-		Status       string `json:"status"`
-		Models       int    `json:"models"`
-		Tables       int    `json:"tables"`
-		DataAttached bool   `json:"data_attached"`
+		Flushed    bool   `json:"flushed"`
+		Generation uint64 `json:"generation"`
+	}{true, s.db.Generation()})
+}
+
+// apiUpdateStats mirrors deepdb.UpdateStats in JSON.
+type apiUpdateStats struct {
+	Generation      uint64 `json:"generation"`
+	SyncUpdates     bool   `json:"sync_updates"`
+	QueueDepth      int    `json:"queue_depth"`
+	Enqueued        uint64 `json:"enqueued"`
+	Applied         uint64 `json:"applied"`
+	Batches         uint64 `json:"batches"`
+	Errors          uint64 `json:"errors"`
+	LastError       string `json:"last_error,omitempty"`
+	LastBatch       int    `json:"last_batch"`
+	LastApplyMicros int64  `json:"last_apply_us"`
+	ApplyLagMicros  int64  `json:"apply_lag_us"`
+}
+
+func (s *serveHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.db.UpdateStats()
+	writeJSON(w, http.StatusOK, struct {
+		Status       string         `json:"status"`
+		Models       int            `json:"models"`
+		Tables       int            `json:"tables"`
+		DataAttached bool           `json:"data_attached"`
+		Readonly     bool           `json:"readonly"`
+		Updates      apiUpdateStats `json:"updates"`
 	}{
 		Status:       "ok",
 		Models:       len(s.db.Models()),
 		Tables:       len(s.db.Schema().Tables),
 		DataAttached: s.db.Data() != nil,
+		Readonly:     s.readonly,
+		Updates: apiUpdateStats{
+			Generation:      st.Generation,
+			SyncUpdates:     st.SyncUpdates,
+			QueueDepth:      st.QueueDepth,
+			Enqueued:        st.Enqueued,
+			Applied:         st.Applied,
+			Batches:         st.Batches,
+			Errors:          st.Errors,
+			LastError:       st.LastError,
+			LastBatch:       st.LastBatch,
+			LastApplyMicros: st.LastApplyDuration.Microseconds(),
+			ApplyLagMicros:  st.ApplyLag.Microseconds(),
+		},
 	})
 }

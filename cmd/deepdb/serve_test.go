@@ -115,7 +115,7 @@ type queryResp struct {
 // dictionaries), parameterized requests, explain and health.
 func TestServeEndpoints(t *testing.T) {
 	db := serveFixture(t)
-	srv := httptest.NewServer(newServeHandler(db))
+	srv := httptest.NewServer(newServeHandler(db, false))
 	defer srv.Close()
 
 	// /healthz reports the data-free configuration.
@@ -261,7 +261,7 @@ func TestServeEndpoints(t *testing.T) {
 func TestServeConcurrentLoad(t *testing.T) {
 	t.Parallel()
 	db := serveFixture(t)
-	srv := httptest.NewServer(newServeHandler(db))
+	srv := httptest.NewServer(newServeHandler(db, false))
 	defer srv.Close()
 	want, err := db.EstimateCardinality(context.Background(),
 		"SELECT COUNT(*) FROM customer WHERE c_age < 40 AND c_region = 'EU'")
@@ -310,7 +310,7 @@ func TestServeConcurrentLoad(t *testing.T) {
 // parameterized /estimate request against the data-free server.
 func BenchmarkServeEstimate(b *testing.B) {
 	db := serveFixture(b)
-	srv := httptest.NewServer(newServeHandler(db))
+	srv := httptest.NewServer(newServeHandler(db, false))
 	defer srv.Close()
 	body, _ := json.Marshal(apiRequest{
 		SQL:    "SELECT COUNT(*) FROM customer WHERE c_age < ? AND c_region = ?",
@@ -337,7 +337,7 @@ func BenchmarkServeEstimate(b *testing.B) {
 // respond and the API endpoints keep working through the wrapping mux.
 func TestServePprofEndpoints(t *testing.T) {
 	db := serveFixture(t)
-	srv := httptest.NewServer(withPprofEndpoints(newServeHandler(db)))
+	srv := httptest.NewServer(withPprofEndpoints(newServeHandler(db, false)))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/pprof/cmdline")

@@ -18,40 +18,81 @@
 //
 //	stmt, err := db.Prepare("SELECT COUNT(*) FROM orders WHERE o_amount >= ?")
 //	res, err := stmt.Exec(ctx, 100)                       // binds ? = 100
-//	batch, err := stmt.ExecBatch(ctx, [][]any{{50}, {90}}) // many bindings, one lock
+//	batch, err := stmt.ExecBatch(ctx, [][]any{{50}, {90}}) // many bindings, one snapshot
 //
-// A *DB is safe for concurrent use: queries run under a read lock and may
-// proceed in parallel; Update/Insert/Delete take the write lock and
-// invalidate cached plans.
+// # Snapshot isolation and updates
+//
+// A *DB serves queries from immutable published snapshots: every
+// Query/EstimateCardinality/Prepare/Exec loads the current snapshot with
+// one atomic pointer read and runs entirely against it, so reads never
+// block — not on each other and not on writes. Insert/Delete/Update
+// enqueue their mutations by default; a background applier coalesces the
+// queue into batches, applies each batch to a private copy-on-write clone
+// (only the touched tables and models are copied) and atomically publishes
+// the result as the next snapshot. Mutations are applied in submission
+// order; Flush blocks until everything enqueued before it is published
+// (read-your-writes) and reports apply errors the asynchronous path
+// deferred. WithSyncUpdates restores the old blocking-write semantics, and
+// after a Flush the two are bit-identical. UpdateStats exposes queue
+// depth, apply lag and batch counters; Close drains the pipeline.
 package deepdb
 
 import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ensemble"
 	"repro/internal/exact"
+	"repro/internal/pipeline"
 	"repro/internal/query"
 	"repro/internal/rspn"
 )
 
+// snapshot is one immutable published serving view: an ensemble state, the
+// engine compiled against it, and the generation it was published at.
+// Snapshots are never mutated after publication — updates clone and
+// publish a successor — so any number of readers can use one concurrently
+// without coordination, and a reader holding an old snapshot keeps a
+// consistent view while newer generations are published.
+type snapshot struct {
+	ens *ensemble.Ensemble
+	eng *core.Engine
+	// gen counts publications (update batches, CheckStaleness); cached
+	// plans and prepared statements are tagged with it and recompiled when
+	// it moves.
+	gen uint64
+}
+
 // DB is a learned DeepDB instance: an RSPN ensemble, the probabilistic
 // query engine compiled against it, and (when attached) the live base
 // tables that power incremental updates and exact ground-truth execution.
+// All methods are safe for concurrent use; queries never block on updates.
 type DB struct {
-	mu  sync.RWMutex
-	ens *ensemble.Ensemble
-	eng *core.Engine
-	cfg config
+	// snap is the current published snapshot; the read path loads it once
+	// per call and never takes a lock.
+	snap atomic.Pointer[snapshot]
+	cfg  config
 	// plans caches compiled query plans by normalized shape (nil when
-	// disabled via WithPlanCacheSize(0)).
+	// disabled via WithPlanCacheSize(0)), tagged with the snapshot
+	// generation they were compiled at.
 	plans *planCache
-	// gen counts model mutations (Insert/Delete/Update/CheckStaleness);
-	// cached plans are tagged with it and recompiled when it moves.
-	// Written under mu's write lock, read under its read lock.
-	gen uint64
+
+	// applyMu serializes everything that mutates model state and
+	// publishes snapshots: the background applier, synchronous updates,
+	// and CheckStaleness. The read path never touches it.
+	applyMu sync.Mutex
+
+	// pipeMu guards lazy creation and shutdown of the update pipeline.
+	// Queue items are mutation groups: the rows of one Update call travel
+	// as one indivisible item, so the applier may coalesce groups but
+	// never splits one across published snapshots.
+	pipeMu sync.Mutex
+	pipe   *pipeline.Pipeline[[]ensemble.Mutation]
+	closed bool
 }
 
 // Learn builds a DB over the schema's CSV files in dataDir (one
@@ -120,32 +161,51 @@ func Open(ctx context.Context, modelPath string, opts ...Option) (*DB, error) {
 }
 
 func newDB(ens *ensemble.Ensemble, cfg config) *DB {
-	eng := core.New(ens)
-	eng.Strategy = cfg.coreStrategy()
-	eng.ConfidenceLevel = cfg.confidence
-	eng.Parallelism = cfg.parallelism
-	return &DB{ens: ens, eng: eng, cfg: cfg, plans: newPlanCache(cfg.planCache)}
+	db := &DB{cfg: cfg, plans: newPlanCache(cfg.planCache)}
+	db.snap.Store(&snapshot{ens: ens, eng: db.newEngine(ens), gen: 0})
+	return db
 }
 
-// planFor returns the compiled plan for the query, consulting the plan
-// cache under the current model generation. shape may be "" (computed on
-// demand); prepared statements pass their precomputed key. Callers must
-// hold the read lock.
-func (db *DB) planFor(shape string, q query.Query) (*core.Plan, error) {
+// newEngine compiles a query engine over one ensemble state with the DB's
+// configured strategy and parallelism. Engines are cheap (configuration
+// plus a pointer), so every snapshot carries its own.
+func (db *DB) newEngine(ens *ensemble.Ensemble) *core.Engine {
+	eng := core.New(ens)
+	eng.Strategy = db.cfg.coreStrategy()
+	eng.ConfidenceLevel = db.cfg.confidence
+	eng.Parallelism = db.cfg.parallelism
+	return eng
+}
+
+// snapshotNow returns the current published serving view.
+func (db *DB) snapshotNow() *snapshot { return db.snap.Load() }
+
+// publishLocked atomically publishes ens as the next snapshot generation.
+// Callers must hold applyMu.
+func (db *DB) publishLocked(ens *ensemble.Ensemble) {
+	cur := db.snap.Load()
+	db.snap.Store(&snapshot{ens: ens, eng: db.newEngine(ens), gen: cur.gen + 1})
+}
+
+// planFor returns the compiled plan for the query against the given
+// snapshot, consulting the plan cache under the snapshot's generation.
+// shape may be "" (computed on demand); prepared statements pass their
+// precomputed key.
+func (db *DB) planFor(s *snapshot, shape string, q query.Query) (*core.Plan, error) {
 	if db.plans == nil {
-		return db.eng.Compile(q)
+		return s.eng.Compile(q)
 	}
 	if shape == "" {
 		shape = q.ShapeKey()
 	}
-	if p := db.plans.get(shape, db.gen); p != nil {
+	if p := db.plans.get(shape, s.gen); p != nil {
 		return p, nil
 	}
-	p, err := db.eng.Compile(q)
+	p, err := s.eng.Compile(q)
 	if err != nil {
 		return nil, err
 	}
-	db.plans.put(shape, db.gen, p)
+	db.plans.put(shape, s.gen, p)
 	return p, nil
 }
 
@@ -158,49 +218,58 @@ func (db *DB) PlanCacheLen() int {
 }
 
 // Save writes the model (ensemble, dependency and per-table statistics,
-// schema) to path, atomically (temp file + rename). The base tables are
-// not serialized; the persisted statistics are enough to serve queries,
-// and Open can reattach the data like a database reopening its files.
+// schema) to path, atomically (temp file + rename). Pending asynchronous
+// updates are flushed first, so the file reflects every mutation enqueued
+// before the call. The base tables are not serialized; the persisted
+// statistics are enough to serve queries, and Open can reattach the data
+// like a database reopening its files.
 func (db *DB) Save(path string) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.ens.SaveFile(path)
+	if err := db.Flush(context.Background()); err != nil {
+		return err
+	}
+	return db.snapshotNow().ens.SaveFile(path)
 }
 
 // Schema returns the relational metadata the DB was learned over.
-func (db *DB) Schema() *Schema { return db.ens.Schema }
+func (db *DB) Schema() *Schema { return db.snapshotNow().ens.Schema }
 
-// Data returns the attached base tables (nil when the DB was opened
-// without data). The returned tables are shared, not copied: mutate them
-// only through Insert/Delete/Update.
-func (db *DB) Data() Dataset { return db.ens.Tables }
+// Data returns the base tables of the current snapshot (nil when the DB
+// was opened without data). The returned tables are shared with the
+// serving path and must be treated as read-only: mutate the database only
+// through Insert/Delete/Update.
+func (db *DB) Data() Dataset { return db.snapshotNow().ens.Tables }
 
 // Describe returns a human-readable summary of the ensemble, including
 // the per-table statistics persisted with the model.
 func (db *DB) Describe() string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.ens.Describe()
+	return db.snapshotNow().ens.Describe()
 }
 
-// Models returns the ensemble members. Read-only companions like the
-// internal/ml regressors consume these directly.
-func (db *DB) Models() []*rspn.RSPN { return db.ens.RSPNs }
+// Models returns the current snapshot's ensemble members. Read-only
+// companions like the internal/ml regressors consume these directly; they
+// are immutable (updates publish fresh members instead of mutating).
+func (db *DB) Models() []*rspn.RSPN { return db.snapshotNow().ens.RSPNs }
 
 // Model returns some RSPN covering the named table (preferring the
 // smallest), or nil.
-func (db *DB) Model(table string) *rspn.RSPN { return db.ens.RSPNFor(table) }
+func (db *DB) Model(table string) *rspn.RSPN { return db.snapshotNow().ens.RSPNFor(table) }
+
+// Generation returns the current snapshot's publication counter. It moves
+// once per applied update batch (not per row) and on CheckStaleness.
+func (db *DB) Generation() uint64 { return db.snapshotNow().gen }
 
 // Parse compiles the SQL subset DeepDB supports into a structured query,
 // resolving string literals through the dictionaries (live base tables
 // when attached, the dictionaries persisted in the model otherwise). `?`
 // placeholders parse into parameter markers — see Prepare.
 func (db *DB) Parse(sql string) (query.Query, error) {
-	// The resolver reads dictionaries that Insert may extend; take the
-	// read lock for the parse so it never races a concurrent update.
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return query.Parse(sql, db.resolver())
+	return query.Parse(sql, resolver(db.snapshotNow().ens))
+}
+
+// ResolveLabel maps a string literal to its dictionary code on the given
+// column — the encoding Insert values and bound string parameters use.
+func (db *DB) ResolveLabel(column, literal string) (float64, error) {
+	return resolver(db.snapshotNow().ens)(column, literal)
 }
 
 // Query answers an aggregate SQL query approximately, from the model only.
@@ -208,20 +277,23 @@ func (db *DB) Parse(sql string) (query.Query, error) {
 // tables, filter columns and operators — literal values may differ); pay
 // the parse too only once by preparing the statement with Prepare.
 func (db *DB) Query(ctx context.Context, sql string, opts ...ExecOption) (Result, error) {
-	q, err := db.Parse(sql)
+	s := db.snapshotNow()
+	q, err := query.Parse(sql, resolver(s.ens))
 	if err != nil {
 		return Result{}, err
 	}
-	return db.ExecuteQuery(ctx, q, opts...)
+	return db.executeQueryOn(ctx, s, q, opts)
 }
 
 // ExecuteQuery is Query for an already-parsed (or programmatically built)
 // structured query.
 func (db *DB) ExecuteQuery(ctx context.Context, q query.Query, opts ...ExecOption) (Result, error) {
+	return db.executeQueryOn(ctx, db.snapshotNow(), q, opts)
+}
+
+func (db *DB) executeQueryOn(ctx context.Context, s *snapshot, q query.Query, opts []ExecOption) (Result, error) {
 	eo := db.execOpts(opts)
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	p, err := db.planFor("", q)
+	p, err := db.planFor(s, "", q)
 	if err != nil {
 		return Result{}, err
 	}
@@ -229,26 +301,29 @@ func (db *DB) ExecuteQuery(ctx context.Context, q query.Query, opts ...ExecOptio
 	if err != nil {
 		return Result{}, err
 	}
-	return db.wrapResult(q, res), nil
+	return wrapResult(s.ens, q, res), nil
 }
 
 // EstimateCardinality estimates COUNT(*) over the query's join with its
 // filters — the paper's cardinality-estimation task. Aggregate and
 // group-by clauses in the SQL are ignored. Plans are reused like in Query.
 func (db *DB) EstimateCardinality(ctx context.Context, sql string, opts ...ExecOption) (Estimate, error) {
-	q, err := db.Parse(sql)
+	s := db.snapshotNow()
+	q, err := query.Parse(sql, resolver(s.ens))
 	if err != nil {
 		return Estimate{}, err
 	}
-	return db.EstimateCardinalityQuery(ctx, q, opts...)
+	return db.estimateCardinalityOn(ctx, s, q, opts)
 }
 
 // EstimateCardinalityQuery is EstimateCardinality for a structured query.
 func (db *DB) EstimateCardinalityQuery(ctx context.Context, q query.Query, opts ...ExecOption) (Estimate, error) {
+	return db.estimateCardinalityOn(ctx, db.snapshotNow(), q, opts)
+}
+
+func (db *DB) estimateCardinalityOn(ctx context.Context, s *snapshot, q query.Query, opts []ExecOption) (Estimate, error) {
 	eo := db.execOpts(opts)
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	p, err := db.planFor("", q)
+	p, err := db.planFor(s, "", q)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -267,13 +342,12 @@ func (db *DB) Explain(ctx context.Context, sql string) (string, error) {
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
-	q, err := db.Parse(sql)
+	s := db.snapshotNow()
+	q, err := query.Parse(sql, resolver(s.ens))
 	if err != nil {
 		return "", err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	p, err := db.planFor("", q)
+	p, err := db.planFor(s, "", q)
 	if err != nil {
 		return "", err
 	}
@@ -281,26 +355,30 @@ func (db *DB) Explain(ctx context.Context, sql string) (string, error) {
 }
 
 // Exact executes the SQL query exactly against the attached base tables
-// (materializing the join), for ground-truth comparison.
+// (materializing the join), for ground-truth comparison. It sees the
+// current snapshot's tables; Flush first for read-your-writes.
 func (db *DB) Exact(ctx context.Context, sql string) (Result, error) {
-	q, err := db.Parse(sql)
+	s := db.snapshotNow()
+	q, err := query.Parse(sql, resolver(s.ens))
 	if err != nil {
 		return Result{}, err
 	}
-	return db.ExactQuery(ctx, q)
+	return db.exactOn(ctx, s, q)
 }
 
 // ExactQuery is Exact for a structured query.
 func (db *DB) ExactQuery(ctx context.Context, q query.Query) (Result, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.ens.Tables == nil {
-		return Result{}, fmt.Errorf("deepdb: no base tables attached (open with WithDataDir or WithDataset)")
+	return db.exactOn(ctx, db.snapshotNow(), q)
+}
+
+func (db *DB) exactOn(ctx context.Context, s *snapshot, q query.Query) (Result, error) {
+	if s.ens.Tables == nil {
+		return Result{}, errNoData()
 	}
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	res, err := exact.New(db.ens.Schema, db.ens.Tables).Execute(q)
+	res, err := exact.New(s.ens.Schema, s.ens.Tables).Execute(q)
 	if err != nil {
 		return Result{}, err
 	}
@@ -308,85 +386,248 @@ func (db *DB) ExactQuery(ctx context.Context, q query.Query) (Result, error) {
 	for _, g := range res.Groups {
 		out.Groups = append(out.Groups, Group{
 			Key:      g.Key,
-			Labels:   db.decodeKey(q.GroupBy, g.Key),
+			Labels:   decodeKey(s.ens, q.GroupBy, g.Key),
 			Estimate: Estimate{Value: g.Value, CILow: g.Value, CIHigh: g.Value},
 		})
 	}
 	return out, nil
 }
 
+// ---- updates ----
+
 // Insert absorbs one new base-table row into the model incrementally
 // (Section 5.2 of the paper): no retraining happens. Missing columns
-// become NULL.
+// become NULL. By default the mutation is enqueued and applied by the
+// background pipeline — it becomes visible to queries when its batch's
+// snapshot is published, and apply errors are reported by the next Flush.
+// Under WithSyncUpdates it is applied and published before returning.
 func (db *DB) Insert(table string, values map[string]Value) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.ens.Tables == nil {
-		return fmt.Errorf("deepdb: no base tables attached (open with WithDataDir or WithDataset)")
-	}
-	db.gen++
-	return db.ens.Insert(table, values)
+	return db.mutate(ensemble.Mutation{Op: ensemble.OpInsert, Table: table, Values: values})
 }
 
 // Delete removes the base-table row with the given primary key from the
-// model incrementally.
+// model incrementally. Asynchronous like Insert: a missing row is an apply
+// error reported by the next Flush (or immediately under WithSyncUpdates).
 func (db *DB) Delete(table string, pk float64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.ens.Tables == nil {
-		return fmt.Errorf("deepdb: no base tables attached (open with WithDataDir or WithDataset)")
-	}
-	db.gen++
-	return db.ens.Delete(table, pk)
+	return db.mutate(ensemble.Mutation{Op: ensemble.OpDelete, Table: table, PK: pk})
 }
 
-// Update applies a batch of row inserts under one write lock, so
-// concurrent Query calls never interleave with a half-applied batch. On
-// error the rows already absorbed stay applied (there is no rollback);
-// the returned error names the failing row index.
+// Update applies a batch of row inserts. The rows travel through the
+// pipeline as one indivisible group (or apply under one lock with
+// WithSyncUpdates): queries never observe a half-applied Update — every
+// published snapshot contains the whole group or none of it. A failing
+// row does not block the others and there is no rollback; under
+// WithSyncUpdates the returned error indexes the failing row, on the
+// asynchronous path Flush reports it with its position in the applied
+// batch (which may include coalesced neighbors) and the underlying
+// cause.
 func (db *DB) Update(rows ...Row) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.ens.Tables == nil {
-		return fmt.Errorf("deepdb: no base tables attached (open with WithDataDir or WithDataset)")
-	}
-	db.gen++
+	muts := make([]ensemble.Mutation, len(rows))
 	for i, r := range rows {
-		if err := db.ens.Insert(r.Table, r.Values); err != nil {
-			return fmt.Errorf("deepdb: update row %d: %w", i, err)
-		}
+		muts[i] = ensemble.Mutation{Op: ensemble.OpInsert, Table: r.Table, Values: r.Values}
 	}
-	return nil
+	return db.mutateAll(muts)
+}
+
+func (db *DB) mutate(m ensemble.Mutation) error {
+	return db.mutateAll([]ensemble.Mutation{m})
+}
+
+func (db *DB) mutateAll(muts []ensemble.Mutation) error {
+	if len(muts) == 0 {
+		return nil
+	}
+	if db.snapshotNow().ens.Tables == nil {
+		return errNoData()
+	}
+	db.pipeMu.Lock()
+	closed := db.closed
+	db.pipeMu.Unlock()
+	if closed {
+		return errClosed()
+	}
+	if db.cfg.syncUpdates {
+		db.applyMu.Lock()
+		defer db.applyMu.Unlock()
+		return db.applyLocked(muts)
+	}
+	pipe, err := db.pipeline()
+	if err != nil {
+		return err
+	}
+	// One group per call: the applier never splits it across snapshots.
+	return pipe.Enqueue(muts)
+}
+
+// applyLocked clones the touched part of the current snapshot, applies the
+// batch to the clone and publishes it. A partially failed batch is still
+// published — the mutations that succeeded stay applied — but a batch in
+// which nothing applied leaves the current snapshot (and its generation,
+// and with it every cached plan) in place: the clone would be
+// bit-identical, so publishing it would only thrash plan caches. Callers
+// must hold applyMu.
+func (db *DB) applyLocked(muts []ensemble.Mutation) error {
+	cur := db.snap.Load()
+	next := cur.ens.CloneForUpdate(muts)
+	applied, err := next.Apply(muts)
+	if applied > 0 {
+		db.publishLocked(next)
+	}
+	return err
+}
+
+// pipeline lazily starts the background applier.
+func (db *DB) pipeline() (*pipeline.Pipeline[[]ensemble.Mutation], error) {
+	db.pipeMu.Lock()
+	defer db.pipeMu.Unlock()
+	if db.closed {
+		return nil, errClosed()
+	}
+	if db.pipe == nil {
+		db.pipe = pipeline.New(db.cfg.queueSize, db.cfg.maxBatch, func(groups [][]ensemble.Mutation) error {
+			n := 0
+			for _, g := range groups {
+				n += len(g)
+			}
+			muts := make([]ensemble.Mutation, 0, n)
+			for _, g := range groups {
+				muts = append(muts, g...)
+			}
+			db.applyMu.Lock()
+			defer db.applyMu.Unlock()
+			return db.applyLocked(muts)
+		})
+	}
+	return db.pipe, nil
+}
+
+// Flush blocks until every mutation enqueued before the call has been
+// applied and published — after Flush returns, queries (and Save, Exact,
+// Data) observe those writes, with results bit-identical to the
+// WithSyncUpdates path. It returns the first apply error deferred by the
+// asynchronous path since the previous Flush. A no-op under
+// WithSyncUpdates or when nothing was ever enqueued.
+func (db *DB) Flush(ctx context.Context) error {
+	db.pipeMu.Lock()
+	pipe := db.pipe
+	db.pipeMu.Unlock()
+	if pipe == nil {
+		return nil
+	}
+	return pipe.Flush(ctx)
+}
+
+// Close drains and stops the background update pipeline, returning the
+// first undelivered apply error. The DB remains queryable afterwards (the
+// published snapshot stays valid); further updates fail. Close is
+// idempotent.
+func (db *DB) Close() error {
+	db.pipeMu.Lock()
+	if db.closed {
+		db.pipeMu.Unlock()
+		return nil
+	}
+	db.closed = true
+	pipe := db.pipe
+	db.pipeMu.Unlock()
+	if pipe == nil {
+		return nil
+	}
+	return pipe.Close()
+}
+
+// UpdateStats is a point-in-time view of the update pipeline, for
+// observability (the serve front-end reports it in /healthz).
+type UpdateStats struct {
+	// Generation is the current snapshot's publication counter.
+	Generation uint64
+	// SyncUpdates reports whether the DB applies updates synchronously
+	// (WithSyncUpdates); the queue fields below stay zero then.
+	SyncUpdates bool
+	// QueueDepth is the number of update operations waiting in the queue.
+	QueueDepth int
+	// Enqueued/Applied count update operations accepted/applied — each
+	// Insert/Delete is one operation, an Update(rows...) call is one
+	// operation regardless of row count. Batches counts published update
+	// batches (Applied/Batches = realized coalescing).
+	Enqueued uint64
+	Applied  uint64
+	Batches  uint64
+	// Errors counts failed apply batches; LastError renders the most
+	// recent failure.
+	Errors    uint64
+	LastError string
+	// LastBatch is the size of the most recently applied batch,
+	// LastApplyDuration how long applying it took, and ApplyLag the
+	// enqueue-to-publish latency of that batch's oldest mutation.
+	LastBatch         int
+	LastApplyDuration time.Duration
+	ApplyLag          time.Duration
+}
+
+// UpdateStats reports the update pipeline's counters.
+func (db *DB) UpdateStats() UpdateStats {
+	out := UpdateStats{Generation: db.Generation(), SyncUpdates: db.cfg.syncUpdates}
+	db.pipeMu.Lock()
+	pipe := db.pipe
+	db.pipeMu.Unlock()
+	if pipe == nil {
+		return out
+	}
+	st := pipe.Stats()
+	out.QueueDepth = st.QueueDepth
+	out.Enqueued = st.Enqueued
+	out.Applied = st.Applied
+	out.Batches = st.Batches
+	out.Errors = st.Errors
+	out.LastError = st.LastError
+	out.LastBatch = st.LastBatch
+	out.LastApplyDuration = st.LastApplyDuration
+	out.ApplyLag = st.ApplyLag
+	return out
 }
 
 // CheckStaleness recomputes pairwise dependencies on the current base
 // tables and reports ensemble members whose construction decision would
-// change — the paper's trigger for background regeneration. It takes the
-// write lock: the recomputation refreshes the ensemble's dependency
-// statistics (and draws from its rng), which concurrent queries read.
+// change — the paper's trigger for background regeneration. Pending
+// updates are flushed first; the refreshed dependency statistics are
+// published as a new snapshot (invalidating cached plans, which read
+// them for RSPN selection).
 func (db *DB) CheckStaleness() (map[int]string, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.ens.Tables == nil {
-		return nil, fmt.Errorf("deepdb: no base tables attached (open with WithDataDir or WithDataset)")
+	if err := db.Flush(context.Background()); err != nil {
+		return nil, err
 	}
-	// The recomputation refreshes dependency statistics that plan choice
-	// reads; invalidate cached plans.
-	db.gen++
-	rep, err := db.ens.CheckStaleness()
+	db.applyMu.Lock()
+	defer db.applyMu.Unlock()
+	cur := db.snap.Load()
+	if cur.ens.Tables == nil {
+		return nil, errNoData()
+	}
+	next := cur.ens.CloneForStaleness()
+	rep, err := next.CheckStaleness()
+	db.publishLocked(next)
 	if err != nil {
 		return nil, err
 	}
 	return rep.Stale, nil
 }
 
+func errNoData() error {
+	return fmt.Errorf("deepdb: no base tables attached (open with WithDataDir or WithDataset)")
+}
+
+func errClosed() error {
+	return fmt.Errorf("deepdb: database closed")
+}
+
 // resolver maps string literals in predicates to dictionary codes —
 // through the live base tables when attached, through the dictionaries
 // persisted in the model (format v3) otherwise, so string predicates work
-// in model-only serving.
-func (db *DB) resolver() query.Resolver {
+// in model-only serving. Bound to one snapshot's ensemble: safe without
+// locks.
+func resolver(ens *ensemble.Ensemble) query.Resolver {
 	return func(column, literal string) (float64, error) {
-		code, found, known := db.ens.ResolveLabel(column, literal)
+		code, found, known := ens.ResolveLabel(column, literal)
 		if !known {
 			return 0, fmt.Errorf("deepdb: unknown column %s", column)
 		}
@@ -397,13 +638,14 @@ func (db *DB) resolver() query.Resolver {
 	}
 }
 
-// wrapResult converts an engine result, decoding group keys.
-func (db *DB) wrapResult(q query.Query, res core.AQPResult) Result {
+// wrapResult converts an engine result, decoding group keys through the
+// given snapshot ensemble.
+func wrapResult(ens *ensemble.Ensemble, q query.Query, res core.AQPResult) Result {
 	out := Result{}
 	for _, g := range res.Groups {
 		out.Groups = append(out.Groups, Group{
 			Key:    g.Key,
-			Labels: db.decodeKey(q.GroupBy, g.Key),
+			Labels: decodeKey(ens, q.GroupBy, g.Key),
 			Estimate: Estimate{
 				Value:    g.Estimate.Value,
 				Variance: g.Estimate.Variance,
@@ -423,7 +665,7 @@ func wrapEstimate(est core.Estimate, level float64) Estimate {
 // decodeKey renders each component of a group key, decoding categorical
 // codes through the dictionaries (live base tables when attached, the
 // model's persisted dictionaries otherwise).
-func (db *DB) decodeKey(cols []string, key []float64) []string {
+func decodeKey(ens *ensemble.Ensemble, cols []string, key []float64) []string {
 	if len(key) == 0 {
 		return nil
 	}
@@ -433,7 +675,7 @@ func (db *DB) decodeKey(cols []string, key []float64) []string {
 		if i >= len(cols) {
 			continue
 		}
-		if s := db.ens.DecodeLabel(cols[i], int(key[i])); s != "" {
+		if s := ens.DecodeLabel(cols[i], int(key[i])); s != "" {
 			out[i] = s
 		}
 	}

@@ -386,6 +386,11 @@ func TestConcurrentQueryUpdate(t *testing.T) {
 	for err := range errc {
 		t.Error(err)
 	}
+	// Updates are asynchronous: flush so every enqueued write is published
+	// (and any apply error surfaces) before the final accounting.
+	if err := db.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
 	// All writes must be visible in the base table afterwards.
 	got := db.Data()["orders"].NumRows()
 	truth, err := db.Exact(ctx, "SELECT COUNT(*) FROM orders")

@@ -25,6 +25,9 @@ type config struct {
 	dataDir     string
 	dataset     Dataset
 	planCache   int
+	syncUpdates bool
+	queueSize   int
+	maxBatch    int
 }
 
 // defaultPlanCacheSize bounds the plan cache when WithPlanCacheSize is not
@@ -32,12 +35,22 @@ type config struct {
 // not per literal), small enough to keep eviction cheap.
 const defaultPlanCacheSize = 128
 
+// Default bounds of the asynchronous update pipeline: the queue absorbs
+// write bursts without blocking callers, the batch cap bounds how much
+// work (and copy-on-write cloning) a single snapshot publication amortizes.
+const (
+	defaultUpdateQueueSize = 1024
+	defaultUpdateBatchSize = 256
+)
+
 func defaultConfig() config {
 	return config{
 		ens:        ensemble.DefaultConfig(),
 		strategy:   StrategyRDCGreedy,
 		confidence: 0.95,
 		planCache:  defaultPlanCacheSize,
+		queueSize:  defaultUpdateQueueSize,
+		maxBatch:   defaultUpdateBatchSize,
 	}
 }
 
@@ -127,6 +140,35 @@ func WithPlanCacheSize(n int) Option {
 	return func(c *config) { c.planCache = n }
 }
 
+// WithSyncUpdates makes Insert/Delete/Update apply and publish their
+// mutations before returning — the pre-pipeline semantics: the caller sees
+// its own write on the very next query without calling Flush, at the cost
+// of paying the copy-on-write apply inline (writers wait on each other;
+// readers still never block). The asynchronous default enqueues instead
+// and applies in coalesced batches in the background.
+func WithSyncUpdates() Option {
+	return func(c *config) { c.syncUpdates = true }
+}
+
+// WithUpdateQueueSize bounds the asynchronous update queue (default
+// 1024 operations; an Update(rows...) call occupies one slot). When the
+// queue is full, Insert/Delete/Update block until the background applier
+// catches up — backpressure instead of unbounded memory. Ignored under
+// WithSyncUpdates.
+func WithUpdateQueueSize(n int) Option {
+	return func(c *config) { c.queueSize = n }
+}
+
+// WithUpdateBatchSize caps how many queued update operations the
+// background applier coalesces into one copy-on-write batch and snapshot
+// publication (default 256; the rows of one Update call count as one
+// operation and are never split across snapshots). Larger batches
+// amortize cloning and evaluator recompiles over more rows; smaller ones
+// publish fresher snapshots.
+func WithUpdateBatchSize(n int) Option {
+	return func(c *config) { c.maxBatch = n }
+}
+
 // WithDataDir tells Open where the base-table CSVs live; they are loaded
 // with the schema persisted inside the model file. Learn ignores it (its
 // data dir is a positional argument).
@@ -177,7 +219,7 @@ func (o execOpts) level(db *DB) float64 {
 	if o.confidence > 0 && o.confidence < 1 {
 		return o.confidence
 	}
-	level := db.eng.ConfidenceLevel
+	level := db.cfg.confidence
 	if level <= 0 || level >= 1 {
 		level = 0.95
 	}

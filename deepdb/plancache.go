@@ -8,13 +8,17 @@ import (
 )
 
 // planCache is a bounded LRU of compiled query plans keyed on normalized
-// query shape (query.ShapeKey). Entries are tagged with the DB's model
-// generation: any Insert/Delete/Update bumps the generation, so a stale
-// plan (compiled against different statistics, group-by keys or dependency
-// scores) is recompiled on its next use instead of served.
+// query shape (query.ShapeKey). Entries are tagged with the snapshot
+// generation they were compiled at: every published update batch (and
+// CheckStaleness) bumps the generation, so a stale plan (compiled against
+// different statistics, group-by keys or dependency scores) is recompiled
+// on its next use instead of served. Because readers on an older snapshot
+// can race readers on a newer one, generations are ordered: a newer
+// cached entry is never evicted or overwritten on behalf of an older
+// reader (the older reader just compiles privately and moves on).
 //
 // The cache has its own mutex because it is read and written by many
-// concurrent queries that all hold the DB's read lock.
+// concurrent lock-free queries.
 type planCache struct {
 	mu  sync.Mutex
 	cap int
@@ -36,7 +40,9 @@ func newPlanCache(capacity int) *planCache {
 }
 
 // get returns the cached plan for the shape key if it was compiled at the
-// given generation, evicting it otherwise.
+// given generation. An entry from an older generation is evicted; an
+// entry from a newer generation (a concurrent reader already recompiled
+// for a fresher snapshot) is left in place and the caller misses.
 func (c *planCache) get(key string, gen uint64) *core.Plan {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -46,8 +52,10 @@ func (c *planCache) get(key string, gen uint64) *core.Plan {
 	}
 	en := el.Value.(*planEntry)
 	if en.gen != gen {
-		c.lru.Remove(el)
-		delete(c.m, key)
+		if en.gen < gen {
+			c.lru.Remove(el)
+			delete(c.m, key)
+		}
 		return nil
 	}
 	c.lru.MoveToFront(el)
@@ -55,12 +63,16 @@ func (c *planCache) get(key string, gen uint64) *core.Plan {
 }
 
 // put inserts (or replaces) the plan for the shape key, evicting the least
-// recently used entries beyond capacity.
+// recently used entries beyond capacity. A plan compiled for an older
+// generation never replaces a newer entry.
 func (c *planCache) put(key string, gen uint64, p *core.Plan) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		en := el.Value.(*planEntry)
+		if gen < en.gen {
+			return
+		}
 		en.gen, en.plan = gen, p
 		c.lru.MoveToFront(el)
 		return

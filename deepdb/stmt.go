@@ -19,6 +19,12 @@ import (
 //	stmt, err := db.Prepare("SELECT COUNT(*) FROM orders JOIN customer WHERE c_age < ? AND c_region = ?")
 //	res, err := stmt.Exec(ctx, 40, "EU")
 //
+// Every execution runs against the snapshot published at its start: the
+// pinned plan is revalidated against the snapshot's generation (and
+// transparently recompiled after an update batch published a newer one),
+// and the whole call — plan, parameter resolution, evaluation — sees that
+// one consistent model state, never a half-applied update.
+//
 // Parameters may be numbers (any int/uint/float type) or strings; strings
 // are resolved through the dictionary of the placeholder's column at
 // execution time, which works model-only via the dictionaries persisted in
@@ -40,15 +46,14 @@ type Stmt struct {
 // comparison values), validates it and compiles its plan eagerly, so shape
 // errors surface here rather than at execution.
 func (db *DB) Prepare(sql string) (*Stmt, error) {
-	q, err := db.Parse(sql)
+	snap := db.snapshotNow()
+	q, err := query.Parse(sql, resolver(snap.ens))
 	if err != nil {
 		return nil, err
 	}
 	s := &Stmt{db: db, q: q, shape: q.ShapeKey(), nparams: q.NumParams(),
 		paramCols: paramColumns(q)}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	p, err := s.planLocked()
+	p, err := s.planOn(snap)
 	if err != nil {
 		return nil, err
 	}
@@ -80,23 +85,27 @@ func (s *Stmt) NumParams() int { return s.nparams }
 // SQL returns the parsed template rendered back to SQL-ish form.
 func (s *Stmt) SQL() string { return s.q.String() }
 
-// planLocked returns the statement's compiled plan, recompiling when the
-// model generation moved (after Insert/Delete/Update). Callers must hold
-// the DB's read lock.
-func (s *Stmt) planLocked() (*core.Plan, error) {
+// planOn returns the statement's compiled plan for the given snapshot,
+// recompiling when the pinned plan was compiled at a different generation
+// (an update batch or staleness check published since).
+func (s *Stmt) planOn(snap *snapshot) (*core.Plan, error) {
 	s.mu.Lock()
-	if s.plan != nil && s.gen == s.db.gen {
+	if s.plan != nil && s.gen == snap.gen {
 		p := s.plan
 		s.mu.Unlock()
 		return p, nil
 	}
 	s.mu.Unlock()
-	p, err := s.db.planFor(s.shape, s.q)
+	p, err := s.db.planFor(snap, s.shape, s.q)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
-	s.plan, s.gen = p, s.db.gen
+	// Keep the newest generation's plan pinned: a concurrent execution on
+	// a fresher snapshot must not be overwritten by ours.
+	if s.plan == nil || snap.gen >= s.gen {
+		s.plan, s.gen = p, snap.gen
+	}
 	s.mu.Unlock()
 	return p, nil
 }
@@ -106,18 +115,16 @@ func (s *Stmt) planLocked() (*core.Plan, error) {
 // options; every other argument binds the next placeholder.
 func (s *Stmt) Exec(ctx context.Context, params ...any) (Result, error) {
 	vals, opts := splitArgs(params)
-	s.db.mu.RLock()
-	defer s.db.mu.RUnlock()
-	return s.execLocked(ctx, vals, opts)
+	return s.execOn(ctx, s.db.snapshotNow(), vals, opts)
 }
 
-func (s *Stmt) execLocked(ctx context.Context, vals []any, opts []ExecOption) (Result, error) {
+func (s *Stmt) execOn(ctx context.Context, snap *snapshot, vals []any, opts []ExecOption) (Result, error) {
 	eo := s.db.execOpts(opts)
-	p, err := s.planLocked()
+	p, err := s.planOn(snap)
 	if err != nil {
 		return Result{}, err
 	}
-	q, err := s.bindLocked(vals)
+	q, err := s.bindOn(snap, vals)
 	if err != nil {
 		return Result{}, err
 	}
@@ -125,22 +132,22 @@ func (s *Stmt) execLocked(ctx context.Context, vals []any, opts []ExecOption) (R
 	if err != nil {
 		return Result{}, err
 	}
-	return s.db.wrapResult(q, res), nil
+	return wrapResult(snap.ens, q, res), nil
 }
 
-// ExecBatch runs the statement once per parameter set, under one read lock
-// and one plan lookup. All bindings flow through the plan's batched
-// evaluator: every binding's expectation requests (including per-group
-// requests of a GROUP BY template) are evaluated together on each model's
-// flattened arrays, chunked over the DB's configured parallelism — one
-// pass per chunk instead of one model traversal per binding per moment.
-// The results are returned in batch order, bit-identical to calling Exec
-// once per set; the first error aborts the batch.
+// ExecBatch runs the statement once per parameter set against one
+// snapshot and one plan lookup. All bindings flow through the plan's
+// batched evaluator: every binding's expectation requests (including
+// per-group requests of a GROUP BY template) are evaluated together on
+// each model's flattened arrays, chunked over the DB's configured
+// parallelism — one pass per chunk instead of one model traversal per
+// binding per moment. The results are returned in batch order,
+// bit-identical to calling Exec once per set against the same snapshot;
+// the first error aborts the batch.
 func (s *Stmt) ExecBatch(ctx context.Context, batch [][]any, opts ...ExecOption) ([]Result, error) {
 	eo := s.db.execOpts(opts)
-	s.db.mu.RLock()
-	defer s.db.mu.RUnlock()
-	p, err := s.planLocked()
+	snap := s.db.snapshotNow()
+	p, err := s.planOn(snap)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +155,7 @@ func (s *Stmt) ExecBatch(ctx context.Context, batch [][]any, opts ...ExecOption)
 	// surfaces before work starts.
 	queries := make([]query.Query, len(batch))
 	for i, params := range batch {
-		q, err := s.bindLocked(params)
+		q, err := s.bindOn(snap, params)
 		if err != nil {
 			return nil, fmt.Errorf("deepdb: batch entry %d: %w", i, err)
 		}
@@ -160,7 +167,7 @@ func (s *Stmt) ExecBatch(ctx context.Context, batch [][]any, opts ...ExecOption)
 	}
 	out := make([]Result, len(batch))
 	for i, res := range ress {
-		out[i] = s.db.wrapResult(queries[i], res)
+		out[i] = wrapResult(snap.ens, queries[i], res)
 	}
 	return out, nil
 }
@@ -171,13 +178,12 @@ func (s *Stmt) ExecBatch(ctx context.Context, batch [][]any, opts ...ExecOption)
 func (s *Stmt) Estimate(ctx context.Context, params ...any) (Estimate, error) {
 	vals, opts := splitArgs(params)
 	eo := s.db.execOpts(opts)
-	s.db.mu.RLock()
-	defer s.db.mu.RUnlock()
-	p, err := s.planLocked()
+	snap := s.db.snapshotNow()
+	p, err := s.planOn(snap)
 	if err != nil {
 		return Estimate{}, err
 	}
-	q, err := s.bindLocked(vals)
+	q, err := s.bindOn(snap, vals)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -193,9 +199,7 @@ func (s *Stmt) Explain(ctx context.Context) (string, error) {
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
-	s.db.mu.RLock()
-	defer s.db.mu.RUnlock()
-	p, err := s.planLocked()
+	p, err := s.planOn(s.db.snapshotNow())
 	if err != nil {
 		return "", err
 	}
@@ -216,16 +220,15 @@ func splitArgs(args []any) ([]any, []ExecOption) {
 	return vals, opts
 }
 
-// bindLocked converts the parameter values and binds them into the
-// template. Callers must hold the DB's read lock (string resolution reads
-// the dictionaries).
-func (s *Stmt) bindLocked(vals []any) (query.Query, error) {
+// bindOn converts the parameter values and binds them into the template,
+// resolving string parameters through the given snapshot's dictionaries.
+func (s *Stmt) bindOn(snap *snapshot, vals []any) (query.Query, error) {
 	if len(vals) != s.nparams {
 		return query.Query{}, fmt.Errorf("deepdb: statement has %d placeholder(s), got %d parameter(s)", s.nparams, len(vals))
 	}
 	bound := make([]float64, len(vals))
 	for i, v := range vals {
-		f, err := s.paramValue(i, v)
+		f, err := s.paramValue(snap, i, v)
 		if err != nil {
 			return query.Query{}, err
 		}
@@ -236,7 +239,7 @@ func (s *Stmt) bindLocked(vals []any) (query.Query, error) {
 
 // paramValue encodes one parameter: numbers pass through, strings resolve
 // through the dictionary of the placeholder's column.
-func (s *Stmt) paramValue(i int, v any) (float64, error) {
+func (s *Stmt) paramValue(snap *snapshot, i int, v any) (float64, error) {
 	switch x := v.(type) {
 	case float64:
 		return x, nil
@@ -264,7 +267,7 @@ func (s *Stmt) paramValue(i int, v any) (float64, error) {
 		return float64(x), nil
 	case string:
 		col := s.paramCols[i]
-		code, found, known := s.db.ens.ResolveLabel(col, x)
+		code, found, known := snap.ens.ResolveLabel(col, x)
 		if !known {
 			return 0, fmt.Errorf("deepdb: parameter %d: unknown column %s", i+1, col)
 		}

@@ -193,6 +193,11 @@ func TestPlanCacheReuseAndInvalidation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Updates are asynchronous by default; Flush publishes them (and any
+	// apply error) before we look.
+	if err := db.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
 	after, err := db.Query(ctx, groupSQL)
 	if err != nil {
 		t.Fatal(err)
@@ -241,6 +246,9 @@ func TestPreparedStmtSurvivesUpdates(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+	}
+	if err := db.Flush(ctx); err != nil {
+		t.Fatal(err)
 	}
 	after, err := stmt.Estimate(ctx, 0)
 	if err != nil {

@@ -109,7 +109,9 @@ func main() {
 	fmt.Println()
 
 	// 6. Updates: insert 5000 young rich ASIA customers; no retraining.
-	// Cached plans are invalidated automatically.
+	// Inserts are enqueued and applied in batches off the query path;
+	// Flush waits until they are published (read-your-writes), and cached
+	// plans are invalidated automatically.
 	for i := 0; i < 5000; i++ {
 		if err := db.Insert("customer", map[string]deepdb.Value{
 			"c_id":     deepdb.Int(100000 + i),
@@ -120,6 +122,10 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if err := db.Flush(ctx); err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
 	sql := "SELECT COUNT(*) FROM customer WHERE c_income > 85000"
 	res, _ := db.Query(ctx, sql)
 	truth, _ := db.Exact(ctx, sql)

@@ -120,10 +120,10 @@ type Ensemble struct {
 
 	cfg Config
 	rng *rand.Rand
-	// pk indexes: table -> pk value -> row index.
-	pkIndex map[string]map[float64]int
-	// fk indexes: relID -> fk value -> referencing row indexes.
-	fkIndex map[string]map[float64][]int
+	// idx is the write-path primary-key index plus delete tombstones
+	// (update.go). Shared by pointer across copy-on-write clones; the
+	// query path never reads it.
+	idx *writeIndex
 }
 
 // NewManual assembles an ensemble from pre-learned RSPNs, bypassing
@@ -142,8 +142,7 @@ func NewManual(s *schema.Schema, tables map[string]*table.Table, rspns []*rspn.R
 		Tables:  tables,
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		pkIndex: make(map[string]map[float64]int),
-		fkIndex: make(map[string]map[float64][]int),
+		idx:     newWriteIndex(),
 	}
 	e.captureStats()
 	return e
@@ -188,8 +187,7 @@ func Build(ctx context.Context, s *schema.Schema, tables map[string]*table.Table
 		Tables:  tables,
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		pkIndex: make(map[string]map[float64]int),
-		fkIndex: make(map[string]map[float64][]int),
+		idx:     newWriteIndex(),
 	}
 	// Tuple factors for every relationship (idempotent).
 	for _, rel := range s.Relationships() {

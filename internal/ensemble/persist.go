@@ -127,8 +127,7 @@ func Load(r io.Reader, tables map[string]*table.Table) (*Ensemble, error) {
 		Stats:   p.Stats,
 		cfg:     p.Config,
 		rng:     rand.New(rand.NewSource(p.Config.Seed)),
-		pkIndex: make(map[string]map[float64]int),
-		fkIndex: make(map[string]map[float64][]int),
+		idx:     newWriteIndex(),
 	}
 	if tables != nil {
 		if err := e.AttachTables(tables); err != nil {
@@ -161,8 +160,7 @@ func (e *Ensemble) AttachTables(tables map[string]*table.Table) error {
 		}
 	}
 	e.Tables = tables
-	e.pkIndex = make(map[string]map[float64]int)
-	e.fkIndex = make(map[string]map[float64][]int)
+	e.idx = newWriteIndex()
 	if len(e.Stats) == 0 {
 		e.captureStats()
 	}

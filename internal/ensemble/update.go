@@ -11,12 +11,200 @@ import (
 	"repro/internal/table"
 )
 
+// MutationOp discriminates the mutation kinds of a batch.
+type MutationOp int
+
+const (
+	// OpInsert appends a new base-table row.
+	OpInsert MutationOp = iota
+	// OpDelete removes the base-table row with the given primary key.
+	OpDelete
+)
+
+// Mutation is one base-table change for Apply: an insert carrying the new
+// row's values, or a delete locating its victim by primary key.
+type Mutation struct {
+	Op    MutationOp
+	Table string
+	// Values holds the inserted row (OpInsert); missing columns become
+	// NULL. Cells arrive already encoded (categoricals as dictionary
+	// codes), so applying a mutation never extends a dictionary.
+	Values map[string]table.Value
+	// PK locates the deleted row (OpDelete).
+	PK float64
+}
+
 // Insert absorbs a new base-table row into the ensemble (Section 5.2): the
 // base table and its tuple factors are updated exactly, and every RSPN
 // covering the table receives the corresponding join rows through
 // Algorithm 1, subsampled at the RSPN's training sample rate. values maps
 // column names to cell values; missing columns become NULL.
 func (e *Ensemble) Insert(tableName string, values map[string]table.Value) error {
+	_, err := e.Apply([]Mutation{{Op: OpInsert, Table: tableName, Values: values}})
+	return err
+}
+
+// Delete removes a base-table row (located by primary key) from the
+// ensemble — see deleteRow.
+func (e *Ensemble) Delete(tableName string, pk float64) error {
+	_, err := e.Apply([]Mutation{{Op: OpDelete, Table: tableName, PK: pk}})
+	return err
+}
+
+// TouchedTables returns the set of base tables a mutation batch writes:
+// each mutation's target table plus the One-side tables whose tuple
+// factors the target's foreign keys bump. Tables the batch merely reads
+// (One-ward join partners beyond one FK hop) are not included — applying
+// the batch never writes them.
+func (e *Ensemble) TouchedTables(muts []Mutation) map[string]bool {
+	out := targetTables(muts)
+	for i := range muts {
+		if meta := e.Schema.Table(muts[i].Table); meta != nil {
+			for _, fk := range meta.ForeignKeys {
+				out[fk.RefTable] = true
+			}
+		}
+	}
+	return out
+}
+
+// targetTables is the set of tables the batch's mutations name directly —
+// the only tables whose covering RSPNs receive model updates
+// (insertRow/deleteRow route join rows through RSPNs with
+// HasTable(target); a One-side table's factor bump only writes its base
+// table, the covering models absorb it on the target side).
+func targetTables(muts []Mutation) map[string]bool {
+	out := make(map[string]bool)
+	for i := range muts {
+		out[muts[i].Table] = true
+	}
+	return out
+}
+
+// rspnTouches reports whether the RSPN covers any table of the set.
+func rspnTouches(r *rspn.RSPN, touched map[string]bool) bool {
+	for _, t := range r.Tables {
+		if touched[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply absorbs a batch of mutations in order, rebuilding each touched
+// RSPN's flattened evaluator once per batch instead of once per tuple
+// (the per-row Insert/Delete entry points are one-element batches, so even
+// the synchronous path pays one recompile per call). A failing mutation is
+// reported (the first failure, naming its batch index) but does not stop
+// the batch: the remaining mutations still apply, exactly as they would
+// have under per-call application — so a coalesced batch ends in the same
+// state as the same stream applied one call at a time, which is the
+// pipeline's equivalence contract. There is no rollback; applied counts
+// the mutations that succeeded.
+func (e *Ensemble) Apply(muts []Mutation) (applied int, err error) {
+	// Only RSPNs covering a mutation's target table receive model updates;
+	// batching those is enough (One-side factor bumps write base tables,
+	// not models).
+	targets := targetTables(muts)
+	for _, r := range e.RSPNs {
+		if rspnTouches(r, targets) {
+			r.BeginBatch()
+			defer r.EndBatch()
+		}
+	}
+	for i := range muts {
+		var merr error
+		switch muts[i].Op {
+		case OpInsert:
+			merr = e.insertRow(muts[i].Table, muts[i].Values)
+		case OpDelete:
+			merr = e.deleteRow(muts[i].Table, muts[i].PK)
+		default:
+			merr = fmt.Errorf("ensemble: unknown mutation op %d", muts[i].Op)
+		}
+		if merr != nil {
+			if err == nil {
+				err = fmt.Errorf("ensemble: mutation %d: %w", i, merr)
+			}
+			continue
+		}
+		applied++
+	}
+	return applied, err
+}
+
+// CloneForUpdate returns a copy-on-write clone prepared for the given
+// mutation batch: the base tables the batch writes (TouchedTables — the
+// targets plus FK-bumped One-side tables) and the RSPNs it model-updates
+// (those covering a target table) are deep-cloned, so mutating the clone
+// leaves the receiver — a published, concurrently-read snapshot —
+// bit-for-bit untouched. Everything else is shared by pointer: unwritten
+// tables, unmutated RSPNs (including those covering only FK-bumped
+// One-side tables, whose models never absorb the bump), the schema, the
+// dependency statistics, the rng (drawn from only by the serialized
+// update path, keeping sampling decisions on one sequence regardless of
+// batching), and the write-path PK index, which readers never consult
+// and which therefore stays incrementally maintained across batches
+// instead of being rebuilt per clone.
+func (e *Ensemble) CloneForUpdate(muts []Mutation) *Ensemble {
+	touched := e.TouchedTables(muts)
+	targets := targetTables(muts)
+	out := &Ensemble{
+		Schema:    e.Schema,
+		RSPNs:     make([]*rspn.RSPN, len(e.RSPNs)),
+		AttrRDC:   e.AttrRDC,
+		PairDep:   e.PairDep,
+		BuildTime: e.BuildTime,
+		cfg:       e.cfg,
+		rng:       e.rng,
+		idx:       e.idx,
+	}
+	if e.Stats != nil {
+		out.Stats = make(map[string]TableStats, len(e.Stats))
+		for name, st := range e.Stats {
+			out.Stats[name] = st
+		}
+	}
+	if e.Tables != nil {
+		out.Tables = make(map[string]*table.Table, len(e.Tables))
+		for name, t := range e.Tables {
+			if touched[name] {
+				out.Tables[name] = t.CloneData()
+			} else {
+				out.Tables[name] = t
+			}
+		}
+	}
+	for i, r := range e.RSPNs {
+		if rspnTouches(r, targets) {
+			out.RSPNs[i] = r.Clone()
+		} else {
+			out.RSPNs[i] = r
+		}
+	}
+	return out
+}
+
+// CloneForStaleness returns a clone prepared for CheckStaleness, which
+// refreshes the dependency statistics (AttrRDC/PairDep) that concurrent
+// queries read for RSPN selection: the two maps are copied, everything
+// else — tables, models, statistics — is shared, since the staleness check
+// only reads them.
+func (e *Ensemble) CloneForStaleness() *Ensemble {
+	out := *e
+	out.AttrRDC = make(map[string]float64, len(e.AttrRDC))
+	for k, v := range e.AttrRDC {
+		out.AttrRDC[k] = v
+	}
+	out.PairDep = make(map[string]float64, len(e.PairDep))
+	for k, v := range e.PairDep {
+		out.PairDep[k] = v
+	}
+	return &out
+}
+
+// insertRow is the per-row insert body shared by Insert and Apply.
+func (e *Ensemble) insertRow(tableName string, values map[string]table.Value) error {
 	t, ok := e.Tables[tableName]
 	if !ok {
 		return fmt.Errorf("ensemble: unknown table %s", tableName)
@@ -216,12 +404,12 @@ func edgeInRSPN(r *rspn.RSPN, rel schema.Relationship) bool {
 	return false
 }
 
-// Delete removes a base-table row (located by primary key) from the
+// deleteRow removes a base-table row (located by primary key) from the
 // ensemble: base table rows are kept but tombstoned out of indexes, tuple
 // factors are decremented, and covering RSPNs receive the inverse update.
 // Only single-table RSPNs and 2-table join RSPNs delete their join rows
 // exactly; larger joins apply the single-row approximation.
-func (e *Ensemble) Delete(tableName string, pk float64) error {
+func (e *Ensemble) deleteRow(tableName string, pk float64) error {
 	t, ok := e.Tables[tableName]
 	if !ok {
 		return fmt.Errorf("ensemble: unknown table %s", tableName)
@@ -302,10 +490,30 @@ func (e *Ensemble) Delete(tableName string, pk float64) error {
 	return nil
 }
 
-// ---- primary/foreign key indexes ----
+// ---- primary-key indexes (write path) ----
+
+// writeIndex is the write-path lookup state: per-table primary-key indexes
+// plus the tombstone sets of deleted rows. It is shared by pointer across
+// copy-on-write ensemble clones — the query path never consults it, and
+// the update path is serialized — so a sustained insert/delete stream
+// maintains one index incrementally across batches instead of rebuilding
+// it on every clone.
+type writeIndex struct {
+	// pk maps table -> primary-key value -> row index.
+	pk map[string]map[float64]int
+	// dead maps table -> tombstoned row indexes. Deleted rows are kept in
+	// the base table (only the model and statistics forget them), so an
+	// index rebuild must skip them or deleted primary keys would
+	// resurrect.
+	dead map[string]map[int]bool
+}
+
+func newWriteIndex() *writeIndex {
+	return &writeIndex{pk: make(map[string]map[float64]int), dead: make(map[string]map[int]bool)}
+}
 
 func (e *Ensemble) lookupPK(tableName string, pk float64) (int, bool) {
-	idx, ok := e.pkIndex[tableName]
+	idx, ok := e.idx.pk[tableName]
 	if !ok {
 		idx = e.buildPKIndex(tableName)
 	}
@@ -313,19 +521,23 @@ func (e *Ensemble) lookupPK(tableName string, pk float64) (int, bool) {
 	return row, ok
 }
 
+// buildPKIndex scans the base table once, skipping tombstoned rows. It
+// runs at most once per table per ensemble lifetime (attach/load); from
+// then on indexInsert/indexDelete maintain the map incrementally.
 func (e *Ensemble) buildPKIndex(tableName string) map[float64]int {
 	t := e.Tables[tableName]
 	meta := e.Schema.Table(tableName)
 	idx := make(map[float64]int, t.NumRows())
 	if meta.PrimaryKey != "" {
 		pkCol := t.Column(meta.PrimaryKey)
+		dead := e.idx.dead[tableName]
 		for i := 0; i < t.NumRows(); i++ {
-			if !pkCol.IsNull(i) {
+			if !pkCol.IsNull(i) && !dead[i] {
 				idx[pkCol.Data[i]] = i
 			}
 		}
 	}
-	e.pkIndex[tableName] = idx
+	e.idx.pk[tableName] = idx
 	return idx
 }
 
@@ -334,7 +546,7 @@ func (e *Ensemble) indexInsert(tableName string, rowIdx int) {
 	if meta.PrimaryKey == "" {
 		return
 	}
-	idx, ok := e.pkIndex[tableName]
+	idx, ok := e.idx.pk[tableName]
 	if !ok {
 		e.buildPKIndex(tableName)
 		return
@@ -350,7 +562,13 @@ func (e *Ensemble) indexDelete(tableName string, rowIdx int) {
 	if meta.PrimaryKey == "" {
 		return
 	}
-	if idx, ok := e.pkIndex[tableName]; ok {
+	dead := e.idx.dead[tableName]
+	if dead == nil {
+		dead = make(map[int]bool)
+		e.idx.dead[tableName] = dead
+	}
+	dead[rowIdx] = true
+	if idx, ok := e.idx.pk[tableName]; ok {
 		pkCol := e.Tables[tableName].Column(meta.PrimaryKey)
 		if !pkCol.IsNull(rowIdx) {
 			delete(idx, pkCol.Data[rowIdx])

@@ -1,0 +1,222 @@
+// Package pipeline implements the asynchronous update pipeline behind
+// deepdb's snapshot-isolated serving: a bounded mutation queue drained by
+// one background applier goroutine that coalesces whatever has queued up
+// into batches and hands each batch to an apply callback (which, in the
+// facade, mutates a private copy-on-write clone and atomically publishes
+// it). Readers never touch the queue; writers block only when the queue is
+// full (backpressure), never on the apply itself.
+//
+// The package is generic over the mutation type so it can be tested — and
+// reused — without depending on the ensemble machinery.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of pipeline counters, the substance of
+// deepdb.DB.UpdateStats.
+type Stats struct {
+	// QueueDepth is the number of items enqueued but not yet handed to
+	// the apply callback.
+	QueueDepth int
+	// Enqueued / Applied count items accepted / passed to apply (the
+	// latter includes items whose batch returned an error). An item is
+	// one T — the facade enqueues one per update operation.
+	Enqueued uint64
+	Applied  uint64
+	// Batches counts apply invocations; Applied/Batches is the realized
+	// coalescing factor.
+	Batches uint64
+	// Errors counts batches whose apply returned an error; LastError
+	// renders the most recent one.
+	Errors    uint64
+	LastError string
+	// LastBatch is the size of the most recent batch.
+	LastBatch int
+	// LastApplyDuration is how long the most recent apply took.
+	LastApplyDuration time.Duration
+	// ApplyLag is the enqueue-to-applied latency of the most recently
+	// applied batch's first mutation — how far behind the published state
+	// trails the write stream.
+	ApplyLag time.Duration
+}
+
+// item is one queue entry: a mutation, or a flush barrier when done is
+// non-nil. A barrier only signals completion (the channel is closed once
+// everything enqueued before it was applied); the waiting Flush then
+// collects the pending error itself, so a Flush abandoned by context
+// cancellation leaves the error in place for the next one.
+type item[T any] struct {
+	mut  T
+	enq  time.Time
+	done chan struct{}
+}
+
+// Pipeline is a bounded queue of T drained by one background applier.
+type Pipeline[T any] struct {
+	apply    func([]T) error
+	ch       chan item[T]
+	maxBatch int
+
+	// sendMu lets Enqueue/Flush block on a full queue while still being
+	// excludable by Close: senders hold it shared for the duration of the
+	// channel send, Close takes it exclusively to flip closed and close
+	// the channel. The applier drains without the lock, so blocked senders
+	// always make progress and Close cannot deadlock.
+	sendMu sync.RWMutex
+	closed bool
+
+	mu         sync.Mutex
+	stats      Stats
+	pendingErr error // first apply error not yet surfaced through Flush
+
+	wg sync.WaitGroup
+}
+
+// New starts a pipeline with the given queue bound, maximum batch size and
+// apply callback. The callback runs on the applier goroutine only, one
+// invocation at a time, with batches in strict enqueue order.
+func New[T any](queueSize, maxBatch int, apply func([]T) error) *Pipeline[T] {
+	if queueSize < 1 {
+		queueSize = 1
+	}
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	p := &Pipeline[T]{apply: apply, ch: make(chan item[T], queueSize), maxBatch: maxBatch}
+	p.wg.Add(1)
+	go p.run()
+	return p
+}
+
+// Enqueue appends one mutation, blocking when the queue is full until the
+// applier frees a slot. It fails only after Close.
+func (p *Pipeline[T]) Enqueue(m T) error {
+	p.sendMu.RLock()
+	defer p.sendMu.RUnlock()
+	if p.closed {
+		return fmt.Errorf("pipeline: closed")
+	}
+	p.mu.Lock()
+	p.stats.Enqueued++
+	p.mu.Unlock()
+	p.ch <- item[T]{mut: m, enq: time.Now()}
+	return nil
+}
+
+// Flush blocks until every mutation enqueued before the call has been
+// applied (and, through the callback, published), then reports the first
+// apply error that occurred since the previous Flush — read-your-writes
+// plus deferred error delivery for the asynchronous path. A cancelled ctx
+// abandons the wait (the flush barrier still drains harmlessly later).
+func (p *Pipeline[T]) Flush(ctx context.Context) error {
+	p.sendMu.RLock()
+	if p.closed {
+		p.sendMu.RUnlock()
+		// Everything was drained by Close; only deliver a pending error.
+		return p.takePendingErr()
+	}
+	done := make(chan struct{})
+	p.ch <- item[T]{done: done}
+	p.sendMu.RUnlock()
+	select {
+	case <-done:
+		return p.takePendingErr()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close drains the queue, applies what remains, stops the applier and
+// returns the first undelivered apply error. Enqueue/Flush calls racing
+// Close either complete normally or report the pipeline closed. Close is
+// idempotent.
+func (p *Pipeline[T]) Close() error {
+	p.sendMu.Lock()
+	already := p.closed
+	p.closed = true
+	if !already {
+		close(p.ch)
+	}
+	p.sendMu.Unlock()
+	p.wg.Wait()
+	return p.takePendingErr()
+}
+
+// Stats returns a snapshot of the pipeline counters.
+func (p *Pipeline[T]) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.QueueDepth = len(p.ch)
+	return s
+}
+
+func (p *Pipeline[T]) takePendingErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	err := p.pendingErr
+	p.pendingErr = nil
+	return err
+}
+
+// run is the applier loop: take one item, greedily coalesce whatever else
+// is immediately available (up to maxBatch mutations), apply, signal any
+// flush barriers that rode along, repeat.
+func (p *Pipeline[T]) run() {
+	defer p.wg.Done()
+	for first := range p.ch {
+		muts := make([]T, 0, p.maxBatch)
+		var barriers []chan struct{}
+		var oldest time.Time
+		add := func(it item[T]) {
+			if it.done != nil {
+				barriers = append(barriers, it.done)
+				return
+			}
+			if oldest.IsZero() {
+				oldest = it.enq
+			}
+			muts = append(muts, it.mut)
+		}
+		add(first)
+	drain:
+		for len(muts) < p.maxBatch {
+			select {
+			case it, ok := <-p.ch:
+				if !ok {
+					break drain
+				}
+				add(it)
+			default:
+				break drain
+			}
+		}
+		var err error
+		if len(muts) > 0 {
+			start := time.Now()
+			err = p.apply(muts)
+			p.mu.Lock()
+			p.stats.Applied += uint64(len(muts))
+			p.stats.Batches++
+			p.stats.LastBatch = len(muts)
+			p.stats.LastApplyDuration = time.Since(start)
+			p.stats.ApplyLag = time.Since(oldest)
+			if err != nil {
+				p.stats.Errors++
+				p.stats.LastError = err.Error()
+				if p.pendingErr == nil {
+					p.pendingErr = err
+				}
+			}
+			p.mu.Unlock()
+		}
+		for _, b := range barriers {
+			close(b)
+		}
+	}
+}

@@ -74,11 +74,35 @@ type RSPN struct {
 // indicator column indices. Learning and deserialization call it.
 func (r *RSPN) Refresh() {
 	r.Model.Refresh()
+	r.refreshDerived()
+}
+
+// refreshDerived rebuilds the RSPN-level caches (indicator indices, the
+// shared N_t range) without recompiling the model.
+func (r *RSPN) refreshDerived() {
 	r.ntIdx = make(map[string]int, len(r.Tables))
 	for _, t := range r.Tables {
 		r.ntIdx[t] = r.Model.ColumnIndex(table.IndicatorColumn(t))
 	}
 	r.ntRange = []spn.Range{spn.PointRange(1)}
+}
+
+// Clone returns a copy that shares no mutable state with the receiver:
+// Insert/Delete on the clone leave the original's model and FullSize
+// untouched, which is what lets the update pipeline mutate a private copy
+// while published snapshots keep serving. Immutable metadata (table list,
+// join edges, FD dictionaries) is shared by pointer.
+func (r *RSPN) Clone() *RSPN {
+	out := &RSPN{
+		Model:      r.Model.Clone(),
+		Tables:     r.Tables,
+		Edges:      r.Edges,
+		FullSize:   r.FullSize,
+		SampleRate: r.SampleRate,
+		FDs:        r.FDs,
+	}
+	out.refreshDerived()
+	return out
 }
 
 // indicatorIndex returns the model column index of table t's join
@@ -387,6 +411,14 @@ func (r *RSPN) InverseFactorColumns(queryTables []string) []string {
 	}
 	return out
 }
+
+// BeginBatch suspends the model's per-mutation evaluator refresh until
+// EndBatch, so a batch of Insert/Delete calls recompiles the flattened
+// form once (spn.SPN.BeginBatch).
+func (r *RSPN) BeginBatch() { r.Model.BeginBatch() }
+
+// EndBatch closes a BeginBatch window and recompiles once.
+func (r *RSPN) EndBatch() { r.Model.EndBatch() }
 
 // Insert absorbs one join-row (indexed like the model's columns, NaN for
 // NULL) and increments FullSize. applyToModel should be false when the

@@ -60,6 +60,9 @@ type SPN struct {
 	// colIdx caches name -> scope index (built by Refresh; nil falls back
 	// to a linear scan).
 	colIdx map[string]int
+	// batching suppresses the per-mutation flat-weight refresh between
+	// BeginBatch and EndBatch (update.go), so a batch recompiles once.
+	batching bool
 }
 
 // ColumnIndex returns the scope index of the named column, or -1.

@@ -35,14 +35,63 @@ func (s *SPN) Delete(tuple []float64) error {
 	return nil
 }
 
+// Mutation is one tuple-level change for ApplyBatch: the tuple routed
+// through the tree and whether it is removed (Delete) or absorbed.
+type Mutation struct {
+	Tuple  []float64
+	Delete bool
+}
+
+// ApplyBatch applies a sequence of inserts and deletes in order, rebuilding
+// the derived mixing weights of the flat evaluator once at the end instead
+// of once per tuple. A malformed mutation (wrong tuple arity) is reported —
+// first error wins — but does not stop the rest of the batch, mirroring
+// ensemble.Apply: the final model state is bit-identical to pushing the
+// same mutations through Insert/Delete one call at a time.
+func (s *SPN) ApplyBatch(muts []Mutation) error {
+	s.BeginBatch()
+	defer s.EndBatch()
+	var first error
+	for i := range muts {
+		var err error
+		if muts[i].Delete {
+			err = s.Delete(muts[i].Tuple)
+		} else {
+			err = s.Insert(muts[i].Tuple)
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// BeginBatch suspends the per-mutation refresh of the flat evaluator's
+// derived weights until EndBatch, so a batch of Insert/Delete calls pays
+// the re-derivation once. While a batch is open the flat evaluator is
+// stale; the SPN must not serve queries until EndBatch ran (the serving
+// path only ever sees published, fully-recompiled snapshots).
+func (s *SPN) BeginBatch() { s.batching = true }
+
+// EndBatch closes a BeginBatch window and re-derives the flat evaluator's
+// weights once for all mutations applied inside it.
+func (s *SPN) EndBatch() {
+	s.batching = false
+	s.recompile()
+}
+
 // recompile refreshes the flat evaluator after an update changed mixing
 // weights (leaf distributions are shared by pointer and need nothing).
 // The tree structure never changes, so this is an in-place,
 // allocation-free weight re-derivation rather than a rebuild; hand-built
-// SPNs that were never compiled stay on the tree path. Updates run on the
-// write path (the facade holds the write lock), so the mutation never
-// races a reader.
+// SPNs that were never compiled stay on the tree path, and inside a
+// BeginBatch/EndBatch window the re-derivation is deferred to EndBatch.
+// Updates run on the write path (the facade mutates only unpublished
+// copy-on-write clones), so the mutation never races a reader.
 func (s *SPN) recompile() {
+	if s.batching {
+		return
+	}
 	if s.flat != nil {
 		s.flat.refreshWeights()
 	}

@@ -208,6 +208,25 @@ func (t *Table) AddColumn(c *Column) error {
 	return nil
 }
 
+// CloneData returns a copy of the table whose cell data (Data/Nul vectors)
+// is private: appends and in-place cell writes on the clone leave the
+// receiver untouched, which is what copy-on-write snapshot publication
+// needs. Metadata and dictionaries are shared — the update path never
+// extends a dictionary (rows arrive already encoded as Values) and never
+// adds columns after construction, so sharing them is safe and keeps codes
+// comparable across snapshots.
+func (t *Table) CloneData() *Table {
+	out := &Table{Meta: t.Meta, rows: t.rows, Cols: make([]*Column, len(t.Cols))}
+	for i, c := range t.Cols {
+		cc := &Column{Meta: c.Meta}
+		cc.shareDict(c)
+		cc.Data = append(make([]float64, 0, len(c.Data)+1), c.Data...)
+		cc.Nul = append(make([]bool, 0, len(c.Nul)+1), c.Nul...)
+		out.Cols[i] = cc
+	}
+	return out
+}
+
 // Select returns a new table containing the given rows (by index) of t.
 // Dictionaries are shared with the source.
 func (t *Table) Select(rows []int) *Table {

@@ -7,6 +7,11 @@
 #       the HTTP serve endpoint.
 #   BENCH_spn.json   — SPN inference micro-benches: the reference tree
 #       walk vs the compiled flat evaluator, single-request and batched.
+#   BENCH_update.json — update-pipeline benches: apply throughput
+#       (rows/s) of the synchronous vs the batched asynchronous path, the
+#       batch-size sweep, and reader p50/p99 latency idle vs while a
+#       writer streams mutations (the flat-reader-latency claim of
+#       snapshot-isolated serving).
 #
 #   BENCHTIME=500x ./scripts/bench.sh     # override iteration count
 set -eu
@@ -26,16 +31,27 @@ BEGIN { print "["; first = 1 }
     ns = ""
     bytes = ""
     allocs = ""
+    nextra = 0
     for (i = 3; i < NF; i++) {
-        if ($(i + 1) == "ns/op") ns = $i
-        if ($(i + 1) == "B/op") bytes = $i
-        if ($(i + 1) == "allocs/op") allocs = $i
+        unit = $(i + 1)
+        if (unit == "ns/op") { ns = $i; i++ }
+        else if (unit == "B/op") { bytes = $i; i++ }
+        else if (unit == "allocs/op") { allocs = $i; i++ }
+        else if (unit ~ /^[A-Za-z][A-Za-z0-9_\/-]*$/ && $i ~ /^[0-9.eE+-]+$/) {
+            # custom b.ReportMetric units (rows/s, p50-ns, ...)
+            ek[nextra] = unit; ev[nextra] = $i; nextra++; i++
+        }
     }
     if (!first) printf ",\n"
     first = 0
     printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, (ns == "" ? "null" : ns)
     if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    for (e = 0; e < nextra; e++) {
+        u = ek[e]
+        gsub(/[^A-Za-z0-9]/, "_", u)
+        printf ", \"%s\": %s", u, ev[e]
+    }
     printf "}"
 }
 END { print "\n]" }
@@ -54,3 +70,18 @@ go test -run '^$' -bench 'SPNEval' -benchmem \
     -benchtime "$benchtime" ./internal/spn | tee "$tmp"
 parse_bench < "$tmp" > BENCH_spn.json
 echo "wrote BENCH_spn.json"
+
+# The reader-latency percentiles need enough iterations to be meaningful;
+# keep at least 2000 unless the caller explicitly asked for more.
+update_benchtime="$benchtime"
+case "$update_benchtime" in
+*x)
+    if [ "${update_benchtime%x}" -lt 2000 ] 2>/dev/null; then
+        update_benchtime=2000x
+    fi
+    ;;
+esac
+go test -run '^$' -bench 'UpdateApply|ReaderLatency' -benchmem \
+    -benchtime "$update_benchtime" . | tee "$tmp"
+parse_bench < "$tmp" > BENCH_update.json
+echo "wrote BENCH_update.json"

@@ -25,6 +25,8 @@ echo "== go test -race =="
 go test -race ./...
 
 echo "== benchmark smoke (1 iteration each) =="
+# The root package includes the update-pipeline benches (UpdateApply*,
+# ReaderLatency*), so the smoke also exercises the async applier.
 go test -run '^$' -bench . -benchtime 1x . ./cmd/deepdb
 
 echo "OK"
