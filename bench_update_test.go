@@ -130,6 +130,12 @@ func readerLatency(b *testing.B, db *deepdb.DB) {
 		lats = append(lats, time.Since(start))
 	}
 	b.StopTimer()
+	reportLatencyPercentiles(b, lats)
+}
+
+// reportLatencyPercentiles attaches p50/p99 of the sampled latencies as
+// benchmark metrics.
+func reportLatencyPercentiles(b *testing.B, lats []time.Duration) {
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	quantile := func(q float64) float64 {
 		if len(lats) == 0 {

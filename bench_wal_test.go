@@ -1,0 +1,195 @@
+// WAL and re-learning benchmarks: append throughput under each durability
+// mode, log scan and end-to-end recovery speed, and reader latency while a
+// drift-triggered re-learn hot-swaps ensemble members behind the serving
+// snapshot. scripts/bench.sh parses these into BENCH_wal.json.
+//
+// Run with: go test -bench 'WALAppend|WALScan|WALRecovery|RelearnHotSwap' -benchmem
+package repro
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/deepdb"
+	"repro/internal/wal"
+)
+
+// BenchmarkWALAppend measures Insert throughput with the write-ahead log
+// attached, one sub-benchmark per fsync policy. sync pays one fsync per
+// insert; batched group-commits; off leaves flushing to the OS. The
+// no-WAL baseline for comparison is BenchmarkUpdateApplyAsync.
+func BenchmarkWALAppend(b *testing.B) {
+	modes := []struct {
+		name string
+		mode deepdb.Durability
+	}{
+		{"sync", deepdb.DurabilitySync},
+		{"batched", deepdb.DurabilityBatched},
+		{"off", deepdb.DurabilityOff},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			db := updateFixture(b, deepdb.WithWAL(b.TempDir()), deepdb.WithDurability(m.mode))
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.Insert("orders", orderRow(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := db.Flush(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			reportRowsPerSec(b)
+		})
+	}
+}
+
+// walStreamDir builds a log directory holding `records` single-insert
+// groups with checkpoint 0, i.e. all of them live for replay.
+func walStreamDir(b *testing.B, records int) string {
+	b.Helper()
+	dir := b.TempDir()
+	db := updateFixture(b, deepdb.WithWAL(dir), deepdb.WithDurability(deepdb.DurabilityOff))
+	for i := 0; i < records; i++ {
+		if err := db.Insert("orders", orderRow(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.Flush(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	// Close without Save: the checkpoint stays at 0 and every record
+	// remains live, like a crash would leave it.
+	if err := db.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+// BenchmarkWALScan measures the log-side half of recovery: sequentially
+// reading and decoding every record of a 5000-record log (CRC checks
+// included), without applying anything.
+func BenchmarkWALScan(b *testing.B) {
+	const records = 5000
+	dir := walStreamDir(b, records)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := wal.Dump(dir, 0, func(lsn uint64, payload []byte) error {
+			muts, err := wal.DecodeMutations(payload)
+			if err != nil {
+				return err
+			}
+			n += len(muts)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != records {
+			b.Fatalf("scanned %d records, want %d", n, records)
+		}
+	}
+	b.StopTimer()
+	if d := b.Elapsed(); d > 0 {
+		b.ReportMetric(float64(records)*float64(b.N)/d.Seconds(), "rows/s")
+	}
+}
+
+// BenchmarkWALRecovery is the end-to-end cold start after a crash: learn
+// over the base tables and replay 500 live records into the model. ns/op
+// is the full recovery time, so the rows/s reported here is a lower bound
+// on replay throughput (it includes the model learn; the apply path it
+// exercises is the one BenchmarkUpdateApplyAsync measures in isolation).
+func BenchmarkWALRecovery(b *testing.B) {
+	const records = 500
+	dir := walStreamDir(b, records)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := updateFixture(b, deepdb.WithWAL(dir))
+		if got := db.UpdateStats().WAL.Replayed; got != records {
+			b.Fatalf("replayed %d records, want %d", got, records)
+		}
+		b.StopTimer()
+		if err := db.Close(); err != nil { // no Save: the log stays live
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if d := b.Elapsed(); d > 0 {
+		b.ReportMetric(float64(records)*float64(b.N)/d.Seconds(), "rows/s")
+	}
+}
+
+// BenchmarkRelearnHotSwapReader measures reader p50/p99 while a background
+// writer streams inserts and a low drift threshold keeps the re-learner
+// rebuilding and hot-swapping members. One benchmark iteration is one
+// observed hot-swap: readers query continuously until b.N swaps have
+// completed, so the latency samples are guaranteed to bracket real swap
+// publications. ns/op is therefore the length of a full trip→re-learn→swap
+// cycle; the claim under test is that p50/p99 stay flat vs
+// BenchmarkReaderLatencyDuringUpdates, which runs the same write stream
+// with re-learning disabled.
+func BenchmarkRelearnHotSwapReader(b *testing.B) {
+	db := updateFixture(b, deepdb.WithDriftThreshold(0.02))
+	ctx := context.Background()
+	stmt, err := db.Prepare("SELECT COUNT(*) FROM orders WHERE o_amount >= ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stop atomic.Bool
+	writerDone := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		for i := 0; !stop.Load(); i++ {
+			if err := db.Insert("orders", orderRow(i)); err != nil {
+				writerDone <- err
+				return
+			}
+			if i == 0 {
+				close(started)
+			}
+		}
+		writerDone <- nil
+	}()
+	<-started
+	target := db.UpdateStats().Relearns + uint64(b.N)
+	deadline := time.Now().Add(2 * time.Minute)
+	lats := make([]time.Duration, 0, 1<<16)
+	b.ResetTimer()
+	for i := 0; ; i++ {
+		start := time.Now()
+		if _, err := stmt.Estimate(ctx, i%100); err != nil {
+			b.Fatal(err)
+		}
+		lats = append(lats, time.Since(start))
+		if i%64 != 0 {
+			continue
+		}
+		st := db.UpdateStats()
+		if st.RelearnErrors > 0 {
+			b.Fatalf("re-learn errors during bench: %d (%s)", st.RelearnErrors, st.LastRelearnError)
+		}
+		if st.Relearns >= target {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("only %d of %d re-learn swaps within deadline", st.Relearns, target)
+		}
+	}
+	b.StopTimer()
+	stop.Store(true)
+	if err := <-writerDone; err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Flush(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	reportLatencyPercentiles(b, lats)
+	b.ReportMetric(float64(len(lats))/float64(b.N), "reads/swap")
+}

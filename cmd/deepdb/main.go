@@ -52,6 +52,8 @@ func main() {
 		err = cmdQuery(ctx, os.Args[2:], modeExplain)
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
+	case "wal":
+		err = cmdWAL(os.Args[2:])
 	case "demo":
 		err = cmdDemo(ctx)
 	default:
@@ -65,12 +67,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: deepdb <learn|estimate|query|explain|serve|demo> [flags]
+	fmt.Fprintln(os.Stderr, `usage: deepdb <learn|estimate|query|explain|serve|wal|demo> [flags]
   learn    -schema schema.json -data dir -out model.deepdb [-budget 0.5] [-samples 100000] [-parallel 1]
   estimate -model model.deepdb -sql "SELECT COUNT(*) ..." [-data dir]
   query    -model model.deepdb -sql "SELECT AVG(col) ..." [-data dir]
   explain  -model model.deepdb -sql "SELECT COUNT(*) ..." [-data dir]
-  serve    -model model.deepdb [-addr :8491] [-parallel N] [-cache N]
+  serve    -model model.deepdb [-addr :8491] [-parallel N] [-cache N] [-wal dir] [-durability sync|batched|off] [-drift 0.2]
+  wal      inspect|dump -dir wal-dir [-after N]   (read-only log examination)
   demo     (self-contained demonstration on synthetic data)
 (-data is only needed for -truth; the model file carries the statistics
 and dictionaries query serving needs, including string predicates)`)

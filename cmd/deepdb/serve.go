@@ -18,7 +18,9 @@ package main
 //	/delete   {"table": "...", "pk": 123} -> {"queued": true, "generation"}
 //	/flush    {} -> {"flushed": true, "generation"}   (read-your-writes barrier)
 //	/healthz  -> {"status": "ok", "models", "tables", "data_attached",
-//	              "readonly", "updates": {queue depth, lag, batches, ...}}
+//	              "readonly", "updates": {queue depth, lag, batches,
+//	              "wal": {LSN watermarks, fsync counters},
+//	              "drift": [per-member staleness], relearn counters, ...}}
 //
 // params entries may be JSON numbers or strings; strings are resolved
 // through the dictionaries persisted in the model, so string predicates
@@ -54,6 +56,9 @@ func cmdServe(ctx context.Context, args []string) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the serving process to this file (finalized at shutdown)")
 	withPprof := fs.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/ for live hot-path diagnosis")
 	readonly := fs.Bool("readonly", false, "reject /insert, /delete and /flush (serve a frozen snapshot)")
+	walDir := fs.String("wal", "", "write-ahead log directory: accepted mutations become durable and are replayed on restart")
+	durability := fs.String("durability", "batched", "WAL fsync policy: sync, batched or off (needs -wal)")
+	driftFrac := fs.Float64("drift", 0, "re-learn an ensemble member in the background once this fraction of its rows mutated (0 disables; needs -data)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +85,17 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 	if *cache > 0 {
 		opts = append(opts, deepdb.WithPlanCacheSize(*cache))
+	}
+	if *walDir != "" {
+		opts = append(opts, deepdb.WithWAL(*walDir))
+	}
+	if d, ok := deepdb.ParseDurability(*durability); ok {
+		opts = append(opts, deepdb.WithDurability(d))
+	} else {
+		return fmt.Errorf("unknown -durability %q (want sync, batched or off)", *durability)
+	}
+	if *driftFrac > 0 {
+		opts = append(opts, deepdb.WithDriftThreshold(*driftFrac))
 	}
 	db, err := deepdb.Open(ctx, *model, opts...)
 	if err != nil {
@@ -445,6 +461,39 @@ type apiUpdateStats struct {
 	LastBatch       int    `json:"last_batch"`
 	LastApplyMicros int64  `json:"last_apply_us"`
 	ApplyLagMicros  int64  `json:"apply_lag_us"`
+	// WAL is present only when the server runs with -wal.
+	WAL *apiWALStats `json:"wal,omitempty"`
+	// Drift is present when base tables are attached; one entry per
+	// ensemble member.
+	Drift            []apiDriftStat `json:"drift,omitempty"`
+	Relearns         uint64         `json:"relearns"`
+	RelearnErrors    uint64         `json:"relearn_errors"`
+	LastRelearnError string         `json:"last_relearn_error,omitempty"`
+}
+
+// apiWALStats mirrors deepdb.WALStats in JSON.
+type apiWALStats struct {
+	Dir               string `json:"dir"`
+	Durability        string `json:"durability"`
+	LastLSN           uint64 `json:"last_lsn"`
+	AppliedLSN        uint64 `json:"applied_lsn"`
+	CheckpointLSN     uint64 `json:"checkpoint_lsn"`
+	Appended          uint64 `json:"appended"`
+	Synced            uint64 `json:"synced"`
+	Replayed          uint64 `json:"replayed"`
+	TruncatedSegments uint64 `json:"truncated_segments"`
+	Segments          int    `json:"segments"`
+	SizeBytes         int64  `json:"size_bytes"`
+}
+
+// apiDriftStat mirrors deepdb.DriftStat in JSON.
+type apiDriftStat struct {
+	Tables          []string `json:"tables"`
+	Mutated         uint64   `json:"mutated"`
+	MutatedFraction float64  `json:"mutated_fraction"`
+	MaxShift        float64  `json:"max_shift"`
+	ShiftColumn     string   `json:"shift_column,omitempty"`
+	Relearns        uint64   `json:"relearns"`
 }
 
 func (s *serveHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -463,17 +512,56 @@ func (s *serveHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		DataAttached: s.db.Data() != nil,
 		Readonly:     s.readonly,
 		Updates: apiUpdateStats{
-			Generation:      st.Generation,
-			SyncUpdates:     st.SyncUpdates,
-			QueueDepth:      st.QueueDepth,
-			Enqueued:        st.Enqueued,
-			Applied:         st.Applied,
-			Batches:         st.Batches,
-			Errors:          st.Errors,
-			LastError:       st.LastError,
-			LastBatch:       st.LastBatch,
-			LastApplyMicros: st.LastApplyDuration.Microseconds(),
-			ApplyLagMicros:  st.ApplyLag.Microseconds(),
+			Generation:       st.Generation,
+			SyncUpdates:      st.SyncUpdates,
+			QueueDepth:       st.QueueDepth,
+			Enqueued:         st.Enqueued,
+			Applied:          st.Applied,
+			Batches:          st.Batches,
+			Errors:           st.Errors,
+			LastError:        st.LastError,
+			LastBatch:        st.LastBatch,
+			LastApplyMicros:  st.LastApplyDuration.Microseconds(),
+			ApplyLagMicros:   st.ApplyLag.Microseconds(),
+			WAL:              apiWAL(st.WAL),
+			Drift:            apiDrift(st.Drift),
+			Relearns:         st.Relearns,
+			RelearnErrors:    st.RelearnErrors,
+			LastRelearnError: st.LastRelearnError,
 		},
 	})
+}
+
+func apiWAL(w *deepdb.WALStats) *apiWALStats {
+	if w == nil {
+		return nil
+	}
+	return &apiWALStats{
+		Dir:               w.Dir,
+		Durability:        w.Durability,
+		LastLSN:           w.LastLSN,
+		AppliedLSN:        w.AppliedLSN,
+		CheckpointLSN:     w.CheckpointLSN,
+		Appended:          w.Appended,
+		Synced:            w.Synced,
+		Replayed:          w.Replayed,
+		TruncatedSegments: w.TruncatedSegments,
+		Segments:          w.Segments,
+		SizeBytes:         w.SizeBytes,
+	}
+}
+
+func apiDrift(ds []deepdb.DriftStat) []apiDriftStat {
+	out := make([]apiDriftStat, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, apiDriftStat{
+			Tables:          d.Tables,
+			Mutated:         d.Mutated,
+			MutatedFraction: d.MutatedFraction,
+			MaxShift:        d.MaxShift,
+			ShiftColumn:     d.ShiftColumn,
+			Relearns:        d.Relearns,
+		})
+	}
+	return out
 }

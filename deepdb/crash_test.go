@@ -1,0 +1,180 @@
+package deepdb_test
+
+// crash_test.go is the end-to-end durability proof: a child process
+// streams mutations into a WAL-backed DB under DurabilitySync and is
+// killed with SIGKILL mid-stream — no defers, no flushes, no goodbye. The
+// parent then determines the durable prefix from the log itself, rebuilds
+// a reference DB that applied exactly that prefix without ever crashing,
+// recovers a DB from the WAL, and requires bit-identical answers across
+// the full query-class matrix. Acknowledged-before-kill mutations must all
+// be in the durable prefix (that is what sync durability promises).
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/deepdb"
+	"repro/internal/wal"
+)
+
+const (
+	crashChildEnv  = "DEEPDB_CRASH_CHILD"
+	crashWALDirEnv = "DEEPDB_CRASH_WALDIR"
+	crashStreamLen = 200
+	crashKillAfter = 60 // acks the parent waits for before SIGKILL
+)
+
+// TestCrashRecoveryChild is the subprocess body; without the env gate it
+// is skipped, so a plain `go test` never runs it directly.
+func TestCrashRecoveryChild(t *testing.T) {
+	if os.Getenv(crashChildEnv) != "1" {
+		t.Skip("subprocess of TestCrashRecoverySIGKILL")
+	}
+	dir := os.Getenv(crashWALDirEnv)
+	ctx := context.Background()
+	s, data := fixture(1200, 77)
+	db, err := deepdb.LearnDataset(ctx, s, data,
+		deepdb.WithMaxSamples(8000),
+		deepdb.WithWAL(dir),
+		deepdb.WithDurability(deepdb.DurabilitySync))
+	if err != nil {
+		fmt.Println("child error:", err)
+		os.Exit(1)
+	}
+	fmt.Println("ready")
+	for i, m := range mutationStream(crashStreamLen) {
+		if m.del {
+			err = db.Delete(m.table, m.pk)
+		} else {
+			err = db.Insert(m.table, m.values)
+		}
+		if err != nil {
+			fmt.Println("child error:", err)
+			os.Exit(1)
+		}
+		// Under DurabilitySync the mutation is on disk once the call
+		// returns, even though the background applier may not have applied
+		// it yet — that is exactly what the parent verifies.
+		fmt.Println("acked", i)
+	}
+	fmt.Println("done")
+	select {} // hold the WAL open until the parent kills us
+}
+
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("needs SIGKILL")
+	}
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	cmd := exec.Command(os.Args[0], "-test.run=TestCrashRecoveryChild$", "-test.v")
+	cmd.Env = append(os.Environ(), crashChildEnv+"=1", crashWALDirEnv+"="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill() //nolint:errcheck
+		}
+		cmd.Wait() //nolint:errcheck
+	}()
+
+	acked := -1
+	sc := bufio.NewScanner(stdout)
+	deadline := time.AfterFunc(60*time.Second, func() { cmd.Process.Kill() }) //nolint:errcheck
+	defer deadline.Stop()
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "child error:"):
+			t.Fatalf("child failed: %s", line)
+		case strings.HasPrefix(line, "acked "):
+			acked++
+			if acked+1 >= crashKillAfter {
+				if err := cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+					t.Fatal(err)
+				}
+				killed = true
+			}
+		case line == "done":
+			t.Fatal("child finished the whole stream before the kill")
+		}
+		if killed {
+			break
+		}
+	}
+	cmd.Wait() //nolint:errcheck // the kill makes this an error by design
+	if !killed {
+		t.Fatalf("child exited early after %d acks", acked+1)
+	}
+
+	// The durable prefix is whatever survived in the log — every record,
+	// in LSN order, one mutation group per Insert/Delete call.
+	durable := 0
+	err = wal.Dump(dir, 0, func(lsn uint64, payload []byte) error {
+		if _, derr := wal.DecodeMutations(payload); derr != nil {
+			return fmt.Errorf("lsn %d: %w", lsn, derr)
+		}
+		durable++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if durable < acked+1 {
+		t.Fatalf("sync durability violated: %d mutations acked, only %d durable", acked+1, durable)
+	}
+	muts := mutationStream(crashStreamLen)
+	if durable > len(muts) {
+		t.Fatalf("log holds %d records for a %d-mutation stream", durable, len(muts))
+	}
+
+	// Reference: the same durable prefix applied synchronously, no crash.
+	s, data := fixture(1200, 77)
+	ref, err := deepdb.LearnDataset(ctx, s, data,
+		deepdb.WithMaxSamples(8000), deepdb.WithSyncUpdates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyStream(t, ref, muts[:durable])
+
+	// Recovery: rebuild over the original data and replay the log.
+	s2, data2 := fixture(1200, 77)
+	rec, err := deepdb.LearnDataset(ctx, s2, data2,
+		deepdb.WithMaxSamples(8000), deepdb.WithWAL(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got := rec.UpdateStats().WAL.Replayed; got != uint64(durable) {
+		t.Fatalf("recovery replayed %d records, want %d", got, durable)
+	}
+
+	for i, q := range equivalenceWorkload {
+		a, err := ref.ExecuteQuery(ctx, q)
+		if err != nil {
+			t.Fatalf("query %d ref: %v", i, err)
+		}
+		b, err := rec.ExecuteQuery(ctx, q)
+		if err != nil {
+			t.Fatalf("query %d recovered: %v", i, err)
+		}
+		if normResult(a) != normResult(b) {
+			t.Fatalf("query %d diverged after crash recovery\n  ref:       %v\n  recovered: %v", i, a, b)
+		}
+	}
+}

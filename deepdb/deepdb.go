@@ -50,6 +50,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/query"
 	"repro/internal/rspn"
+	"repro/internal/wal"
 )
 
 // snapshot is one immutable published serving view: an ensemble state, the
@@ -91,8 +92,39 @@ type DB struct {
 	// as one indivisible item, so the applier may coalesce groups but
 	// never splits one across published snapshots.
 	pipeMu sync.Mutex
-	pipe   *pipeline.Pipeline[[]ensemble.Mutation]
+	pipe   *pipeline.Pipeline[updateGroup]
 	closed bool
+
+	// wal is the durable write-ahead log (nil without WithWAL). walMu
+	// serializes append+enqueue so LSN order equals apply order; applyLSN
+	// tracks the highest LSN whose group has been applied and published —
+	// the watermark Save checkpoints the log at.
+	walMu    sync.Mutex
+	wal      *wal.Log
+	applyLSN atomic.Uint64
+
+	// verMu guards tableVer, the per-table applied-mutation counters the
+	// optimistic re-learn path uses as its consistency token (drift's own
+	// counters miss FK factor bumps on One-side tables).
+	verMu    sync.Mutex
+	tableVer map[string]uint64
+
+	// relearnBusy admits one background re-learn at a time; relearnWG lets
+	// Close wait for it. relearnFails/relearnLast record failed attempts
+	// for UpdateStats.
+	relearnBusy  atomic.Bool
+	relearnWG    sync.WaitGroup
+	relearnFails atomic.Uint64
+	relearnErrMu sync.Mutex
+	relearnErr   string
+}
+
+// updateGroup is one pipeline queue item: the mutations of one
+// Insert/Delete/Update call plus the WAL position they were logged at
+// (0 without a WAL).
+type updateGroup struct {
+	muts []ensemble.Mutation
+	lsn  uint64
 }
 
 // Learn builds a DB over the schema's CSV files in dataDir (one
@@ -121,7 +153,7 @@ func learn(ctx context.Context, s *Schema, data Dataset, cfg config) (*DB, error
 	if err != nil {
 		return nil, err
 	}
-	return newDB(ens, cfg), nil
+	return newDB(ens, cfg)
 }
 
 // Open reads a model written by Save. The model file is a self-contained
@@ -157,13 +189,24 @@ func Open(ctx context.Context, modelPath string, opts ...Option) (*DB, error) {
 			return nil, err
 		}
 	}
-	return newDB(ens, cfg), nil
+	return newDB(ens, cfg)
 }
 
-func newDB(ens *ensemble.Ensemble, cfg config) *DB {
-	db := &DB{cfg: cfg, plans: newPlanCache(cfg.planCache)}
+func newDB(ens *ensemble.Ensemble, cfg config) (*DB, error) {
+	db := &DB{cfg: cfg, plans: newPlanCache(cfg.planCache), tableVer: map[string]uint64{}}
+	if ens.Tables != nil {
+		// Drift tracking baselines against the pre-replay state, so
+		// mutations recovered from the WAL count toward staleness exactly
+		// like they did before the crash.
+		ens.EnableDrift()
+	}
 	db.snap.Store(&snapshot{ens: ens, eng: db.newEngine(ens), gen: 0})
-	return db
+	if cfg.walDir != "" {
+		if err := db.openWAL(); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
 }
 
 // newEngine compiles a query engine over one ensemble state with the DB's
@@ -223,11 +266,24 @@ func (db *DB) PlanCacheLen() int {
 // before the call. The base tables are not serialized; the persisted
 // statistics are enough to serve queries, and Open can reattach the data
 // like a database reopening its files.
+// With a WAL attached, a successful Save also checkpoints the log at the
+// applied watermark: the save covers everything up to that LSN, so replay
+// skips those records from now on and segments they fully occupy are
+// deleted.
 func (db *DB) Save(path string) error {
 	if err := db.Flush(context.Background()); err != nil {
 		return err
 	}
-	return db.snapshotNow().ens.SaveFile(path)
+	// Read the watermark before serializing: the snapshot saved below
+	// contains at least everything applied up to it.
+	lsn := db.applyLSN.Load()
+	if err := db.snapshotNow().ens.SaveFile(path); err != nil {
+		return err
+	}
+	if db.wal != nil {
+		return db.wal.Checkpoint(lsn)
+	}
+	return nil
 }
 
 // Schema returns the relational metadata the DB was learned over.
@@ -447,16 +503,49 @@ func (db *DB) mutateAll(muts []ensemble.Mutation) error {
 		return errClosed()
 	}
 	if db.cfg.syncUpdates {
-		db.applyMu.Lock()
-		defer db.applyMu.Unlock()
-		return db.applyLocked(muts)
+		return db.mutateSync(muts)
 	}
 	pipe, err := db.pipeline()
 	if err != nil {
 		return err
 	}
-	// One group per call: the applier never splits it across snapshots.
-	return pipe.Enqueue(muts)
+	if db.wal == nil {
+		// One group per call: the applier never splits it across snapshots.
+		return pipe.Enqueue(updateGroup{muts: muts})
+	}
+	// Log, then enqueue, under one lock: LSN order must equal apply order
+	// or replay would reproduce a different state. Enqueue may block on a
+	// full queue; the applier drains without walMu, so this cannot deadlock.
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	lsn, err := db.wal.Append(wal.EncodeMutations(muts))
+	if err != nil {
+		return err
+	}
+	return pipe.Enqueue(updateGroup{muts: muts, lsn: lsn})
+}
+
+// mutateSync is the WithSyncUpdates write path: log (when a WAL is
+// attached), apply, publish, then check the re-learn trigger — all before
+// returning. walMu is held across append+apply so concurrent synchronous
+// writers reach the log and the model in the same order.
+func (db *DB) mutateSync(muts []ensemble.Mutation) error {
+	var lsn uint64
+	if db.wal != nil {
+		db.walMu.Lock()
+		defer db.walMu.Unlock()
+		var err error
+		lsn, err = db.wal.Append(wal.EncodeMutations(muts))
+		if err != nil {
+			return err
+		}
+	}
+	db.applyMu.Lock()
+	err := db.applyLocked(muts)
+	db.storeApplyLSN(lsn)
+	db.applyMu.Unlock()
+	db.maybeRelearn()
+	return err
 }
 
 // applyLocked clones the touched part of the current snapshot, applies the
@@ -472,30 +561,71 @@ func (db *DB) applyLocked(muts []ensemble.Mutation) error {
 	applied, err := next.Apply(muts)
 	if applied > 0 {
 		db.publishLocked(next)
+		db.bumpVersions(next.TouchedTables(muts))
 	}
 	return err
 }
 
+// bumpVersions advances the per-table applied-mutation counters; the
+// optimistic re-learn path compares them before hot-swapping a member.
+func (db *DB) bumpVersions(tables map[string]bool) {
+	db.verMu.Lock()
+	for t := range tables {
+		db.tableVer[t]++
+	}
+	db.verMu.Unlock()
+}
+
+// versionsOf snapshots the counters of the given tables, in order.
+func (db *DB) versionsOf(tables []string) []uint64 {
+	out := make([]uint64, len(tables))
+	db.verMu.Lock()
+	for i, t := range tables {
+		out[i] = db.tableVer[t]
+	}
+	db.verMu.Unlock()
+	return out
+}
+
+// storeApplyLSN advances applyLSN monotonically (concurrent synchronous
+// writers may apply out of LSN order; the watermark must never move back —
+// a checkpoint at a too-high LSN would drop unapplied records).
+func (db *DB) storeApplyLSN(lsn uint64) {
+	for {
+		cur := db.applyLSN.Load()
+		if lsn <= cur || db.applyLSN.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
 // pipeline lazily starts the background applier.
-func (db *DB) pipeline() (*pipeline.Pipeline[[]ensemble.Mutation], error) {
+func (db *DB) pipeline() (*pipeline.Pipeline[updateGroup], error) {
 	db.pipeMu.Lock()
 	defer db.pipeMu.Unlock()
 	if db.closed {
 		return nil, errClosed()
 	}
 	if db.pipe == nil {
-		db.pipe = pipeline.New(db.cfg.queueSize, db.cfg.maxBatch, func(groups [][]ensemble.Mutation) error {
+		db.pipe = pipeline.New(db.cfg.queueSize, db.cfg.maxBatch, func(groups []updateGroup) error {
 			n := 0
+			var last uint64
 			for _, g := range groups {
-				n += len(g)
+				n += len(g.muts)
+				if g.lsn > last {
+					last = g.lsn
+				}
 			}
 			muts := make([]ensemble.Mutation, 0, n)
 			for _, g := range groups {
-				muts = append(muts, g...)
+				muts = append(muts, g.muts...)
 			}
 			db.applyMu.Lock()
-			defer db.applyMu.Unlock()
-			return db.applyLocked(muts)
+			err := db.applyLocked(muts)
+			db.storeApplyLSN(last)
+			db.applyMu.Unlock()
+			db.maybeRelearn()
+			return err
 		})
 	}
 	return db.pipe, nil
@@ -517,10 +647,14 @@ func (db *DB) Flush(ctx context.Context) error {
 	return pipe.Flush(ctx)
 }
 
-// Close drains and stops the background update pipeline, returning the
-// first undelivered apply error. The DB remains queryable afterwards (the
-// published snapshot stays valid); further updates fail. Close is
-// idempotent.
+// Close drains and stops the background update pipeline (waiting at most
+// the WithCloseTimeout bound, 30s by default), waits for any in-flight
+// background re-learn, syncs and closes the WAL, and returns the first
+// undelivered apply error (or the drain-timeout error; with a WAL the
+// undrained queue remains recoverable by the next Open). The DB remains
+// queryable afterwards (the published snapshot stays valid); further
+// updates fail. Close is idempotent — the second and later calls are
+// no-ops returning nil.
 func (db *DB) Close() error {
 	db.pipeMu.Lock()
 	if db.closed {
@@ -530,10 +664,17 @@ func (db *DB) Close() error {
 	db.closed = true
 	pipe := db.pipe
 	db.pipeMu.Unlock()
-	if pipe == nil {
-		return nil
+	var err error
+	if pipe != nil {
+		err = pipe.CloseTimeout(db.cfg.closeTimeout)
 	}
-	return pipe.Close()
+	db.relearnWG.Wait()
+	if db.wal != nil {
+		if werr := db.wal.Close(); err == nil {
+			err = werr
+		}
+	}
+	return err
 }
 
 // UpdateStats is a point-in-time view of the update pipeline, for
@@ -563,11 +704,91 @@ type UpdateStats struct {
 	LastBatch         int
 	LastApplyDuration time.Duration
 	ApplyLag          time.Duration
+	// WAL describes the write-ahead log (nil without WithWAL).
+	WAL *WALStats
+	// Drift lists per-member staleness (nil when drift tracking is off —
+	// i.e. no base tables attached); Relearns counts completed background
+	// re-learn hot-swaps, RelearnErrors failed attempts (LastRelearnError
+	// renders the most recent failure).
+	Drift            []DriftStat
+	Relearns         uint64
+	RelearnErrors    uint64
+	LastRelearnError string
+}
+
+// WALStats describes the write-ahead log inside UpdateStats.
+type WALStats struct {
+	// Dir is the log directory, Durability the fsync policy.
+	Dir        string
+	Durability string
+	// LastLSN is the highest logged position, AppliedLSN the highest
+	// applied-and-published one (their gap is the recovery backlog), and
+	// CheckpointLSN the persisted save watermark.
+	LastLSN       uint64
+	AppliedLSN    uint64
+	CheckpointLSN uint64
+	// Appended/Synced/Replayed/TruncatedSegments count this session's log
+	// activity; Segments and SizeBytes are the on-disk footprint.
+	Appended          uint64
+	Synced            uint64
+	Replayed          uint64
+	TruncatedSegments uint64
+	Segments          int
+	SizeBytes         int64
+}
+
+// DriftStat is one ensemble member's staleness reading inside UpdateStats.
+type DriftStat struct {
+	// Tables is the member's table set.
+	Tables []string
+	// Mutated counts mutations on those tables since the member's baseline;
+	// MutatedFraction normalizes by the baseline row count.
+	Mutated         uint64
+	MutatedFraction float64
+	// MaxShift is the largest σ-normalized column-mean shift since the
+	// baseline, attained on ShiftColumn.
+	MaxShift    float64
+	ShiftColumn string
+	// Relearns counts completed re-learns of this member.
+	Relearns uint64
 }
 
 // UpdateStats reports the update pipeline's counters.
 func (db *DB) UpdateStats() UpdateStats {
 	out := UpdateStats{Generation: db.Generation(), SyncUpdates: db.cfg.syncUpdates}
+	if db.wal != nil {
+		ws := db.wal.Stats()
+		out.WAL = &WALStats{
+			Dir:               db.cfg.walDir,
+			Durability:        db.cfg.durability.String(),
+			LastLSN:           ws.LastLSN,
+			AppliedLSN:        db.applyLSN.Load(),
+			CheckpointLSN:     ws.CheckpointLSN,
+			Appended:          ws.Appended,
+			Synced:            ws.Synced,
+			Replayed:          ws.Replayed,
+			TruncatedSegments: ws.TruncatedSegments,
+			Segments:          ws.Segments,
+			SizeBytes:         ws.SizeBytes,
+		}
+	}
+	if d := db.snapshotNow().ens.Drift; d != nil {
+		for _, sc := range d.Scores() {
+			out.Drift = append(out.Drift, DriftStat{
+				Tables:          sc.Tables,
+				Mutated:         sc.Mutated,
+				MutatedFraction: sc.MutatedFraction,
+				MaxShift:        sc.MaxShift,
+				ShiftColumn:     sc.ShiftColumn,
+				Relearns:        sc.Relearns,
+			})
+		}
+		out.Relearns = d.Relearns()
+	}
+	out.RelearnErrors = db.relearnFails.Load()
+	db.relearnErrMu.Lock()
+	out.LastRelearnError = db.relearnErr
+	db.relearnErrMu.Unlock()
 	db.pipeMu.Lock()
 	pipe := db.pipe
 	db.pipeMu.Unlock()

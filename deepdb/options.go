@@ -1,8 +1,12 @@
 package deepdb
 
 import (
+	"time"
+
 	"repro/internal/core"
+	"repro/internal/drift"
 	"repro/internal/ensemble"
+	"repro/internal/wal"
 )
 
 // Strategy selects how the engine picks RSPNs for a query.
@@ -16,18 +20,79 @@ const (
 	StrategyMedian
 )
 
+// Durability selects how eagerly WAL appends reach stable storage — see
+// WithDurability.
+type Durability int
+
+const (
+	// DurabilityBatched fsyncs the WAL every few appends or milliseconds
+	// (group commit): bounded loss window, near-Off throughput. The default.
+	DurabilityBatched Durability = iota
+	// DurabilitySync fsyncs after every append: no acknowledged mutation is
+	// ever lost, at per-append fsync cost.
+	DurabilitySync
+	// DurabilityOff never fsyncs from the append path; the OS decides when
+	// pages reach disk. Torn or missing tail records are still detected and
+	// truncated on recovery.
+	DurabilityOff
+)
+
+// String renders the mode like the wal package does ("sync", "batched",
+// "off").
+func (d Durability) String() string { return d.wal().String() }
+
+// wal maps to the internal WAL mode.
+func (d Durability) wal() wal.Durability {
+	switch d {
+	case DurabilitySync:
+		return wal.Sync
+	case DurabilityOff:
+		return wal.Off
+	default:
+		return wal.Batched
+	}
+}
+
+// ParseDurability reads a mode name ("sync", "batched", "off"),
+// case-sensitively; the CLI flags use it.
+func ParseDurability(s string) (Durability, bool) {
+	switch s {
+	case "sync":
+		return DurabilitySync, true
+	case "batched":
+		return DurabilityBatched, true
+	case "off":
+		return DurabilityOff, true
+	}
+	return DurabilityBatched, false
+}
+
+// defaultCloseTimeout bounds how long Close waits for the update pipeline
+// to drain before giving up with an error.
+const defaultCloseTimeout = 30 * time.Second
+
 // config is the resolved option set of one DB.
 type config struct {
-	ens         ensemble.Config
-	strategy    Strategy
-	confidence  float64
-	parallelism int
-	dataDir     string
-	dataset     Dataset
-	planCache   int
-	syncUpdates bool
-	queueSize   int
-	maxBatch    int
+	ens          ensemble.Config
+	strategy     Strategy
+	confidence   float64
+	parallelism  int
+	dataDir      string
+	dataset      Dataset
+	planCache    int
+	syncUpdates  bool
+	queueSize    int
+	maxBatch     int
+	walDir       string
+	durability   Durability
+	closeTimeout time.Duration
+	driftFrac    float64
+	driftShift   float64
+}
+
+// driftThresholds assembles the re-learn trigger configuration.
+func (c *config) driftThresholds() drift.Thresholds {
+	return drift.Thresholds{MutatedFraction: c.driftFrac, MeanShift: c.driftShift}
 }
 
 // defaultPlanCacheSize bounds the plan cache when WithPlanCacheSize is not
@@ -51,6 +116,8 @@ func defaultConfig() config {
 		planCache:  defaultPlanCacheSize,
 		queueSize:  defaultUpdateQueueSize,
 		maxBatch:   defaultUpdateBatchSize,
+
+		closeTimeout: defaultCloseTimeout,
 	}
 }
 
@@ -167,6 +234,52 @@ func WithUpdateQueueSize(n int) Option {
 // publish fresher snapshots.
 func WithUpdateBatchSize(n int) Option {
 	return func(c *config) { c.maxBatch = n }
+}
+
+// WithWAL enables the durable write-ahead log in dir (created if missing).
+// Every Insert/Delete/Update call appends its mutation group to the log
+// before it enters the pipeline queue, and opening a DB with the same WAL
+// directory replays whatever a previous process accepted but had not saved
+// — after a crash (even kill -9), replay followed by Flush reproduces the
+// pre-crash state bit-identically. Save checkpoints the log (the applied
+// watermark is persisted and fully-saved segments are deleted). Requires
+// attached base tables when the log has records to replay.
+func WithWAL(dir string) Option {
+	return func(c *config) { c.walDir = dir }
+}
+
+// WithDurability selects the WAL fsync policy (default DurabilityBatched).
+// Only meaningful together with WithWAL.
+func WithDurability(d Durability) Option {
+	return func(c *config) { c.durability = d }
+}
+
+// WithCloseTimeout bounds how long Close waits for the background pipeline
+// to drain (default 30s). On timeout Close returns an error; the remaining
+// queue keeps applying in the background but is not guaranteed durable in
+// the model file (with a WAL it is still recoverable). d <= 0 waits
+// without bound.
+func WithCloseTimeout(d time.Duration) Option {
+	return func(c *config) { c.closeTimeout = d }
+}
+
+// WithDriftThreshold arms background re-learning on update volume: when
+// the fraction of an ensemble member's rows mutated since it was learned
+// exceeds frac (e.g. 0.2 = 20%), the member is re-learned from the current
+// base tables in the background and hot-swapped into the serving snapshot
+// — readers never block, and the paper's incremental-update approximations
+// are periodically squashed out. <= 0 (the default) disables the trigger.
+func WithDriftThreshold(frac float64) Option {
+	return func(c *config) { c.driftFrac = frac }
+}
+
+// WithDriftMeanShift arms background re-learning on distribution drift:
+// re-learn a member when any of its attribute columns' mean moved more
+// than sigma baseline standard deviations since it was learned. <= 0 (the
+// default) disables the signal. Combines with WithDriftThreshold —
+// whichever trips first wins.
+func WithDriftMeanShift(sigma float64) Option {
+	return func(c *config) { c.driftShift = sigma }
 }
 
 // WithDataDir tells Open where the base-table CSVs live; they are loaded

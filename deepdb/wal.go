@@ -1,0 +1,183 @@
+package deepdb
+
+// wal.go wires the durable write-ahead log (internal/wal) and the
+// drift-triggered background re-learner into the facade.
+//
+// Durability: mutateAll appends every accepted mutation group to the log
+// before it enters the pipeline queue, so a crash — even kill -9 — loses
+// nothing that was acknowledged under DurabilitySync (and at most the
+// configured batching window otherwise). newDB replays the unapplied
+// suffix on open; replay followed by Flush is bit-identical to a run that
+// never crashed, because the applier's batch==sequential equivalence makes
+// group boundaries irrelevant to the final state.
+//
+// Re-learning: the paper's incremental updates (Section 5.2) keep models
+// exact for in-distribution streams but accumulate approximation error
+// under drift. The applier checks the drift trigger after every batch;
+// when a member trips, a background goroutine re-learns just that member
+// from the current base tables (tombstones compacted away) and hot-swaps
+// it into the serving snapshot via the normal publication path — readers
+// never block, generations stay monotonic, and cached plans recompile
+// exactly as they do for an update batch.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/ensemble"
+	"repro/internal/wal"
+)
+
+// openWAL opens (or creates) the log in cfg.walDir and replays every
+// record past the checkpoint into the model, batching groups like the
+// background applier would. Per-mutation apply errors are dropped — on the
+// asynchronous path they would only have surfaced through a Flush that
+// never ran — but decode failures and replaying without attached base
+// tables abort the open.
+func (db *DB) openWAL() error {
+	l, err := wal.Open(db.cfg.walDir, wal.Options{Durability: db.cfg.durability.wal()})
+	if err != nil {
+		return err
+	}
+	var pending []ensemble.Mutation
+	groups := 0
+	var last uint64
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		db.applyMu.Lock()
+		db.applyLocked(pending) //nolint:errcheck // deferred-async semantics
+		db.storeApplyLSN(last)
+		db.applyMu.Unlock()
+		pending, groups = pending[:0], 0
+	}
+	rerr := l.Replay(func(lsn uint64, payload []byte) error {
+		muts, err := wal.DecodeMutations(payload)
+		if err != nil {
+			return err
+		}
+		if db.snapshotNow().ens.Tables == nil {
+			return fmt.Errorf("deepdb: WAL %s has unapplied records but no base tables are attached (open with WithDataDir or WithDataset)", db.cfg.walDir)
+		}
+		pending = append(pending, muts...)
+		groups++
+		last = lsn
+		if groups >= db.cfg.maxBatch {
+			flush()
+		}
+		return nil
+	})
+	if rerr != nil {
+		l.Close() //nolint:errcheck // the open itself failed
+		return rerr
+	}
+	flush()
+	db.wal = l
+	return nil
+}
+
+// maybeRelearn checks the drift trigger and, when a member trips, spawns
+// (at most one at a time) the background re-learner. Called by the applier
+// after every batch, outside applyMu.
+func (db *DB) maybeRelearn() {
+	th := db.cfg.driftThresholds()
+	if !th.Enabled() {
+		return
+	}
+	ens := db.snapshotNow().ens
+	if ens.Drift == nil {
+		return
+	}
+	i, _, ok := ens.Drift.Trip(th)
+	if !ok {
+		return
+	}
+	if !db.relearnBusy.CompareAndSwap(false, true) {
+		return
+	}
+	// Register with the close barrier under pipeMu: either this runs
+	// before Close flips the flag (Close then waits for it), or it sees
+	// closed and backs off.
+	db.pipeMu.Lock()
+	if db.closed {
+		db.pipeMu.Unlock()
+		db.relearnBusy.Store(false)
+		return
+	}
+	db.relearnWG.Add(1)
+	db.pipeMu.Unlock()
+	go func() {
+		defer db.relearnWG.Done()
+		defer db.relearnBusy.Store(false)
+		db.relearnMember(i)
+	}()
+}
+
+// relearnMember re-learns member i and hot-swaps it into the serving
+// snapshot. Two optimistic attempts learn from a published snapshot
+// without blocking writers and publish only if the member's tables saw no
+// mutation meanwhile (per-table version counters — drift's own counters
+// would miss FK tuple-factor bumps on One-side tables, which change the
+// data a re-learn sees). Under sustained writes both attempts can lose the
+// race; the fallback then learns while holding applyMu — writers wait,
+// readers still never block.
+func (db *DB) relearnMember(i int) {
+	ctx := context.Background()
+	for attempt := 0; attempt < 2; attempt++ {
+		db.applyMu.Lock()
+		cur := db.snap.Load().ens
+		if i >= len(cur.RSPNs) {
+			db.applyMu.Unlock()
+			return
+		}
+		tables := cur.RSPNs[i].Tables
+		ver := db.versionsOf(tables)
+		dead := cur.DeadRows()
+		db.applyMu.Unlock()
+
+		nr, err := cur.RelearnMember(ctx, i, dead)
+		if err != nil {
+			db.recordRelearnErr(err)
+			return
+		}
+
+		db.applyMu.Lock()
+		stale := false
+		for j, v := range db.versionsOf(tables) {
+			if v != ver[j] {
+				stale = true
+				break
+			}
+		}
+		if !stale {
+			live := db.snap.Load().ens
+			db.publishLocked(live.SwapMember(i, nr))
+			live.Drift.ResetMember(i)
+			db.applyMu.Unlock()
+			return
+		}
+		db.applyMu.Unlock()
+	}
+	// Locked fallback: no writer can move the tables under us.
+	db.applyMu.Lock()
+	defer db.applyMu.Unlock()
+	live := db.snap.Load().ens
+	if i >= len(live.RSPNs) {
+		return
+	}
+	nr, err := live.RelearnMember(ctx, i, live.DeadRows())
+	if err != nil {
+		db.recordRelearnErr(err)
+		return
+	}
+	db.publishLocked(live.SwapMember(i, nr))
+	live.Drift.ResetMember(i)
+}
+
+func (db *DB) recordRelearnErr(err error) {
+	db.relearnFails.Add(1)
+	db.relearnErrMu.Lock()
+	db.relearnErr = err.Error()
+	db.relearnErrMu.Unlock()
+}

@@ -1,0 +1,301 @@
+package deepdb_test
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/deepdb"
+	"repro/internal/wal"
+)
+
+// learnWAL builds a DB over the deterministic fixture with a WAL attached.
+func learnWAL(t *testing.T, dir string, rows int, seed int64, extra ...deepdb.Option) *deepdb.DB {
+	t.Helper()
+	s, data := fixture(rows, seed)
+	opts := append([]deepdb.Option{
+		// SampleRate 1 on this fixture: applying mutations draws nothing
+		// from the shared rng, so recovery equivalence is exact regardless
+		// of how groups were batched.
+		deepdb.WithMaxSamples(8000),
+		deepdb.WithWAL(dir),
+	}, extra...)
+	db, err := deepdb.LearnDataset(context.Background(), s, data, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestWALReplayMatchesSyncBitwise: a DB that logged a mutation stream but
+// never saved, "crashed" (closed without checkpoint) and was rebuilt over
+// the original data replays the log on open — and then answers the full
+// workload matrix bit-identically to a DB that applied the same stream
+// synchronously and never crashed.
+func TestWALReplayMatchesSyncBitwise(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	muts := mutationStream(80)
+
+	crashed := learnWAL(t, dir, 1200, 77, deepdb.WithDurability(deepdb.DurabilitySync))
+	applyStream(t, crashed, muts)
+	if err := crashed.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// No Save: the checkpoint stays at 0 and every record remains live.
+	if err := crashed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered := learnWAL(t, dir, 1200, 77)
+	defer recovered.Close()
+	st := recovered.UpdateStats()
+	if st.WAL == nil || st.WAL.Replayed != uint64(len(muts)) {
+		t.Fatalf("WAL stats after recovery = %+v, want %d replayed", st.WAL, len(muts))
+	}
+	if st.WAL.AppliedLSN != st.WAL.LastLSN || st.WAL.LastLSN == 0 {
+		t.Fatalf("watermarks after recovery: %+v", st.WAL)
+	}
+
+	s, data := fixture(1200, 77)
+	ref, err := deepdb.LearnDataset(ctx, s, data,
+		deepdb.WithMaxSamples(8000), deepdb.WithSyncUpdates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyStream(t, ref, muts)
+
+	for i, q := range equivalenceWorkload {
+		a, err := ref.ExecuteQuery(ctx, q)
+		if err != nil {
+			t.Fatalf("query %d ref: %v", i, err)
+		}
+		b, err := recovered.ExecuteQuery(ctx, q)
+		if err != nil {
+			t.Fatalf("query %d recovered: %v", i, err)
+		}
+		if normResult(a) != normResult(b) {
+			t.Fatalf("query %d mismatch\n  ref:       %v\n  recovered: %v", i, a, b)
+		}
+		ea, err := ref.EstimateCardinalityQuery(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := recovered.EstimateCardinalityQuery(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ea != eb {
+			t.Fatalf("estimate %d mismatch: %+v != %+v", i, ea, eb)
+		}
+	}
+}
+
+// TestWALCheckpointSkipsSavedRecords: Save checkpoints the log at the
+// applied watermark; the next open replays only what came after, and a
+// fully-saved log replays nothing.
+func TestWALCheckpointSkipsSavedRecords(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	model := t.TempDir() + "/m.deepdb"
+
+	db := learnWAL(t, dir, 800, 51)
+	for i := 0; i < 10; i++ {
+		if err := db.Insert("orders", map[string]deepdb.Value{
+			"o_id": deepdb.Int(20_000_000 + i), "o_c_id": deepdb.Int(i), "o_amount": deepdb.Float(30),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Save(model); err != nil {
+		t.Fatal(err)
+	}
+	info, err := wal.Inspect(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CheckpointLSN != 10 || info.LastLSN != 10 {
+		t.Fatalf("after Save: checkpoint %d last %d, want 10/10", info.CheckpointLSN, info.LastLSN)
+	}
+	// Five more mutations after the save are the only live records.
+	for i := 0; i < 5; i++ {
+		if err := db.Insert("orders", map[string]deepdb.Value{
+			"o_id": deepdb.Int(21_000_000 + i), "o_c_id": deepdb.Int(i), "o_amount": deepdb.Float(40),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	before, err := db.Query(ctx, "SELECT COUNT(*) FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, data := fixture(800, 51)
+	re, err := deepdb.Open(ctx, model, deepdb.WithDataset(data), deepdb.WithWAL(dir))
+	_ = s
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	st := re.UpdateStats()
+	if st.WAL.Replayed != 5 {
+		t.Fatalf("replayed %d records, want 5 (checkpointed ones must be skipped)", st.WAL.Replayed)
+	}
+	after, err := re.Query(ctx, "SELECT COUNT(*) FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(after.Scalar()-before.Scalar()) > 1e-6 {
+		t.Fatalf("recovered count %v, want %v", after.Scalar(), before.Scalar())
+	}
+	// Saving the recovered DB checkpoints everything; a third open replays
+	// nothing.
+	if err := re.Save(model); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, data3 := fixture(800, 51)
+	re3, err := deepdb.Open(ctx, model, deepdb.WithDataset(data3), deepdb.WithWAL(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re3.Close()
+	if got := re3.UpdateStats().WAL.Replayed; got != 0 {
+		t.Fatalf("fully-saved log replayed %d records, want 0", got)
+	}
+}
+
+// TestWALReplayWithoutTablesFails: a log with live records cannot replay
+// into a model-only open — that must be a clear error, not silent loss.
+func TestWALReplayWithoutTablesFails(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	model := t.TempDir() + "/m.deepdb"
+	db := learnWAL(t, dir, 600, 52)
+	if err := db.Save(model); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("orders", map[string]deepdb.Value{
+		"o_id": deepdb.Int(22_000_000), "o_c_id": deepdb.Int(1), "o_amount": deepdb.Float(10),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := deepdb.Open(ctx, model, deepdb.WithWAL(dir))
+	if err == nil || !strings.Contains(err.Error(), "no base tables") {
+		t.Fatalf("model-only open with live WAL records = %v, want base-tables error", err)
+	}
+}
+
+// TestDriftTriggersBackgroundRelearn: pushing a member past the mutation
+// threshold re-learns it in the background and hot-swaps it into the
+// serving snapshot — queries keep working throughout, the member's
+// staleness resets, and the re-learned model serves the exact
+// post-mutation count.
+func TestDriftTriggersBackgroundRelearn(t *testing.T) {
+	ctx := context.Background()
+	s, data := fixture(600, 41)
+	db, err := deepdb.LearnDataset(ctx, s, data,
+		deepdb.WithMaxSamples(8000), deepdb.WithSingleTableOnly(),
+		deepdb.WithDriftThreshold(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	initial, err := db.Query(ctx, "SELECT COUNT(*) FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := initial.Scalar()
+	const inserts = 300 // >20% of the ~1100-row orders baseline
+	for i := 0; i < inserts; i++ {
+		if err := db.Insert("orders", map[string]deepdb.Value{
+			"o_id": deepdb.Int(23_000_000 + i), "o_c_id": deepdb.Int(i % 100), "o_amount": deepdb.Float(60),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for db.UpdateStats().Relearns == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no background re-learn within deadline: %+v", db.UpdateStats())
+		}
+		if _, err := db.Query(ctx, "SELECT COUNT(*) FROM orders"); err != nil {
+			t.Fatalf("query during re-learn: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := db.UpdateStats()
+	if st.RelearnErrors != 0 {
+		t.Fatalf("re-learn errors: %+v", st)
+	}
+	var ordersStat *deepdb.DriftStat
+	for i := range st.Drift {
+		if len(st.Drift[i].Tables) == 1 && st.Drift[i].Tables[0] == "orders" {
+			ordersStat = &st.Drift[i]
+		}
+	}
+	if ordersStat == nil {
+		t.Fatalf("no drift stat for orders: %+v", st.Drift)
+	}
+	if ordersStat.Relearns != 1 || ordersStat.MutatedFraction > 0.2 {
+		t.Fatalf("orders member not re-baselined: %+v", *ordersStat)
+	}
+	// The hot-swapped member serves the exact post-mutation count (a fresh
+	// single-table model's unfiltered COUNT equals its training row count).
+	res, err := db.Query(ctx, "SELECT COUNT(*) FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Scalar()-(n0+inserts)) > 1e-6 {
+		t.Fatalf("count after re-learn = %v, want %v", res.Scalar(), n0+inserts)
+	}
+}
+
+// TestCloseTimeoutBounded: Close gives up after WithCloseTimeout and
+// reports it; a second Close is a safe no-op.
+func TestCloseTimeoutBounded(t *testing.T) {
+	ctx := context.Background()
+	s, data := fixture(800, 43)
+	// Batch size 1 makes the drain pay one clone+publish per queued
+	// mutation, so a late Close cannot finish within a millisecond.
+	db, err := deepdb.LearnDataset(ctx, s, data,
+		deepdb.WithMaxSamples(1600), deepdb.WithUpdateBatchSize(1),
+		deepdb.WithCloseTimeout(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := db.Insert("orders", map[string]deepdb.Value{
+			"o_id": deepdb.Int(24_000_000 + i), "o_c_id": deepdb.Int(i % 100), "o_amount": deepdb.Float(5),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = db.Close()
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("Close = %v, want drain-timeout error", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+	// The snapshot stays serveable after a timed-out Close.
+	if _, err := db.Query(ctx, "SELECT COUNT(*) FROM orders"); err != nil {
+		t.Fatal(err)
+	}
+}

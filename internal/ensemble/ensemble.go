@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/drift"
 	"repro/internal/parallel"
 	"repro/internal/rspn"
 	"repro/internal/schema"
@@ -117,6 +118,11 @@ type Ensemble struct {
 	// Tables holds the live base tables (with tuple-factor columns),
 	// needed for updates. Not serialized.
 	Tables map[string]*table.Table
+
+	// Drift tracks per-member staleness for background re-learning when
+	// enabled via EnableDrift. Shared by pointer across copy-on-write
+	// clones, like the write index. Not serialized.
+	Drift *drift.Set
 
 	cfg Config
 	rng *rand.Rand

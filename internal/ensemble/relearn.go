@@ -1,0 +1,118 @@
+package ensemble
+
+// relearn.go implements drift-triggered member regeneration: re-learning a
+// single RSPN from the current base tables (with tombstoned rows compacted
+// away) and swapping it into a copy-on-write ensemble clone. The facade
+// drives this from a background goroutine — RelearnMember only reads
+// published immutable state plus a dead-row copy taken under the update
+// lock, so learning runs without blocking readers or (usually) writers.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/drift"
+	"repro/internal/rspn"
+	"repro/internal/table"
+)
+
+// EnableDrift initializes per-member staleness tracking over the attached
+// base tables with one O(cells) scan: every member's baseline is the
+// current table state. Tracked columns are the attribute columns (keys and
+// synthetic tuple-factor columns drift trivially under key-sequential
+// inserts and are excluded). A no-op without attached tables.
+func (e *Ensemble) EnableDrift() {
+	if e.Tables == nil {
+		return
+	}
+	cols := make(map[string][]string, len(e.Tables))
+	for name := range e.Tables {
+		cols[name] = e.attributeColumns(name)
+	}
+	members := make([][]string, len(e.RSPNs))
+	for i, r := range e.RSPNs {
+		members[i] = r.Tables
+	}
+	e.Drift = drift.New(e.Tables, cols, members)
+}
+
+// DeadRows returns a deep copy of the tombstone sets. Deleted rows stay
+// physically present in the base tables, so a re-learn must know which
+// rows to exclude; the copy lets learning proceed against an immutable
+// snapshot while the live sets keep moving. Call under the update lock.
+func (e *Ensemble) DeadRows() map[string]map[int]bool {
+	out := make(map[string]map[int]bool, len(e.idx.dead))
+	for name, d := range e.idx.dead {
+		if len(d) == 0 {
+			continue
+		}
+		cp := make(map[int]bool, len(d))
+		for ri, v := range d {
+			if v {
+				cp[ri] = true
+			}
+		}
+		out[name] = cp
+	}
+	return out
+}
+
+// RelearnMember learns a fresh replacement for member i from the current
+// base tables, compacting tombstoned rows away first (dead is the copy
+// DeadRows returned; re-learning from the raw tables would resurrect every
+// deleted row). The receiver is not mutated — callers swap the result in
+// with SwapMember. Learning is deterministic given the table state
+// (rspn.Learn seeds its own rng from the configured seed), so it can run
+// outside the update lock against a published snapshot.
+func (e *Ensemble) RelearnMember(ctx context.Context, i int, dead map[string]map[int]bool) (*rspn.RSPN, error) {
+	if i < 0 || i >= len(e.RSPNs) {
+		return nil, fmt.Errorf("ensemble: no member %d", i)
+	}
+	if e.Tables == nil {
+		return nil, fmt.Errorf("ensemble: no base tables attached")
+	}
+	r := e.RSPNs[i]
+	// A shallow sub-ensemble pointing at compacted views of the member's
+	// tables; learnSingle/learnJoin only touch Schema, Tables and cfg.
+	sub := &Ensemble{
+		Schema: e.Schema,
+		Tables: make(map[string]*table.Table, len(r.Tables)),
+		cfg:    e.cfg,
+		rng:    rand.New(rand.NewSource(e.cfg.Seed)),
+	}
+	for _, name := range r.Tables {
+		t, ok := e.Tables[name]
+		if !ok {
+			return nil, fmt.Errorf("ensemble: unknown table %s", name)
+		}
+		d := dead[name]
+		if len(d) == 0 {
+			sub.Tables[name] = t
+			continue
+		}
+		live := make([]int, 0, t.NumRows()-len(d))
+		for ri := 0; ri < t.NumRows(); ri++ {
+			if !d[ri] {
+				live = append(live, ri)
+			}
+		}
+		sub.Tables[name] = t.Select(live)
+	}
+	if len(r.Tables) == 1 {
+		return sub.learnSingle(ctx, r.Tables[0])
+	}
+	return sub.learnJoin(ctx, r.Tables)
+}
+
+// SwapMember returns a shallow clone of the ensemble with member i
+// replaced by nr: the RSPN slice is copied, everything else — tables,
+// statistics, dependency maps, the shared write index and drift set — is
+// shared by pointer. Publishing the clone hot-swaps the model under
+// concurrent readers exactly like an update batch publication.
+func (e *Ensemble) SwapMember(i int, nr *rspn.RSPN) *Ensemble {
+	out := *e
+	out.RSPNs = append([]*rspn.RSPN(nil), e.RSPNs...)
+	out.RSPNs[i] = nr
+	return &out
+}

@@ -155,6 +155,7 @@ func (e *Ensemble) CloneForUpdate(muts []Mutation) *Ensemble {
 		AttrRDC:   e.AttrRDC,
 		PairDep:   e.PairDep,
 		BuildTime: e.BuildTime,
+		Drift:     e.Drift,
 		cfg:       e.cfg,
 		rng:       e.rng,
 		idx:       e.idx,
@@ -226,6 +227,9 @@ func (e *Ensemble) insertRow(tableName string, values map[string]table.Value) er
 	newIdx := t.NumRows() - 1
 	e.indexInsert(tableName, newIdx)
 	e.statsRowDelta(tableName, +1)
+	if e.Drift != nil {
+		e.Drift.RecordRow(tableName, t, newIdx, +1)
+	}
 
 	// 2. Bump the tuple factor of every referenced One-side row.
 	var bumps []factorBump
@@ -482,6 +486,11 @@ func (e *Ensemble) deleteRow(tableName string, pk float64) error {
 				return err
 			}
 		}
+	}
+	// Fold the row out of the drift moments while its values are still
+	// addressable, then tombstone it.
+	if e.Drift != nil {
+		e.Drift.RecordRow(tableName, t, rowIdx, -1)
 	}
 	e.indexDelete(tableName, rowIdx)
 	// The base row is only tombstoned, so the live NumRows() no longer

@@ -136,6 +136,15 @@ func (p *Pipeline[T]) Flush(ctx context.Context) error {
 // Close either complete normally or report the pipeline closed. Close is
 // idempotent.
 func (p *Pipeline[T]) Close() error {
+	return p.CloseTimeout(0)
+}
+
+// CloseTimeout is Close with a bound on the drain: if the applier has not
+// finished the remaining queue within d, it reports a timeout error and
+// returns — the applier keeps draining in the background (it owns no
+// resources beyond the goroutine), but the pending queue may not have been
+// applied when CloseTimeout returns. d <= 0 waits without bound.
+func (p *Pipeline[T]) CloseTimeout(d time.Duration) error {
 	p.sendMu.Lock()
 	already := p.closed
 	p.closed = true
@@ -143,8 +152,21 @@ func (p *Pipeline[T]) Close() error {
 		close(p.ch)
 	}
 	p.sendMu.Unlock()
-	p.wg.Wait()
-	return p.takePendingErr()
+	if d <= 0 {
+		p.wg.Wait()
+		return p.takePendingErr()
+	}
+	drained := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return p.takePendingErr()
+	case <-time.After(d):
+		return fmt.Errorf("pipeline: close timed out after %v with the queue not fully drained", d)
+	}
 }
 
 // Stats returns a snapshot of the pipeline counters.

@@ -12,6 +12,10 @@
 #       batch-size sweep, and reader p50/p99 latency idle vs while a
 #       writer streams mutations (the flat-reader-latency claim of
 #       snapshot-isolated serving).
+#   BENCH_wal.json   — durability benches: WAL append throughput per
+#       fsync policy (sync/batched/off), log scan and end-to-end crash
+#       recovery speed, and reader p50/p99 while drift-triggered
+#       re-learning hot-swaps ensemble members under a write stream.
 #
 #   BENCHTIME=500x ./scripts/bench.sh     # override iteration count
 set -eu
@@ -85,3 +89,11 @@ go test -run '^$' -bench 'UpdateApply|ReaderLatency' -benchmem \
     -benchtime "$update_benchtime" . | tee "$tmp"
 parse_bench < "$tmp" > BENCH_update.json
 echo "wrote BENCH_update.json"
+
+# RelearnHotSwapReader iterations are observed hot-swaps (readers sample
+# continuously until b.N swaps complete), so the default benchtime already
+# yields thousands of latency samples.
+go test -run '^$' -bench 'WALAppend|WALScan|WALRecovery|RelearnHotSwapReader' -benchmem \
+    -benchtime "$benchtime" . | tee "$tmp"
+parse_bench < "$tmp" > BENCH_wal.json
+echo "wrote BENCH_wal.json"

@@ -24,6 +24,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== crash-recovery smoke =="
+# The SIGKILL subprocess test is the durability gate: a child is killed
+# mid-stream and recovery must be bit-identical. It runs as part of the
+# suite above too; this dedicated invocation keeps it from being filtered
+# out and reruns it without the cache.
+go test -run 'TestCrashRecoverySIGKILL' -count=1 ./deepdb
+
 echo "== benchmark smoke (1 iteration each) =="
 # The root package includes the update-pipeline benches (UpdateApply*,
 # ReaderLatency*), so the smoke also exercises the async applier.
