@@ -1,0 +1,204 @@
+package main
+
+// unitchecker.go implements the `go vet -vettool` protocol: the go command
+// invokes the tool once per package "unit" with a single JSON config file
+// argument describing the unit's sources and the export-data files of its
+// dependencies. The tool type-checks the unit, runs the analyzers, writes
+// the (empty — these analyzers exchange no facts) .vetx facts file the go
+// command expects, prints diagnostics to stderr and exits nonzero if any.
+//
+// This mirrors golang.org/x/tools/go/analysis/unitchecker, which cannot be
+// imported here (the module is dependency-free by design).
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// vetConfig is the JSON schema of the config file the go command passes to
+// vet tools (cmd/go/internal/work's vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// versionHandshake answers `deepdb-lint -V=full`: the go command hashes the
+// output into the action cache key for vet results, so it must identify
+// this binary's exact build.
+func versionHandshake() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, h.Sum(nil))
+}
+
+// unitcheck analyzes one vet unit and exits.
+func unitcheck(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Fatalf("deepdb-lint: reading vet config: %v", err)
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("deepdb-lint: parsing vet config %s: %v", cfgFile, err)
+	}
+
+	diags, err := analyzeUnit(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		log.Fatalf("deepdb-lint: %s: %v", cfg.ImportPath, err)
+	}
+
+	// The go command requires the facts file to exist even when empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			log.Fatalf("deepdb-lint: writing facts: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// analyzeUnit parses, type-checks and analyzes one unit, returning rendered
+// diagnostics.
+func analyzeUnit(cfg *vetConfig) ([]string, error) {
+	fset := token.NewFileSet()
+	gc := importer.ForCompiler(fset, compilerOf(cfg), func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gc.Import(path)
+	})
+
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parseFile(fset, path)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := load.NewInfo()
+	tconf := types.Config{Importer: imp, GoVersion: strings.TrimSuffix(cfg.GoVersion, " // indirect")}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	// Drop test files: the invariants govern production code only.
+	var prod []*ast.File
+	for _, f := range files {
+		if !load.IsTestFile(fset, f) {
+			prod = append(prod, f)
+		}
+	}
+	if len(prod) == 0 {
+		return nil, nil
+	}
+	dirs := analysis.ParseDirectives(fset, prod)
+
+	var diags []string
+	for _, a := range analyzers {
+		if !a.AppliesTo(cfg.ImportPath) {
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      prod,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			Directives: dirs,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, fmt.Sprintf("%s: %s [%s]", fset.Position(d.Pos), d.Message, a.Name))
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	// diags keep (analyzer, source) order — deterministic without string
+	// sorting, which would order line 10 before line 2.
+	return diags, nil
+}
+
+// parseFile parses one source file with comments (directives live there).
+func parseFile(fset *token.FileSet, path string) (*ast.File, error) {
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return f, nil
+}
+
+func compilerOf(cfg *vetConfig) string {
+	if cfg.Compiler != "" {
+		return cfg.Compiler
+	}
+	return "gc"
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

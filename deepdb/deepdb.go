@@ -434,7 +434,7 @@ func (db *DB) exactOn(ctx context.Context, s *snapshot, q query.Query) (Result, 
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	res, err := exact.New(s.ens.Schema, s.ens.Tables).Execute(q)
+	res, err := exact.New(s.ens.Schema, s.ens.Tables).ExecuteContext(ctx, q)
 	if err != nil {
 		return Result{}, err
 	}

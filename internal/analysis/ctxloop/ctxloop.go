@@ -1,0 +1,133 @@
+// Package ctxloop enforces context propagation (PR 1) on the hot,
+// data-proportional paths of the core libraries: an exported function whose
+// body contains nested loops (loop-in-loop — the shape of row × column,
+// group × branch, leaf × bin traversals) does work proportional to data
+// size and must be cancellable. It must either accept a context.Context
+// (cancellation can then be checked at whatever granularity fits) or carry
+// a reviewed justification that its loops are bounded by metadata, not
+// data:
+//
+//	//deepdb:nocancel <why the loops are small/bounded>
+//
+// placed directly above the declaration (the last doc-comment line works).
+// Single, non-nested loops are deliberately not flagged: linear passes over
+// already-materialized state finish fast, and flagging them would force a
+// context parameter onto every accessor.
+package ctxloop
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: "flags exported functions with nested data loops that neither accept a " +
+		"context.Context nor carry //deepdb:nocancel <reason>",
+	Scope: map[string]bool{
+		"repro/internal/spn":      true,
+		"repro/internal/rspn":     true,
+		"repro/internal/ensemble": true,
+		"repro/internal/core":     true,
+		"repro/internal/exact":    true,
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if !exportedRecv(fn) {
+				continue
+			}
+			if hasCtxParam(pass, fn) || !hasNestedLoop(fn.Body) {
+				continue
+			}
+			if pass.Suppressed(fn.Pos(), "nocancel") {
+				continue
+			}
+			pass.Reportf(fn.Pos(), "exported %s has nested data loops but no way to cancel: accept a context.Context (and check it in the outer loop) or annotate //deepdb:nocancel <reason>", fn.Name.Name)
+		}
+	}
+	return nil
+}
+
+// exportedRecv reports whether the function is reachable from outside the
+// package: a plain function, or a method on an exported type.
+func exportedRecv(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// hasCtxParam reports whether any parameter is a context.Context.
+func hasCtxParam(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	for _, field := range fn.Type.Params.List {
+		if analysis.IsContext(pass.TypesInfo.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasNestedLoop reports whether the body contains a loop lexically inside
+// another loop. Function literals count toward their enclosing function:
+// the work still happens on this call path.
+func hasNestedLoop(body *ast.BlockStmt) bool {
+	found := false
+	depth := 0
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			depth++
+			if depth >= 2 {
+				found = true
+				return false
+			}
+			// Visit children, then restore depth: ast.Inspect has no
+			// post-visit hook per node type, so recurse manually.
+			switch s := n.(type) {
+			case *ast.ForStmt:
+				inspectChildren(s.Body, walk)
+			case *ast.RangeStmt:
+				inspectChildren(s.Body, walk)
+			}
+			depth--
+			return false
+		}
+		return true
+	}
+	inspectChildren(body, walk)
+	return found
+}
+
+func inspectChildren(n ast.Node, walk func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil || m == n {
+			return true
+		}
+		return walk(m)
+	})
+}

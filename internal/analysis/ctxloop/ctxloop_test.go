@@ -1,0 +1,12 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxloop"
+)
+
+func TestCtxloop(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxloop.Analyzer, "repro/internal/spn")
+}

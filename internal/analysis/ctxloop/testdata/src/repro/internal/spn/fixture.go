@@ -1,0 +1,119 @@
+// Package spn is a ctxloop fixture: exported functions with and without
+// nested data loops, context parameters, and nocancel suppressions.
+package spn
+
+import "context"
+
+// NestedNoCtx does data-proportional nested work without a context.
+func NestedNoCtx(rows [][]float64) float64 { // want `exported NestedNoCtx has nested data loops but no way to cancel`
+	sum := 0.0
+	for _, row := range rows {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// NestedWithCtx accepts a context: allowed.
+func NestedWithCtx(ctx context.Context, rows [][]float64) (float64, error) {
+	sum := 0.0
+	for _, row := range rows {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum, nil
+}
+
+// SingleLoop has no nesting: allowed (linear passes finish fast).
+func SingleLoop(vals []float64) float64 {
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}
+
+// NestedInFuncLit hides the inner loop in a function literal; it still
+// runs on this call path and must be counted.
+func NestedInFuncLit(rows [][]float64) float64 { // want `exported NestedInFuncLit has nested data loops but no way to cancel`
+	sum := 0.0
+	for _, row := range rows {
+		func() {
+			for _, v := range row {
+				sum += v
+			}
+		}()
+	}
+	return sum
+}
+
+// Annotated carries a justified nocancel: allowed.
+//
+//deepdb:nocancel fixture loops are bounded by a two-element literal
+func Annotated(rows [][]float64) float64 {
+	sum := 0.0
+	for _, row := range rows {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// unexported nested loops are not flagged: the invariant governs the
+// package's public surface.
+func unexportedNested(rows [][]float64) float64 {
+	sum := 0.0
+	for _, row := range rows {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// hidden is an unexported receiver type: its exported methods are not
+// reachable from outside the package, so they are not flagged.
+type hidden struct{ rows [][]float64 }
+
+// Sum is exported on an unexported type: allowed.
+func (h *hidden) Sum() float64 {
+	sum := 0.0
+	for _, row := range h.rows {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Public is an exported receiver type.
+type Public struct{ rows [][]float64 }
+
+// Sum on an exported type with nested loops and no ctx: flagged.
+func (p *Public) Sum() float64 { // want `exported Sum has nested data loops but no way to cancel`
+	sum := 0.0
+	for _, row := range p.rows {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// SequentialLoops are not nested: allowed.
+func SequentialLoops(a, b []float64) float64 {
+	sum := 0.0
+	for _, v := range a {
+		sum += v
+	}
+	for _, v := range b {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,218 @@
+// Package detmap flags `for … range` over maps in determinism-critical
+// packages. PR 1 traced run-to-run model divergence to floating-point sums
+// accumulated in Go's randomized map iteration order; learned models are
+// only trustworthy if their bytes are reproducible, so any map iteration on
+// a path that can reach model or estimate bytes must either sort its keys
+// first or carry a reviewed justification.
+//
+// Allowed without annotation is exactly the canonical sorted-iteration
+// idiom: a range whose body only collects the keys into a slice that is
+// later (in the same function) passed to a sort.* / slices.Sort* call.
+// Every other map range needs
+//
+//	//deepdb:orderinvariant <why iteration order cannot reach any output>
+//
+// on the range line or the line above.
+package detmap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc: "flags map iteration in determinism-critical packages unless the keys " +
+		"are sorted first or the site carries //deepdb:orderinvariant <reason>",
+	Scope: map[string]bool{
+		"repro/internal/spn":      true,
+		"repro/internal/rspn":     true,
+		"repro/internal/ensemble": true,
+		"repro/internal/core":     true,
+		"repro/internal/drift":    true,
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFunc(pass, fn.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc examines every map range lexically inside body (including ones
+// in nested function literals: the sorted-keys idiom search stays within
+// the innermost body that contains both the loop and the sort call — body
+// is the widest scope we search).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if pass.Suppressed(rs.For, "orderinvariant") {
+			return true
+		}
+		if sortedKeysIdiom(pass, rs, body) {
+			return true
+		}
+		pass.Reportf(rs.For, "range over map %s has nondeterministic order in a determinism-critical package; sort the keys first or annotate //deepdb:orderinvariant <reason>", render(rs.X))
+		return true
+	})
+}
+
+// sortedKeysIdiom reports whether rs is the key-collection half of the
+// sorted-iteration idiom:
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys) // or sort.Ints/Float64s/Slice/SliceStable, slices.Sort*
+//
+// with the sort call appearing after the loop in the same enclosing body.
+func sortedKeysIdiom(pass *analysis.Pass, rs *ast.RangeStmt, scope *ast.BlockStmt) bool {
+	// The value variable must be unused (blank or absent): a body that sees
+	// values can do order-dependent work the idiom check cannot vet.
+	if rs.Value != nil {
+		if id, ok := rs.Value.(*ast.Ident); !ok || id.Name != "_" {
+			return false
+		}
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	keyObj := pass.TypesInfo.Defs[key]
+	if keyObj == nil {
+		keyObj = pass.TypesInfo.Uses[key]
+	}
+	if keyObj == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	// Body must be exactly `s = append(s, k)`.
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dstRoot, dstPath, ok := pathOf(pass, as.Lhs[0])
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	if root, path, ok := pathOf(pass, call.Args[0]); !ok || root != dstRoot || path != dstPath {
+		return false
+	}
+	arg1, ok := call.Args[1].(*ast.Ident)
+	if !ok || pass.TypesInfo.ObjectOf(arg1) != keyObj {
+		return false
+	}
+	// A sort of the collected slice must follow the loop.
+	sorted := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		if root, path, ok := pathOf(pass, call.Args[0]); ok && root == dstRoot && path == dstPath {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}
+
+// pathOf resolves an identifier or a field-selector chain rooted in an
+// identifier (x, x.F, x.F.G) to its root object and rendered path, so the
+// idiom check can match destinations like `l.Vals` as well as plain
+// locals. Chains through calls or indexing are rejected: re-evaluating
+// them may not denote the same slice.
+func pathOf(pass *analysis.Pass, e ast.Expr) (types.Object, string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.ObjectOf(e)
+		if obj == nil {
+			return nil, "", false
+		}
+		return obj, e.Name, true
+	case *ast.SelectorExpr:
+		root, path, ok := pathOf(pass, e.X)
+		if !ok {
+			return nil, "", false
+		}
+		return root, path + "." + e.Sel.Name, true
+	}
+	return nil, "", false
+}
+
+// isSortCall matches sort.Strings/Ints/Float64s/Slice/SliceStable and
+// slices.Sort/SortFunc/SortStableFunc.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.ObjectOf(pkgID).(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pn.Imported().Path() {
+	case "sort":
+		switch sel.Sel.Name {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable":
+			return true
+		}
+	case "slices":
+		switch sel.Sel.Name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// render prints a short source form of the ranged expression for the
+// diagnostic (identifier chains only; anything else becomes "expression").
+func render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return render(e.Fun) + "(…)"
+	case *ast.IndexExpr:
+		return render(e.X) + "[…]"
+	}
+	return "expression"
+}

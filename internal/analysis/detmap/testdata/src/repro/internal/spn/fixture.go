@@ -1,0 +1,103 @@
+// Package spn is a detmap fixture: map ranges in a determinism-critical
+// package, in every shape the analyzer must flag, allow, or honor a
+// suppression for.
+package spn
+
+import (
+	"sort"
+)
+
+// FloatSumBug is the PR 1 bug shape: a float sum accumulated in map
+// iteration order. Addition is not associative in floating point, so the
+// result differs run to run.
+func FloatSumBug(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want `range over map m has nondeterministic order`
+		sum += v
+	}
+	return sum
+}
+
+// KeyedOutput appends keys without sorting: output order is random.
+func KeyedOutput(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map m has nondeterministic order`
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// SortedIdiom is the canonical collect-then-sort loop: allowed.
+func SortedIdiom(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// holder exercises the selector-destination variant of the idiom.
+type holder struct {
+	Vals []float64
+}
+
+// SortedSelectorIdiom collects into a struct field and sorts it: allowed.
+func SortedSelectorIdiom(m map[float64]int) holder {
+	var h holder
+	for v := range m {
+		h.Vals = append(h.Vals, v)
+	}
+	sort.Float64s(h.Vals)
+	return h
+}
+
+// SortedOtherSlice sorts a different slice than the one collected into;
+// the idiom must not match.
+func SortedOtherSlice(m map[string]int) []string {
+	var keys, other []string
+	for k := range m { // want `range over map m has nondeterministic order`
+		keys = append(keys, k)
+	}
+	sort.Strings(other)
+	return keys
+}
+
+// NeverSorted collects keys but never sorts them.
+func NeverSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map m has nondeterministic order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Suppressed carries a justified directive: allowed.
+func Suppressed(m map[string]int) int {
+	n := 0
+	//deepdb:orderinvariant counting map entries is order-free
+	for range m {
+		n++
+	}
+	return n
+}
+
+// BareDirective is a directive without a justification: it does not
+// suppress (the directive analyzer flags the comment itself separately).
+func BareDirective(m map[string]int) int {
+	n := 0
+	//deepdb:orderinvariant
+	for range m { // want `range over map m has nondeterministic order`
+		n++
+	}
+	return n
+}
+
+// SliceRange ranges over a slice: never flagged.
+func SliceRange(s []int) int {
+	n := 0
+	for _, v := range s {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,44 @@
+// Package directive validates the //deepdb: suppression-comment grammar
+// itself: every directive must use a known name and carry a non-empty
+// justification. A malformed directive does not suppress anything, so
+// without this check a typo ("//deepdb:orderinvarient") would silently turn
+// into an unsuppressed finding far from the typo — or worse, a bare
+// directive would look like a suppression while the reviewed justification
+// the grammar demands is missing.
+package directive
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "directive",
+	Doc: "validates //deepdb:<name> <justification> suppression comments: " +
+		"known name, non-empty justification",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, d := range pass.Directives.All() {
+		if !analysis.DirectiveNames[d.Name] {
+			pass.Reportf(d.Pos, "unknown directive //deepdb:%s (valid: %s)", d.Name, validNames())
+			continue
+		}
+		if d.Justification == "" {
+			pass.Reportf(d.Pos, "//deepdb:%s needs a justification: //deepdb:%s <why this is safe>", d.Name, d.Name)
+		}
+	}
+	return nil
+}
+
+func validNames() string {
+	names := make([]string, 0, len(analysis.DirectiveNames))
+	for n := range analysis.DirectiveNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,12 @@
+package directive_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/directive"
+)
+
+func TestDirective(t *testing.T) {
+	analysistest.Run(t, "testdata", directive.Analyzer, "repro/internal/core")
+}

@@ -1,0 +1,90 @@
+// Package driver runs a set of analyzers over loaded packages and collects
+// their findings — the engine behind both cmd/deepdb-lint invocation modes.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// A Finding is one diagnostic, resolved to a printable position.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run analyzes every package with every in-scope analyzer and returns the
+// findings sorted by position. Analyzer errors (not findings) are returned
+// as err.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		var files []*ast.File
+		for _, f := range pkg.Files {
+			if !load.IsTestFile(pkg.Fset, f) {
+				files = append(files, f)
+			}
+		}
+		if len(files) == 0 {
+			continue
+		}
+		dirs := analysis.ParseDirectives(pkg.Fset, files)
+		for _, a := range analyzers {
+			if !a.AppliesTo(pkg.ImportPath) {
+				continue
+			}
+			pass := &analysis.Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.Info,
+				Directives: dirs,
+				Report: func(d analysis.Diagnostic) {
+					pos := pkg.Fset.Position(d.Pos)
+					out = append(out, Finding{
+						Analyzer: a.Name,
+						Pos:      pos,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  d.Message,
+					})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,12 @@
+package snapdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/snapdiscipline"
+)
+
+func TestSnapdiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", snapdiscipline.Analyzer, "repro/deepdb")
+}

@@ -1,0 +1,97 @@
+// Package deepdb is a walorder fixture: WAL append / pipeline enqueue
+// orderings in every shape the analyzer must flag, allow, or honor a
+// suppression for. It imports the real wal and pipeline packages so the
+// receiver types match production exactly.
+package deepdb
+
+import (
+	"sync"
+
+	"repro/internal/pipeline"
+	"repro/internal/wal"
+)
+
+type mutation struct{ n int }
+
+// DB mirrors the facade's relevant fields.
+type DB struct {
+	walMu sync.Mutex
+	wal   *wal.Log
+	pipe  *pipeline.Pipeline[mutation]
+}
+
+// GoodOrdered is the production pattern: append under walMu, then enqueue
+// in the same critical section.
+func (db *DB) GoodOrdered(payload []byte, m mutation) error {
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	if _, err := db.wal.Append(payload); err != nil {
+		return err
+	}
+	return db.pipe.Enqueue(m)
+}
+
+// GoodNoWAL enqueues on the wal == nil fast path: no ordering needed.
+func (db *DB) GoodNoWAL(m mutation) error {
+	if db.wal == nil {
+		return db.pipe.Enqueue(m)
+	}
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	if _, err := db.wal.Append(nil); err != nil {
+		return err
+	}
+	return db.pipe.Enqueue(m)
+}
+
+// BadAppendUnlocked appends outside the critical section.
+func (db *DB) BadAppendUnlocked(payload []byte) error {
+	_, err := db.wal.Append(payload) // want `WAL append outside the walMu critical section`
+	return err
+}
+
+// BadEnqueueFirst enqueues before anything was appended under the lock.
+func (db *DB) BadEnqueueFirst(payload []byte, m mutation) error {
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	if err := db.pipe.Enqueue(m); err != nil { // want `pipeline enqueue not dominated by a WAL append`
+		return err
+	}
+	_, err := db.wal.Append(payload)
+	return err
+}
+
+// BadEnqueueNoLock enqueues with no lock and no nil check at all.
+func (db *DB) BadEnqueueNoLock(m mutation) error {
+	return db.pipe.Enqueue(m) // want `pipeline enqueue not dominated by a WAL append`
+}
+
+// BadUnlockBetween releases walMu between append and enqueue: another
+// writer can interleave, so the append no longer dominates.
+func (db *DB) BadUnlockBetween(payload []byte, m mutation) error {
+	db.walMu.Lock()
+	if _, err := db.wal.Append(payload); err != nil {
+		db.walMu.Unlock()
+		return err
+	}
+	db.walMu.Unlock()
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
+	return db.pipe.Enqueue(m) // want `pipeline enqueue not dominated by a WAL append`
+}
+
+// SuppressedReplay is the reviewed recovery exception: replay enqueues
+// directly because the WAL is the source, not the destination.
+func (db *DB) SuppressedReplay(m mutation) error {
+	//deepdb:walordered recovery replays from the log itself; ordering is the log order
+	return db.pipe.Enqueue(m)
+}
+
+// GoodNonNilBranch shows the complementary nil refinement: inside the
+// != nil branch an unordered enqueue is still flagged.
+func (db *DB) GoodNonNilBranch(m mutation) error {
+	if db.wal != nil {
+		return db.pipe.Enqueue(m) // want `pipeline enqueue not dominated by a WAL append`
+	}
+	return db.pipe.Enqueue(m)
+}

@@ -1,0 +1,12 @@
+package walorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/walorder"
+)
+
+func TestWalorder(t *testing.T) {
+	analysistest.Run(t, "testdata", walorder.Analyzer, "repro/deepdb")
+}

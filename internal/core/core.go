@@ -113,6 +113,7 @@ func (e *Engine) columnValues(col string) ([]float64, error) {
 				for v := range fd.Inverse {
 					out = append(out, v)
 				}
+				sort.Float64s(out)
 				return out, nil
 			}
 		}

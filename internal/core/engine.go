@@ -372,8 +372,10 @@ func (e *Engine) connectedCovered(tables []string, r *rspn.RSPN) []string {
 	}
 	var bestComp []string
 	seen := map[string]bool{}
-	for t := range covered {
-		if seen[t] {
+	// Seed components from the caller's table order, not map order: on a
+	// size tie between components, the first seeded wins.
+	for _, t := range tables {
+		if !covered[t] || seen[t] {
 			continue
 		}
 		comp := []string{t}

@@ -345,6 +345,7 @@ func (e *Engine) compileT1(r *rspn.RSPN, tables, outer []string, extraFns map[st
 	for _, c := range r.InverseFactorColumns(tables) {
 		fns[c] = spn.FnInv
 	}
+	//deepdb:orderinvariant map-to-map copy; the result is independent of visit order
 	for c, fn := range extraFns {
 		fns[c] = fn
 	}

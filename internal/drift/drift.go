@@ -22,6 +22,7 @@ package drift
 
 import (
 	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/table"
@@ -84,6 +85,7 @@ func New(tables map[string]*table.Table, cols map[string][]string, memberTables 
 		cur:  make(map[string]map[string]moments, len(cols)),
 		rows: make(map[string]float64, len(cols)),
 	}
+	//deepdb:orderinvariant builds independent per-table map entries; no cross-iteration state
 	for name, colNames := range cols {
 		t := tables[name]
 		if t == nil {
@@ -127,6 +129,7 @@ func (s *Set) rebaseLocked(i int) {
 	for _, tn := range m.tables {
 		m.baseRows += s.rows[tn]
 		cm := make(map[string]moments, len(s.cur[tn]))
+		//deepdb:orderinvariant map-to-map copy; the result is independent of visit order
 		for cn, mo := range s.cur[tn] {
 			cm[cn] = mo
 		}
@@ -200,7 +203,15 @@ func (s *Set) scoreLocked(i int) Score {
 	sc := Score{Tables: m.tables, Mutated: m.mutated, Relearns: m.relearns}
 	sc.MutatedFraction = float64(m.mutated) / math.Max(m.baseRows, 1)
 	for _, tn := range m.tables {
-		for cn, base := range m.base[tn] {
+		// Sorted column order so a tie on MaxShift reports the same
+		// ShiftColumn on every run.
+		cols := make([]string, 0, len(m.base[tn]))
+		for cn := range m.base[tn] {
+			cols = append(cols, cn)
+		}
+		sort.Strings(cols)
+		for _, cn := range cols {
+			base := m.base[tn][cn]
 			if base.count < 2 {
 				continue
 			}

@@ -480,6 +480,7 @@ func (e *Ensemble) captureStats() {
 		return
 	}
 	e.Stats = make(map[string]TableStats, len(e.Tables))
+	//deepdb:orderinvariant builds independent per-table map entries; no cross-iteration state
 	for name, t := range e.Tables {
 		e.Stats[name] = TableStats{
 			Rows:    float64(t.NumRows()),
@@ -504,14 +505,39 @@ func captureDicts(t *table.Table) map[string][]string {
 	return out
 }
 
+// tableNames returns the attached table names in sorted order, so lookups
+// that pick "the first table owning a column" are deterministic.
+func (e *Ensemble) tableNames() []string {
+	names := make([]string, 0, len(e.Tables))
+	for n := range e.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// statNames returns the persisted stats table names in sorted order.
+func (e *Ensemble) statNames() []string {
+	names := make([]string, 0, len(e.Stats))
+	for n := range e.Stats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // ResolveLabel maps a string literal on a column to its dictionary code —
 // through the live base table when attached, through the persisted
 // dictionaries otherwise. known reports whether any table owns the column;
-// found whether the literal exists in its dictionary.
+// found whether the literal exists in its dictionary. Tables are consulted
+// in sorted name order, so when several own the column the answer is
+// stable across runs.
+//
+//deepdb:nocancel scans one categorical dictionary per lookup, bounded by the distinct labels of a single column
 func (e *Ensemble) ResolveLabel(column, literal string) (code float64, found, known bool) {
 	if e.Tables != nil {
-		for _, t := range e.Tables {
-			c := t.Column(column)
+		for _, name := range e.tableNames() {
+			c := e.Tables[name].Column(column)
 			if c == nil {
 				continue
 			}
@@ -522,7 +548,8 @@ func (e *Ensemble) ResolveLabel(column, literal string) (code float64, found, kn
 		}
 		return 0, false, false
 	}
-	for _, st := range e.Stats {
+	for _, name := range e.statNames() {
+		st := e.Stats[name]
 		if !st.HasColumn(column) {
 			continue
 		}
@@ -542,15 +569,15 @@ func (e *Ensemble) ResolveLabel(column, literal string) (code float64, found, kn
 // the code is out of range.
 func (e *Ensemble) DecodeLabel(column string, code int) string {
 	if e.Tables != nil {
-		for _, t := range e.Tables {
-			if c := t.Column(column); c != nil && c.DictSize() > 0 {
+		for _, name := range e.tableNames() {
+			if c := e.Tables[name].Column(column); c != nil && c.DictSize() > 0 {
 				return c.Decode(code)
 			}
 		}
 		return ""
 	}
-	for _, st := range e.Stats {
-		if dict := st.Dicts[column]; len(dict) > 0 {
+	for _, name := range e.statNames() {
+		if dict := e.Stats[name].Dicts[column]; len(dict) > 0 {
 			if code < 0 || code >= len(dict) {
 				return ""
 			}

@@ -75,6 +75,7 @@ func (e *Ensemble) persistStats() map[string]TableStats {
 		return e.Stats
 	}
 	out := make(map[string]TableStats, len(e.Stats))
+	//deepdb:orderinvariant map-to-map copy with per-key rewrites; independent of visit order
 	for name, st := range e.Stats {
 		if t := e.Tables[name]; t != nil {
 			st.Dicts = captureDicts(t)

@@ -27,6 +27,7 @@ func (e *Ensemble) EnableDrift() {
 		return
 	}
 	cols := make(map[string][]string, len(e.Tables))
+	//deepdb:orderinvariant builds independent per-table map entries; no cross-iteration state
 	for name := range e.Tables {
 		cols[name] = e.attributeColumns(name)
 	}
@@ -41,13 +42,17 @@ func (e *Ensemble) EnableDrift() {
 // physically present in the base tables, so a re-learn must know which
 // rows to exclude; the copy lets learning proceed against an immutable
 // snapshot while the live sets keep moving. Call under the update lock.
+//
+//deepdb:nocancel runs under the update lock and must complete atomically; the work is one flat map copy
 func (e *Ensemble) DeadRows() map[string]map[int]bool {
 	out := make(map[string]map[int]bool, len(e.idx.dead))
+	//deepdb:orderinvariant map deep copy; the result is independent of visit order
 	for name, d := range e.idx.dead {
 		if len(d) == 0 {
 			continue
 		}
 		cp := make(map[int]bool, len(d))
+		//deepdb:orderinvariant map deep copy; the result is independent of visit order
 		for ri, v := range d {
 			if v {
 				cp[ri] = true

@@ -56,6 +56,8 @@ func (e *Ensemble) Delete(tableName string, pk float64) error {
 // factors the target's foreign keys bump. Tables the batch merely reads
 // (One-ward join partners beyond one FK hop) are not included — applying
 // the batch never writes them.
+//
+//deepdb:nocancel bounded by one mutation batch times the schema FK count; touches no row data
 func (e *Ensemble) TouchedTables(muts []Mutation) map[string]bool {
 	out := targetTables(muts)
 	for i := range muts {
@@ -162,12 +164,14 @@ func (e *Ensemble) CloneForUpdate(muts []Mutation) *Ensemble {
 	}
 	if e.Stats != nil {
 		out.Stats = make(map[string]TableStats, len(e.Stats))
+		//deepdb:orderinvariant map-to-map copy; the result is independent of visit order
 		for name, st := range e.Stats {
 			out.Stats[name] = st
 		}
 	}
 	if e.Tables != nil {
 		out.Tables = make(map[string]*table.Table, len(e.Tables))
+		//deepdb:orderinvariant per-key clone-or-share decision; independent of visit order
 		for name, t := range e.Tables {
 			if touched[name] {
 				out.Tables[name] = t.CloneData()
@@ -194,10 +198,12 @@ func (e *Ensemble) CloneForUpdate(muts []Mutation) *Ensemble {
 func (e *Ensemble) CloneForStaleness() *Ensemble {
 	out := *e
 	out.AttrRDC = make(map[string]float64, len(e.AttrRDC))
+	//deepdb:orderinvariant map-to-map copy; the result is independent of visit order
 	for k, v := range e.AttrRDC {
 		out.AttrRDC[k] = v
 	}
 	out.PairDep = make(map[string]float64, len(e.PairDep))
+	//deepdb:orderinvariant map-to-map copy; the result is independent of visit order
 	for k, v := range e.PairDep {
 		out.PairDep[k] = v
 	}
@@ -389,9 +395,15 @@ func (e *Ensemble) modelRow(r *rspn.RSPN, present map[string]int) ([]float64, er
 	return vec, nil
 }
 
-// findOwner locates which present table owns the named column.
+// findOwner locates which present table owns the named column. Tables are
+// consulted in the RSPN's declared order so a column owned by several
+// present tables resolves the same way on every run.
 func (e *Ensemble) findOwner(r *rspn.RSPN, colName string, present map[string]int) (string, int, bool) {
-	for tn, rowIdx := range present {
+	for _, tn := range r.Tables {
+		rowIdx, ok := present[tn]
+		if !ok {
+			continue
+		}
 		if e.Tables[tn].Column(colName) != nil {
 			return tn, rowIdx, true
 		}
@@ -599,6 +611,8 @@ type StalenessReport struct {
 // CheckStaleness recomputes the pairwise dependency values on the current
 // base tables and flags RSPNs whose construction decision would change —
 // the trigger the paper uses to schedule background regeneration.
+//
+//deepdb:nocancel the pair loop is schema-bounded and each RDC runs on a fixed-K sample, not the full tables
 func (e *Ensemble) CheckStaleness() (StalenessReport, error) {
 	rdcCfg := stats.RDCConfig{K: 10, Scale: 1.0 / 6.0, Seed: e.cfg.Seed}
 	rep := StalenessReport{Stale: map[int]string{}}

@@ -5,6 +5,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -111,6 +112,12 @@ func (e *Engine) Materialize(tables []string) (*table.Table, error) {
 // from that predicate/aggregate; group-by treats NULL as its own group key
 // (encoded as a sentinel).
 func (e *Engine) Execute(q query.Query) (query.Result, error) {
+	return e.ExecuteContext(context.Background(), q)
+}
+
+// ExecuteContext is Execute with cancellation: the row scans honor ctx, so
+// a caller serving an RPC can abandon an expensive oracle query.
+func (e *Engine) ExecuteContext(ctx context.Context, q query.Query) (query.Result, error) {
 	if err := q.Validate(); err != nil {
 		return query.Result{}, err
 	}
@@ -118,7 +125,7 @@ func (e *Engine) Execute(q query.Query) (query.Result, error) {
 	if err != nil {
 		return query.Result{}, err
 	}
-	rows, err := FilterRows(j, q.Filters)
+	rows, err := FilterRowsContext(ctx, j, q.Filters)
 	if err != nil {
 		return query.Result{}, err
 	}
@@ -146,7 +153,12 @@ func (e *Engine) Execute(q query.Query) (query.Result, error) {
 	}
 	groups := make(map[string][]int)
 	keys := make(map[string][]float64)
-	for _, r := range rows {
+	for i, r := range rows {
+		if i%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return query.Result{}, err
+			}
+		}
 		key := make([]float64, len(keyCols))
 		skip := false
 		for i, c := range keyCols {
@@ -190,6 +202,12 @@ func sortGroups(gs []query.Group) {
 // FilterRows returns the indices of rows satisfying every predicate. A NULL
 // cell fails any comparison (SQL three-valued logic).
 func FilterRows(t *table.Table, preds []query.Predicate) ([]int, error) {
+	return FilterRowsContext(context.Background(), t, preds)
+}
+
+// FilterRowsContext is FilterRows with cancellation, checked every few
+// thousand rows so the scan stays tight.
+func FilterRowsContext(ctx context.Context, t *table.Table, preds []query.Predicate) ([]int, error) {
 	cols := make([]*table.Column, len(preds))
 	for i, p := range preds {
 		c := t.Column(p.Column)
@@ -200,6 +218,11 @@ func FilterRows(t *table.Table, preds []query.Predicate) ([]int, error) {
 	}
 	var rows []int
 	for r := 0; r < t.NumRows(); r++ {
+		if r%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		ok := true
 		for i, p := range preds {
 			if cols[i].Nul[r] || !p.Matches(cols[i].Data[r]) {

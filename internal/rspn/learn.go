@@ -36,6 +36,8 @@ func DefaultLearnOptions() LearnOptions {
 // should learn: every attribute except primary/foreign keys and
 // FD-dependent columns, plus all tuple-factor and indicator columns. The
 // exclusion sets are derived from the schema.
+//
+//deepdb:nocancel iterates schema metadata and column names only, never row data
 func LearnColumns(s *schema.Schema, tbl *table.Table, tables []string, fds []FD) []string {
 	exclude := make(map[string]bool)
 	for _, tn := range tables {

@@ -277,6 +277,7 @@ func (r *RSPN) buildConstraints(term Term) ([]spn.ColQuery, error) {
 		}
 	}
 	// Moment functions.
+	//deepdb:orderinvariant each column writes its own state slot; duplicate assignment is an error either way
 	for col, fn := range term.Fns {
 		idx := r.Model.ColumnIndex(col)
 		if idx < 0 {
@@ -324,6 +325,7 @@ func (r *RSPN) translateFD(p query.Predicate) (query.Predicate, error) {
 		// Collect determinant values whose dependent value satisfies p, in
 		// sorted order so downstream float summation is deterministic.
 		var allowed []float64
+		//deepdb:orderinvariant allowed is fully sorted below before use
 		for depVal, dets := range fd.Inverse {
 			if p.Matches(depVal) {
 				allowed = append(allowed, dets...)
@@ -369,6 +371,8 @@ func PredicateRanges(p query.Predicate) []spn.Range {
 
 // IntersectRanges intersects two unions of ranges, returning the (possibly
 // empty) union of pairwise intersections.
+//
+//deepdb:nocancel range unions are predicate-sized (a handful per column), not data-sized
 func IntersectRanges(a, b []spn.Range) []spn.Range {
 	var out []spn.Range
 	for _, ra := range a {

@@ -91,6 +91,7 @@ func (r *RSPN) CompileTerm(term Term) (*TermTemplate, error) {
 		}
 		slotOf(idx).indicator = true
 	}
+	//deepdb:orderinvariant each column writes its own state slot; duplicate assignment is an error either way
 	for col, fn := range term.Fns {
 		idx := r.Model.ColumnIndex(col)
 		if idx < 0 {
@@ -125,6 +126,8 @@ func (t *TermTemplate) BindRequest(filters []query.Predicate) (req spn.Request, 
 // term keeps only a subset of the query's predicates stores the kept
 // ordinals once at compile time and binds against the full predicate list
 // directly, instead of materializing the filtered copy per evaluation.
+//
+//deepdb:nocancel slot loops are column-count bounded; this per-evaluation hot path is cheaper than a ctx check
 func (t *TermTemplate) BindIndexed(filters []query.Predicate, idx []int) (req spn.Request, ok bool, err error) {
 	if idx == nil {
 		if len(filters) != len(t.cols) {

@@ -199,6 +199,8 @@ func maskIntersects(a, b []uint64) bool {
 // zero-weight sum child — are skipped wholesale), and one bottom-up sweep
 // computing all requests' values per active node. Per-request skipping at
 // product nodes mirrors the tree walk's scopeTouches check exactly.
+//
+//deepdb:nocancel tight compiled kernel over one bounded batch; cancellation belongs between batches at the caller
 func (c *Compiled) EvaluateBatch(reqs []Request, out []float64) error {
 	nb := len(reqs)
 	if nb == 0 {

@@ -1,0 +1,56 @@
+package spn
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// Map iteration order is randomized per run, so these tests repeat each
+// operation many times within one process: before the sorting fixes the
+// results below differed between iterations with high probability.
+
+// TestLeafValuesDeterministic pins the fix for MPE candidate ordering:
+// LeafValues collects a distinct-value union in a map, and its result is
+// consumed as the candidate list for classification argmax, where a
+// probability tie breaks toward the earlier candidate. The union must
+// come back sorted — identical bytes on every call.
+func TestLeafValuesDeterministic(t *testing.T) {
+	data := [][]float64{
+		{5, 1}, {3, 1}, {9, 2}, {1, 2}, {7, 3},
+		{2, 3}, {8, 4}, {4, 4}, {6, 5}, {0, 5},
+	}
+	s, err := LearnExact(data, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.LeafValues(0)
+	if !sort.Float64sAreSorted(first) {
+		t.Fatalf("LeafValues not sorted: %v", first)
+	}
+	if len(first) != 10 {
+		t.Fatalf("LeafValues = %v, want 10 distinct values", first)
+	}
+	for i := 0; i < 50; i++ {
+		if got := s.LeafValues(0); !reflect.DeepEqual(got, first) {
+			t.Fatalf("LeafValues unstable: run %d got %v, first run %v", i, got, first)
+		}
+	}
+}
+
+// TestSubtreeTopValueTieDeterministic pins the cluster-exploration argmax:
+// with two equally frequent values the reported top value must be the
+// smaller one on every call, not whichever the probability map yields
+// first.
+func TestSubtreeTopValueTieDeterministic(t *testing.T) {
+	s, err := LearnExact([][]float64{{4, 0}, {2, 0}}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		v, share := subtreeTopValue(s.Root, 0)
+		if v != 2 {
+			t.Fatalf("run %d: top value = %v (share %v), want the smaller tied value 2", i, v, share)
+		}
+	}
+}

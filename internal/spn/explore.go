@@ -39,6 +39,8 @@ type ColumnSummary struct {
 // Clusters summarizes the SPN's top-level row clusters, ordered by weight.
 // A model whose root is not a sum node (no row split found) yields a
 // single cluster covering everything.
+//
+//deepdb:nocancel walks the learned model structure, whose node count learning caps; no row data touched
 func (s *SPN) Clusters() []ClusterSummary {
 	globalMean := make([]float64, len(s.Columns))
 	globalStd := make([]float64, len(s.Columns))
@@ -206,9 +208,17 @@ func subtreeTopValue(n *Node, col int) (value, share float64) {
 		}
 	}
 	walk(n, 1)
+	// Scan candidates in ascending value order so a probability tie always
+	// resolves to the smallest value instead of whichever the map yields
+	// first.
+	vals := make([]float64, 0, len(probs))
+	for v := range probs {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
 	best, bestP := 0.0, 0.0
-	for v, p := range probs {
-		if p > bestP {
+	for _, v := range vals {
+		if p := probs[v]; p > bestP {
 			best, bestP = v, p
 		}
 	}

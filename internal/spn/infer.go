@@ -3,6 +3,7 @@ package spn
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Request is a full inference request: the expectation of a product of
@@ -132,7 +133,10 @@ func (s *SPN) MostProbableValue(target int, candidates []float64, evidence []Col
 }
 
 // LeafValues returns the union of distinct values stored in all leaves of
-// the given column, used as MPE candidates for classification.
+// the given column, in ascending order, used as MPE candidates for
+// classification. The order matters: MPE argmax ties break toward the
+// first candidate, so an unsorted union would make predictions vary
+// run to run.
 func (s *SPN) LeafValues(col int) []float64 {
 	seen := map[float64]bool{}
 	var walk func(n *Node)
@@ -154,5 +158,6 @@ func (s *SPN) LeafValues(col int) []float64 {
 	for v := range seen {
 		out = append(out, v)
 	}
+	sort.Float64s(out)
 	return out
 }

@@ -144,6 +144,8 @@ func LearnContext(ctx context.Context, data [][]float64, columns []string, cfg L
 // model represents the empirical joint distribution exactly, which is what
 // the paper's worked examples (Figures 3-5) assume. It is intended for
 // small tables; the node count grows linearly with distinct rows.
+//
+//deepdb:nocancel documented for small worked-example tables; loops are linear in a deliberately small input
 func LearnExact(data [][]float64, columns []string) (*SPN, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("spn: no training rows")
@@ -366,6 +368,7 @@ func (l *learner) independentComponents(rows []int, scope []int) [][]int {
 		groups[root] = append(groups[root], scope[i])
 	}
 	comps := make([][]int, 0, len(groups))
+	//deepdb:orderinvariant comps is fully re-sorted below; groups partition scope so first elements are unique sort keys
 	for _, g := range groups {
 		sort.Ints(g)
 		comps = append(comps, g)

@@ -153,6 +153,8 @@ func (n *Node) NumLeaves() int {
 // Validate checks SPN structural invariants: sum children share the
 // parent's scope, product children partition it, leaves have singleton
 // scope matching their Leaf column.
+//
+//deepdb:nocancel structural check over the learned model, sized by node count rather than rows
 func (n *Node) Validate() error {
 	switch n.Kind {
 	case LeafKind:

@@ -1,11 +1,18 @@
 #!/bin/sh
 # check.sh — the repo's full verification gate: formatting, vet, build,
-# the test suite under the race detector, and a one-iteration benchmark
-# smoke (catches bit-rot in the bench suite without timing anything).
-# CI and `make check` run this.
+# the project invariant suite (deepdb-lint), pinned third-party static
+# analysis, the test suite under the race detector (shuffled), and a
+# one-iteration benchmark smoke (catches bit-rot in the bench suite
+# without timing anything). CI and `make check` run this.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# Pinned third-party analyzer versions. Bump deliberately: a version bump
+# can introduce new checks, so run `make lint-fix-report` style triage and
+# fix or suppress before landing the bump.
+STATICCHECK_VERSION=2025.1.1
+GOVULNCHECK_VERSION=v1.1.4
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
@@ -21,8 +28,41 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== deepdb-lint (invariant suite) =="
+# Project-specific analyzers (determinism, snapshot discipline, WAL
+# ordering, ctx propagation, directive grammar) run through the vet
+# driver so per-package results are cached by the go build cache.
+mkdir -p bin
+go build -o bin/deepdb-lint ./cmd/deepdb-lint
+go vet -vettool="$(pwd)/bin/deepdb-lint" ./...
+
+echo "== staticcheck (pinned $STATICCHECK_VERSION) =="
+# Version-pinned via `go run`; the probe run fetches and builds the tool.
+# When the module proxy is unreachable (offline dev container) the stage
+# is skipped with a notice rather than failing the gate — CI always has
+# network, so the check is still enforced where it matters. Baseline:
+# the tree is staticcheck-clean at the pinned version; new findings must
+# be fixed or suppressed with //lint:ignore and a justification.
+if go run "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION" -version >/dev/null 2>&1; then
+    go run "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION" ./...
+else
+    echo "staticcheck $STATICCHECK_VERSION unavailable (no module network?); skipping"
+fi
+
+echo "== govulncheck (pinned $GOVULNCHECK_VERSION) =="
+# Same offline-skip contract as staticcheck. Baseline: no known vulns
+# reachable from this module (stdlib-only dependency graph).
+if go run "golang.org/x/vuln/cmd/govulncheck@$GOVULNCHECK_VERSION" -version >/dev/null 2>&1; then
+    go run "golang.org/x/vuln/cmd/govulncheck@$GOVULNCHECK_VERSION" ./...
+else
+    echo "govulncheck $GOVULNCHECK_VERSION unavailable (no module network?); skipping"
+fi
+
+echo "== go test -race -shuffle=on =="
+# -shuffle=on randomizes test and subtest order so inter-test state
+# dependencies surface; -count=1 defeats the test cache so the shuffled
+# order actually runs.
+go test -race -shuffle=on -count=1 ./...
 
 echo "== crash-recovery smoke =="
 # The SIGKILL subprocess test is the durability gate: a child is killed
