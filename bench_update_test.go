@@ -21,6 +21,19 @@ import (
 // customer/orders shape used across the deepdb tests.
 func updateFixture(b *testing.B, opts ...deepdb.Option) *deepdb.DB {
 	b.Helper()
+	s, data := updateDataset()
+	db, err := deepdb.LearnDataset(context.Background(), s, data,
+		append([]deepdb.Option{deepdb.WithMaxSamples(4000)}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	return db
+}
+
+// updateDataset builds the deterministic customer/orders shape shared by
+// the update and serving benchmarks.
+func updateDataset() (*deepdb.Schema, deepdb.Dataset) {
 	s := &deepdb.Schema{Tables: []*deepdb.TableDef{
 		{
 			Name:       "customer",
@@ -51,14 +64,7 @@ func updateFixture(b *testing.B, opts ...deepdb.Option) *deepdb.DB {
 			oid++
 		}
 	}
-	db, err := deepdb.LearnDataset(context.Background(), s,
-		deepdb.Dataset{"customer": cust, "orders": ord},
-		append([]deepdb.Option{deepdb.WithMaxSamples(4000)}, opts...)...)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.Cleanup(func() { db.Close() })
-	return db
+	return s, deepdb.Dataset{"customer": cust, "orders": ord}
 }
 
 func orderRow(i int) map[string]deepdb.Value {

@@ -17,10 +17,14 @@ package main
 //	          -> {"queued": true, "generation"}   (enqueued; apply is asynchronous)
 //	/delete   {"table": "...", "pk": 123} -> {"queued": true, "generation"}
 //	/flush    {} -> {"flushed": true, "generation"}   (read-your-writes barrier)
+//	/reload   {"model": "path"} -> {"reloaded": true, "generation"}
+//	          (hot model swap: readers keep serving the old snapshot until
+//	          the new one publishes atomically; allowed under -readonly)
 //	/healthz  -> {"status": "ok", "models", "tables", "data_attached",
 //	              "readonly", "updates": {queue depth, lag, batches,
 //	              "wal": {LSN watermarks, fsync counters},
-//	              "drift": [per-member staleness], relearn counters, ...}}
+//	              "drift": [per-member staleness], relearn counters, ...},
+//	              "shards": [per-shard members + pipeline stats with -shards]}
 //
 // params entries may be JSON numbers or strings; strings are resolved
 // through the dictionaries persisted in the model, so string predicates
@@ -28,6 +32,14 @@ package main
 // Mutations require the server to have data attached (-data) and are
 // rejected with 403 under -readonly; queries keep serving from immutable
 // snapshots either way and never wait for writers.
+//
+// -shards N partitions the ensemble behind the in-process fan-out router
+// (bit-identical to single-process serving); -shard-peers offloads shard
+// evaluation to `deepdb shard` replica processes with automatic local
+// fallback. -request-timeout bounds each request's wall clock, -max-body
+// its payload, and -max-inflight the number served concurrently (excess
+// is shed with 429 + Retry-After; /healthz stays exempt so load balancers
+// can always probe).
 
 import (
 	"context"
@@ -40,10 +52,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/deepdb"
+	"repro/internal/rspn"
 )
 
 func cmdServe(ctx context.Context, args []string) error {
@@ -56,9 +70,14 @@ func cmdServe(ctx context.Context, args []string) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the serving process to this file (finalized at shutdown)")
 	withPprof := fs.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/ for live hot-path diagnosis")
 	readonly := fs.Bool("readonly", false, "reject /insert, /delete and /flush (serve a frozen snapshot)")
-	walDir := fs.String("wal", "", "write-ahead log directory: accepted mutations become durable and are replayed on restart")
+	walDir := fs.String("wal", "", "write-ahead log directory: accepted mutations become durable and are replayed on restart (with -shards, each shard logs into its own subdirectory)")
 	durability := fs.String("durability", "batched", "WAL fsync policy: sync, batched or off (needs -wal)")
-	driftFrac := fs.Float64("drift", 0, "re-learn an ensemble member in the background once this fraction of its rows mutated (0 disables; needs -data)")
+	driftFrac := fs.Float64("drift", 0, "re-learn an ensemble member in the background once this fraction of its rows mutated (0 disables; needs -data; ignored with -shards)")
+	shards := fs.Int("shards", 0, "partition the ensemble into this many shards behind the fan-out router (0/1 serves single-process)")
+	peers := fs.String("shard-peers", "", "comma-separated replica base URLs, one per shard in shard order (started with `deepdb shard -index i`); any replica failure falls back to local evaluation")
+	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request wall-clock budget; exceeding it answers 503 (0 disables)")
+	maxBody := fs.Int64("max-body", 1<<20, "largest accepted request body in bytes")
+	maxInflight := fs.Int("max-inflight", 0, "bound on concurrently served requests; beyond it requests are shed with 429 (0 unlimited; /healthz is exempt)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,14 +116,31 @@ func cmdServe(ctx context.Context, args []string) error {
 	if *driftFrac > 0 {
 		opts = append(opts, deepdb.WithDriftThreshold(*driftFrac))
 	}
-	db, err := deepdb.Open(ctx, *model, opts...)
+	// Serving front-ends shed on a full update queue (429 + Retry-After)
+	// instead of pinning a handler goroutine per blocked writer.
+	opts = append(opts, deepdb.WithNonBlockingUpdates())
+	var db backend
+	var err error
+	if *shards > 1 || *peers != "" {
+		sopts := append(opts, deepdb.WithShards(*shards))
+		if *peers != "" {
+			sopts = append(sopts, deepdb.WithShardPeers(strings.Split(*peers, ",")...))
+		}
+		db, err = deepdb.OpenSharded(ctx, *model, sopts...)
+	} else {
+		db, err = deepdb.Open(ctx, *model, opts...)
+	}
 	if err != nil {
 		return err
 	}
 	// Drain the update pipeline on shutdown so accepted mutations are
 	// applied before the process exits.
 	defer db.Close()
-	handler := newServeHandler(db, *readonly)
+	handler := newServeHandler(db, *readonly, withMaxBody(*maxBody))
+	if *requestTimeout > 0 {
+		handler = http.TimeoutHandler(handler, *requestTimeout, "request timed out")
+	}
+	handler = withInflightLimit(handler, *maxInflight)
 	if *withPprof {
 		handler = withPprofEndpoints(handler)
 	}
@@ -120,7 +156,11 @@ func cmdServe(ctx context.Context, args []string) error {
 		defer cancel()
 		done <- srv.Shutdown(shutCtx)
 	}()
-	fmt.Printf("deepdb: serving %s on %s (data-free: %v)\n", *model, *addr, db.Data() == nil)
+	if sh, ok := db.(sharded); ok {
+		fmt.Printf("deepdb: serving %s on %s (data-free: %v, shards: %d)\n", *model, *addr, db.Data() == nil, sh.Shards())
+	} else {
+		fmt.Printf("deepdb: serving %s on %s (data-free: %v)\n", *model, *addr, db.Data() == nil)
+	}
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
@@ -141,18 +181,88 @@ func withPprofEndpoints(h http.Handler) http.Handler {
 	return mux
 }
 
-// serveHandler is the HTTP surface over one *DB. The DB serves queries
-// from immutable published snapshots and serializes updates internally;
-// no extra locking is needed here.
+// backend is the database surface the front-end serves — implemented by
+// both *deepdb.DB (single-process) and *deepdb.ShardedDB (the fan-out
+// router over partitioned shards). Queries come from immutable published
+// snapshots and updates are serialized inside the backend; results are
+// bit-identical between the two implementations.
+type backend interface {
+	Prepare(sql string) (*deepdb.Stmt, error)
+	Query(ctx context.Context, sql string, opts ...deepdb.ExecOption) (deepdb.Result, error)
+	EstimateCardinality(ctx context.Context, sql string, opts ...deepdb.ExecOption) (deepdb.Estimate, error)
+	Explain(ctx context.Context, sql string) (string, error)
+	ResolveLabel(column, literal string) (float64, error)
+	Insert(table string, values map[string]deepdb.Value) error
+	Delete(table string, pk float64) error
+	Flush(ctx context.Context) error
+	Reload(modelPath string) error
+	Generation() uint64
+	Schema() *deepdb.Schema
+	Data() deepdb.Dataset
+	Models() []*rspn.RSPN
+	UpdateStats() deepdb.UpdateStats
+	Close() error
+}
+
+// sharded is the extra surface a ShardedDB backend exposes; /healthz
+// reports per-shard health when present.
+type sharded interface {
+	Shards() int
+	ShardStats() []deepdb.ShardStat
+	PeerStats() (hits, fallbacks uint64)
+}
+
+// withInflightLimit bounds concurrently served requests: beyond n, requests
+// are shed immediately with 429 + Retry-After instead of queueing. /healthz
+// is exempt so health stays observable under exactly the overload the
+// limiter exists for.
+func withInflightLimit(h http.Handler, n int) http.Handler {
+	if n <= 0 {
+		return h
+	}
+	sem := make(chan struct{}, n)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			h.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			h.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, apiError{Error: "request budget exhausted, retry later"})
+		}
+	})
+}
+
+// serveHandler is the HTTP surface over one backend.
 type serveHandler struct {
-	db       *deepdb.DB
+	db       backend
 	readonly bool
+	maxBody  int64
+}
+
+// serveOption tweaks the handler outside the test-friendly defaults.
+type serveOption func(*serveHandler)
+
+// withMaxBody bounds accepted request bodies (default 1 MiB).
+func withMaxBody(n int64) serveOption {
+	return func(s *serveHandler) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
 }
 
 // newServeHandler builds the endpoint mux; split out of cmdServe so tests
 // can drive it through httptest without binding a port.
-func newServeHandler(db *deepdb.DB, readonly bool) http.Handler {
-	s := &serveHandler{db: db, readonly: readonly}
+func newServeHandler(db backend, readonly bool, opts ...serveOption) http.Handler {
+	s := &serveHandler{db: db, readonly: readonly, maxBody: 1 << 20}
+	for _, o := range opts {
+		o(s)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/estimate", s.handleEstimate)
@@ -160,6 +270,7 @@ func newServeHandler(db *deepdb.DB, readonly bool) http.Handler {
 	mux.HandleFunc("/insert", s.handleInsert)
 	mux.HandleFunc("/delete", s.handleDelete)
 	mux.HandleFunc("/flush", s.handleFlush)
+	mux.HandleFunc("/reload", s.handleReload)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -186,14 +297,15 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-// decodeRequest accepts a POSTed JSON body or a GET with ?sql=.
-func decodeRequest(w http.ResponseWriter, r *http.Request) (apiRequest, bool) {
+// decodeRequest accepts a POSTed JSON body (bounded by -max-body) or a GET
+// with ?sql=.
+func (s *serveHandler) decodeRequest(w http.ResponseWriter, r *http.Request) (apiRequest, bool) {
 	var req apiRequest
 	switch r.Method {
 	case http.MethodGet:
 		req.SQL = r.URL.Query().Get("sql")
 	case http.MethodPost:
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
 			writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid JSON body: " + err.Error()})
 			return req, false
 		}
@@ -240,7 +352,7 @@ func (req apiRequest) paramArgs() []any {
 }
 
 func (s *serveHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
-	req, ok := decodeRequest(w, r)
+	req, ok := s.decodeRequest(w, r)
 	if !ok {
 		return
 	}
@@ -272,7 +384,7 @@ func (s *serveHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *serveHandler) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	req, ok := decodeRequest(w, r)
+	req, ok := s.decodeRequest(w, r)
 	if !ok {
 		return
 	}
@@ -302,7 +414,7 @@ func (s *serveHandler) handleEstimate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *serveHandler) handleExplain(w http.ResponseWriter, r *http.Request) {
-	req, ok := decodeRequest(w, r)
+	req, ok := s.decodeRequest(w, r)
 	if !ok {
 		return
 	}
@@ -342,9 +454,9 @@ func (s *serveHandler) rejectMutation(w http.ResponseWriter, r *http.Request) bo
 	return false
 }
 
-func decodeMutation(w http.ResponseWriter, r *http.Request) (mutationRequest, bool) {
+func (s *serveHandler) decodeMutation(w http.ResponseWriter, r *http.Request) (mutationRequest, bool) {
 	var req mutationRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid JSON body: " + err.Error()})
 		return req, false
 	}
@@ -364,7 +476,7 @@ func (s *serveHandler) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if s.rejectMutation(w, r) {
 		return
 	}
-	req, ok := decodeMutation(w, r)
+	req, ok := s.decodeMutation(w, r)
 	if !ok {
 		return
 	}
@@ -402,17 +514,29 @@ func (s *serveHandler) handleInsert(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := s.db.Insert(req.Table, values); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		s.writeMutationErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, mutationResponse{Queued: true, Generation: s.db.Generation()})
+}
+
+// writeMutationErr maps backpressure to 429 + Retry-After (the update
+// queue is full and the backend shed instead of blocking — the client
+// should back off and retry) and everything else to 400.
+func (s *serveHandler) writeMutationErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, deepdb.ErrQueueFull) {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 }
 
 func (s *serveHandler) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if s.rejectMutation(w, r) {
 		return
 	}
-	req, ok := decodeMutation(w, r)
+	req, ok := s.decodeMutation(w, r)
 	if !ok {
 		return
 	}
@@ -425,10 +549,42 @@ func (s *serveHandler) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.db.Delete(req.Table, *req.PK); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		s.writeMutationErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, mutationResponse{Queued: true, Generation: s.db.Generation()})
+}
+
+// handleReload hot-swaps the serving model with the file named in the
+// request body, through the snapshot-publication path: zero read downtime,
+// and on a sharded backend all-old-or-all-new generation consistency.
+// Allowed under -readonly — a model swap is an operator action, not a data
+// mutation.
+func (s *serveHandler) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeJSON(w, http.StatusMethodNotAllowed, apiError{Error: "POST a JSON body"})
+		return
+	}
+	var req struct {
+		Model string `json:"model"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if req.Model == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "missing model"})
+		return
+	}
+	if err := s.db.Reload(req.Model); err != nil {
+		writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Reloaded   bool   `json:"reloaded"`
+		Generation uint64 `json:"generation"`
+	}{true, s.db.Generation()})
 }
 
 // handleFlush blocks until every mutation accepted before the request is
@@ -496,14 +652,55 @@ type apiDriftStat struct {
 	Relearns        uint64   `json:"relearns"`
 }
 
+// apiShardStat is one shard's health inside /healthz (sharded backends
+// only).
+type apiShardStat struct {
+	ID            int          `json:"id"`
+	Members       []int        `json:"members"`
+	Generation    uint64       `json:"generation"`
+	Ops           uint64       `json:"ops"`
+	QueueDepth    int          `json:"queue_depth"`
+	Enqueued      uint64       `json:"enqueued"`
+	Applied       uint64       `json:"applied"`
+	Errors        uint64       `json:"errors"`
+	LastError     string       `json:"last_error,omitempty"`
+	WALAppliedLSN uint64       `json:"wal_applied_lsn,omitempty"`
+	WAL           *apiWALStats `json:"wal,omitempty"`
+	Peer          string       `json:"peer,omitempty"`
+}
+
 func (s *serveHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.db.UpdateStats()
+	var shardsOut []apiShardStat
+	var peerHits, peerFalls uint64
+	if sh, ok := s.db.(sharded); ok {
+		for _, ss := range sh.ShardStats() {
+			shardsOut = append(shardsOut, apiShardStat{
+				ID:            ss.ID,
+				Members:       ss.Members,
+				Generation:    ss.Generation,
+				Ops:           ss.Ops,
+				QueueDepth:    ss.QueueDepth,
+				Enqueued:      ss.Enqueued,
+				Applied:       ss.Applied,
+				Errors:        ss.Errors,
+				LastError:     ss.LastError,
+				WALAppliedLSN: ss.WALAppliedLSN,
+				WAL:           apiWAL(ss.WAL),
+				Peer:          ss.Peer,
+			})
+		}
+		peerHits, peerFalls = sh.PeerStats()
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Status       string         `json:"status"`
 		Models       int            `json:"models"`
 		Tables       int            `json:"tables"`
 		DataAttached bool           `json:"data_attached"`
 		Readonly     bool           `json:"readonly"`
+		Shards       []apiShardStat `json:"shards,omitempty"`
+		PeerHits     uint64         `json:"peer_hits,omitempty"`
+		PeerFalls    uint64         `json:"peer_fallbacks,omitempty"`
 		Updates      apiUpdateStats `json:"updates"`
 	}{
 		Status:       "ok",
@@ -511,6 +708,9 @@ func (s *serveHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Tables:       len(s.db.Schema().Tables),
 		DataAttached: s.db.Data() != nil,
 		Readonly:     s.readonly,
+		Shards:       shardsOut,
+		PeerHits:     peerHits,
+		PeerFalls:    peerFalls,
 		Updates: apiUpdateStats{
 			Generation:       st.Generation,
 			SyncUpdates:      st.SyncUpdates,

@@ -1,0 +1,238 @@
+package main
+
+// serve_router_test.go covers the serving-tier hardening added with the
+// sharded router: body-size bounds, in-flight load shedding, backpressure
+// mapping to 429 + Retry-After, the /reload hot-swap endpoint, and the
+// router-vs-single HTTP equivalence (the same model answers identically
+// whether it serves as one process or as a sharded backend).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/deepdb"
+)
+
+func TestWriteMutationErrBackpressure(t *testing.T) {
+	s := &serveHandler{}
+	rec := httptest.NewRecorder()
+	s.writeMutationErr(rec, fmt.Errorf("wrapped: %w", deepdb.ErrQueueFull))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("queue-full status = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After gives clients no backoff hint")
+	}
+	rec = httptest.NewRecorder()
+	s.writeMutationErr(rec, errors.New("unknown column"))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("plain error status = %d, want 400", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") != "" {
+		t.Fatal("a 400 must not carry Retry-After — retrying cannot fix it")
+	}
+}
+
+func TestInflightLimiterSheds(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(withInflightLimit(inner, 1))
+	defer srv.Close()
+	defer close(release)
+
+	firstDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "/query")
+		if err == nil {
+			resp.Body.Close()
+		}
+		firstDone <- err
+	}()
+	<-entered // the single slot is now held
+
+	resp, err := http.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second in-flight request got %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	// Health stays observable under exactly this overload.
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz got %d under load, want 200", hresp.StatusCode)
+	}
+	release <- struct{}{}
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxBodyBoundsRequests(t *testing.T) {
+	db := serveFixture(t)
+	defer db.Close()
+	srv := httptest.NewServer(newServeHandler(db, false, withMaxBody(64)))
+	defer srv.Close()
+
+	big := fmt.Sprintf(`{"sql": %q}`, "SELECT COUNT(*) FROM customer WHERE "+strings.Repeat("c_age > 1 AND ", 50)+"c_age > 1")
+	resp, err := http.Post(srv.URL+"/query", "application/json", bytes.NewReader([]byte(big)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body got %d, want 400", resp.StatusCode)
+	}
+	// A request under the bound still works.
+	resp, err = http.Post(srv.URL+"/query", "application/json",
+		bytes.NewReader([]byte(`{"sql":"SELECT COUNT(*) FROM customer"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body got %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestReloadEndpoint(t *testing.T) {
+	db := serveFixture(t)
+	defer db.Close()
+	path := filepath.Join(t.TempDir(), "next.deepdb")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newServeHandler(db, true /* readonly: reload is an operator action */))
+	defer srv.Close()
+
+	genBefore := db.Generation()
+	var ok struct {
+		Reloaded   bool   `json:"reloaded"`
+		Generation uint64 `json:"generation"`
+	}
+	if code := postJSON(t, srv, "/reload", map[string]string{"model": path}, &ok); code != http.StatusOK {
+		t.Fatalf("reload got %d, want 200", code)
+	}
+	if !ok.Reloaded || ok.Generation <= genBefore {
+		t.Fatalf("reload response %+v with prior generation %d", ok, genBefore)
+	}
+	var apiErr apiError
+	if code := postJSON(t, srv, "/reload", map[string]string{"model": filepath.Join(t.TempDir(), "missing.deepdb")}, &apiErr); code != http.StatusConflict {
+		t.Fatalf("missing model got %d, want 409 (old model keeps serving)", code)
+	}
+	if code := postJSON(t, srv, "/reload", map[string]string{}, &apiErr); code != http.StatusBadRequest {
+		t.Fatalf("empty model got %d, want 400", code)
+	}
+	// The failed reloads above must not have torn down serving.
+	resp, err := http.Get(srv.URL + "/query?sql=" + "SELECT%20COUNT(*)%20FROM%20customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after failed reload got %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestShardedServeEquivalence drives the same model file through the
+// single-process backend and the sharded router behind the identical HTTP
+// surface: every response must decode to exactly equal values, and
+// /healthz must expose per-shard health on the sharded flavor.
+func TestShardedServeEquivalence(t *testing.T) {
+	ctx := context.Background()
+	db := serveFixture(t)
+	defer db.Close()
+	path := filepath.Join(t.TempDir(), "model.deepdb")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	sdb, err := deepdb.OpenSharded(ctx, path, deepdb.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdb.Close()
+
+	one := httptest.NewServer(newServeHandler(db, false))
+	defer one.Close()
+	many := httptest.NewServer(newServeHandler(sdb, false))
+	defer many.Close()
+
+	for _, req := range []apiRequest{
+		{SQL: "SELECT COUNT(*) FROM customer WHERE c_age < 40"},
+		{SQL: "SELECT COUNT(*) FROM customer JOIN orders WHERE o_amount >= 50 AND c_age < 40"},
+		{SQL: "SELECT COUNT(*) FROM customer GROUP BY c_region"},
+		{SQL: "SELECT AVG(o_amount) FROM orders WHERE o_amount >= ?", Params: []any{30}},
+		{SQL: "SELECT COUNT(*) FROM customer WHERE c_region = 'EU'"},
+	} {
+		var a, b queryResp
+		codeA := postJSON(t, one, "/query", req, &a)
+		codeB := postJSON(t, many, "/query", req, &b)
+		if codeA != http.StatusOK || codeB != http.StatusOK {
+			t.Fatalf("%s: statuses %d / %d (errors %q / %q)", req.SQL, codeA, codeB, a.Error, b.Error)
+		}
+		a.ElapsedUS, b.ElapsedUS = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s diverged across backends:\n  single:  %+v\n  sharded: %+v", req.SQL, a, b)
+		}
+		var ea, eb estimateResp
+		codeA = postJSON(t, one, "/estimate", req, &ea)
+		codeB = postJSON(t, many, "/estimate", req, &eb)
+		if codeA != http.StatusOK || codeB != http.StatusOK {
+			t.Fatalf("%s estimate: statuses %d / %d", req.SQL, codeA, codeB)
+		}
+		ea.ElapsedUS, eb.ElapsedUS = 0, 0
+		if ea != eb {
+			t.Fatalf("%s estimate diverged:\n  single:  %+v\n  sharded: %+v", req.SQL, ea, eb)
+		}
+	}
+
+	var health struct {
+		Status string `json:"status"`
+		Shards []struct {
+			ID      int   `json:"id"`
+			Members []int `json:"members"`
+		} `json:"shards"`
+	}
+	resp, err := http.Get(many.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || len(health.Shards) != 2 {
+		t.Fatalf("sharded /healthz = %+v, want status ok with 2 shards", health)
+	}
+	for _, sh := range health.Shards {
+		if len(sh.Members) == 0 {
+			t.Fatalf("shard %d reports no members: %+v", sh.ID, health)
+		}
+	}
+}

@@ -66,6 +66,10 @@ type snapshot struct {
 	// plans and prepared statements are tagged with it and recompiled when
 	// it moves.
 	gen uint64
+	// ops is the shard-alignment token of a ShardedDB's composed view (the
+	// cumulative mutation count of the shards the view was composed at);
+	// always 0 on a plain DB's snapshots.
+	ops uint64
 }
 
 // DB is a learned DeepDB instance: an RSPN ensemble, the probabilistic
@@ -126,6 +130,13 @@ type updateGroup struct {
 	muts []ensemble.Mutation
 	lsn  uint64
 }
+
+// ErrQueueFull is returned by Insert/Delete/Update under
+// WithNonBlockingUpdates (and by a ShardedDB unconditionally) when the
+// update queue has no free slot: the mutation was NOT accepted — not
+// logged, not enqueued — and the caller should retry later. Serving
+// front-ends map it to 429 + Retry-After. Test with errors.Is.
+var ErrQueueFull = pipeline.ErrQueueFull
 
 // Learn builds a DB over the schema's CSV files in dataDir (one
 // <table>.csv per schema table, with a header row). Cancelling ctx aborts
@@ -223,6 +234,9 @@ func (db *DB) newEngine(ens *ensemble.Ensemble) *core.Engine {
 // snapshotNow returns the current published serving view.
 func (db *DB) snapshotNow() *snapshot { return db.snap.Load() }
 
+// defaultConfidence returns the DB-wide confidence-interval level.
+func (db *DB) defaultConfidence() float64 { return db.cfg.confidence }
+
 // publishLocked atomically publishes ens as the next snapshot generation.
 // Callers must hold applyMu.
 func (db *DB) publishLocked(ens *ensemble.Ensemble) {
@@ -286,6 +300,36 @@ func (db *DB) Save(path string) error {
 	return nil
 }
 
+// Reload hot-swaps the serving model with the one in modelPath — e.g. a
+// re-learned artifact produced offline — without any read downtime: the
+// new model travels through the same snapshot-publication path as update
+// batches, so in-flight queries finish on the old snapshot and later ones
+// see the new generation atomically. Pending asynchronous updates are
+// flushed into the old model first (they were acked against it); the
+// current base tables, if any, are carried over so updates and exact
+// execution keep working. On any error the old model keeps serving.
+func (db *DB) Reload(modelPath string) error {
+	ens, err := ensemble.LoadFile(modelPath, nil)
+	if err != nil {
+		return err
+	}
+	if err := db.Flush(context.Background()); err != nil {
+		return err
+	}
+	db.applyMu.Lock()
+	defer db.applyMu.Unlock()
+	if tabs := db.snap.Load().ens.Tables; tabs != nil {
+		if err := ens.AttachTables(tabs); err != nil {
+			return err
+		}
+		// Drift restarts from the fresh model's state: it IS the re-learned
+		// baseline staleness is measured against.
+		ens.EnableDrift()
+	}
+	db.publishLocked(ens)
+	return nil
+}
+
 // Schema returns the relational metadata the DB was learned over.
 func (db *DB) Schema() *Schema { return db.snapshotNow().ens.Schema }
 
@@ -338,18 +382,18 @@ func (db *DB) Query(ctx context.Context, sql string, opts ...ExecOption) (Result
 	if err != nil {
 		return Result{}, err
 	}
-	return db.executeQueryOn(ctx, s, q, opts)
+	return executeQueryOn(ctx, db, s, q, opts)
 }
 
 // ExecuteQuery is Query for an already-parsed (or programmatically built)
 // structured query.
 func (db *DB) ExecuteQuery(ctx context.Context, q query.Query, opts ...ExecOption) (Result, error) {
-	return db.executeQueryOn(ctx, db.snapshotNow(), q, opts)
+	return executeQueryOn(ctx, db, db.snapshotNow(), q, opts)
 }
 
-func (db *DB) executeQueryOn(ctx context.Context, s *snapshot, q query.Query, opts []ExecOption) (Result, error) {
-	eo := db.execOpts(opts)
-	p, err := db.planFor(s, "", q)
+func executeQueryOn(ctx context.Context, h stmtHost, s *snapshot, q query.Query, opts []ExecOption) (Result, error) {
+	eo := resolveExec(opts)
+	p, err := h.planFor(s, "", q)
 	if err != nil {
 		return Result{}, err
 	}
@@ -369,17 +413,17 @@ func (db *DB) EstimateCardinality(ctx context.Context, sql string, opts ...ExecO
 	if err != nil {
 		return Estimate{}, err
 	}
-	return db.estimateCardinalityOn(ctx, s, q, opts)
+	return estimateCardinalityOn(ctx, db, s, q, opts)
 }
 
 // EstimateCardinalityQuery is EstimateCardinality for a structured query.
 func (db *DB) EstimateCardinalityQuery(ctx context.Context, q query.Query, opts ...ExecOption) (Estimate, error) {
-	return db.estimateCardinalityOn(ctx, db.snapshotNow(), q, opts)
+	return estimateCardinalityOn(ctx, db, db.snapshotNow(), q, opts)
 }
 
-func (db *DB) estimateCardinalityOn(ctx context.Context, s *snapshot, q query.Query, opts []ExecOption) (Estimate, error) {
-	eo := db.execOpts(opts)
-	p, err := db.planFor(s, "", q)
+func estimateCardinalityOn(ctx context.Context, h stmtHost, s *snapshot, q query.Query, opts []ExecOption) (Estimate, error) {
+	eo := resolveExec(opts)
+	p, err := h.planFor(s, "", q)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -387,7 +431,7 @@ func (db *DB) estimateCardinalityOn(ctx context.Context, s *snapshot, q query.Qu
 	if err != nil {
 		return Estimate{}, err
 	}
-	return wrapEstimate(est, eo.level(db)), nil
+	return wrapEstimate(est, eo.levelOr(h.defaultConfidence())), nil
 }
 
 // Explain renders the execution plan for the SQL query — which compilation
@@ -419,15 +463,15 @@ func (db *DB) Exact(ctx context.Context, sql string) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return db.exactOn(ctx, s, q)
+	return exactOn(ctx, s, q)
 }
 
 // ExactQuery is Exact for a structured query.
 func (db *DB) ExactQuery(ctx context.Context, q query.Query) (Result, error) {
-	return db.exactOn(ctx, db.snapshotNow(), q)
+	return exactOn(ctx, db.snapshotNow(), q)
 }
 
-func (db *DB) exactOn(ctx context.Context, s *snapshot, q query.Query) (Result, error) {
+func exactOn(ctx context.Context, s *snapshot, q query.Query) (Result, error) {
 	if s.ens.Tables == nil {
 		return Result{}, errNoData()
 	}
@@ -511,6 +555,9 @@ func (db *DB) mutateAll(muts []ensemble.Mutation) error {
 	}
 	if db.wal == nil {
 		// One group per call: the applier never splits it across snapshots.
+		if db.cfg.nonBlocking {
+			return pipe.TryEnqueue(updateGroup{muts: muts})
+		}
 		return pipe.Enqueue(updateGroup{muts: muts})
 	}
 	// Log, then enqueue, under one lock: LSN order must equal apply order
@@ -518,6 +565,15 @@ func (db *DB) mutateAll(muts []ensemble.Mutation) error {
 	// full queue; the applier drains without walMu, so this cannot deadlock.
 	db.walMu.Lock()
 	defer db.walMu.Unlock()
+	if db.cfg.nonBlocking && !pipe.HasCapacity() {
+		// Shed BEFORE the append: a record logged but rejected with
+		// ErrQueueFull would still replay after a restart, silently
+		// re-applying a write the caller was told to retry. Checking under
+		// walMu keeps the decision ordered with concurrent writers; the
+		// reserved slot can only be taken by the applier draining (fine) or
+		// a Flush barrier (blocks briefly, never sheds spuriously).
+		return ErrQueueFull
+	}
 	lsn, err := db.wal.Append(wal.EncodeMutations(muts))
 	if err != nil {
 		return err

@@ -88,6 +88,9 @@ type config struct {
 	closeTimeout time.Duration
 	driftFrac    float64
 	driftShift   float64
+	shards       int
+	shardPeers   []string
+	nonBlocking  bool
 }
 
 // driftThresholds assembles the re-learn trigger configuration.
@@ -295,6 +298,32 @@ func WithDataset(ds Dataset) Option {
 	return func(c *config) { c.dataset = ds }
 }
 
+// WithShards asks OpenSharded/LearnDatasetSharded for n partitions
+// (default 1). The effective count may be lower when the ensemble has
+// fewer members than n. Other constructors ignore it.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
+// WithShardPeers binds shard replica processes (one base URL per shard, in
+// shard order — e.g. started with `deepdb shard -index i`) to a sharded
+// DB: evaluation chunks of members owned by shard i are offloaded to
+// peers[i], and mutations are forwarded so replicas stay in lockstep. Any
+// replica failure falls back to the local model, so results are
+// bit-identical with or without peers.
+func WithShardPeers(urls ...string) Option {
+	return func(c *config) { c.shardPeers = append([]string(nil), urls...) }
+}
+
+// WithNonBlockingUpdates makes Insert/Delete/Update shed with ErrQueueFull
+// when the update queue is full, instead of blocking until the applier
+// catches up. Serving front-ends use this to turn backpressure into
+// 429 + Retry-After rather than pinning handler goroutines. Ignored under
+// WithSyncUpdates; sharded DBs always behave this way.
+func WithNonBlockingUpdates() Option {
+	return func(c *config) { c.nonBlocking = true }
+}
+
 // ---- per-call execution options ----
 
 // execOpts is the resolved per-call option set.
@@ -312,8 +341,8 @@ func AtConfidence(level float64) ExecOption {
 	return func(o *execOpts) { o.confidence = level }
 }
 
-// execOpts resolves the per-call options against the DB defaults.
-func (db *DB) execOpts(opts []ExecOption) execOpts {
+// resolveExec folds the per-call options into one set.
+func resolveExec(opts []ExecOption) execOpts {
 	var o execOpts
 	for _, f := range opts {
 		f(&o)
@@ -326,15 +355,14 @@ func (o execOpts) core() core.ExecOpts {
 	return core.ExecOpts{ConfidenceLevel: o.confidence}
 }
 
-// level resolves the effective confidence level for facade-side interval
-// computation.
-func (o execOpts) level(db *DB) float64 {
+// levelOr resolves the effective confidence level for facade-side interval
+// computation, falling back to the host's default.
+func (o execOpts) levelOr(def float64) float64 {
 	if o.confidence > 0 && o.confidence < 1 {
 		return o.confidence
 	}
-	level := db.cfg.confidence
-	if level <= 0 || level >= 1 {
-		level = 0.95
+	if def <= 0 || def >= 1 {
+		def = 0.95
 	}
-	return level
+	return def
 }

@@ -1,0 +1,198 @@
+package deepdb_test
+
+// shutdown_test.go is the graceful-shutdown counterpart of crash_test.go:
+// a child process streams mutations into a WAL-backed DB under *batched*
+// durability and receives SIGTERM mid-stream. Batched mode makes the test
+// sharp — a SIGKILL here could legally lose the un-synced tail, so zero
+// loss is exactly the property the drain path must add: the handler stops
+// admitting writes, Close() drains the update pipeline and syncs the log,
+// and every acknowledged mutation must be durable. The parent then proves
+// it by replaying the log into a fresh DB and requiring bit-identical
+// answers to a reference that applied the acked prefix without any
+// process lifecycle at all.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/deepdb"
+	"repro/internal/wal"
+)
+
+const (
+	termChildEnv    = "DEEPDB_TERM_CHILD"
+	termWALDirEnv   = "DEEPDB_TERM_WALDIR"
+	termStreamLen   = 200
+	termSignalAfter = 60 // acks the parent waits for before SIGTERM
+)
+
+// TestGracefulShutdownChild is the subprocess body; without the env gate
+// it is skipped, so a plain `go test` never runs it directly.
+func TestGracefulShutdownChild(t *testing.T) {
+	if os.Getenv(termChildEnv) != "1" {
+		t.Skip("subprocess of TestGracefulShutdownSIGTERM")
+	}
+	dir := os.Getenv(termWALDirEnv)
+	ctx := context.Background()
+	s, data := fixture(1200, 78)
+	db, err := deepdb.LearnDataset(ctx, s, data,
+		deepdb.WithMaxSamples(8000),
+		deepdb.WithWAL(dir),
+		deepdb.WithDurability(deepdb.DurabilityBatched))
+	if err != nil {
+		fmt.Println("child error:", err)
+		os.Exit(1)
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM)
+	fmt.Println("ready")
+	acked := 0
+stream:
+	for i, m := range mutationStream(termStreamLen) {
+		select {
+		case <-sigc:
+			break stream
+		default:
+		}
+		if m.del {
+			err = db.Delete(m.table, m.pk)
+		} else {
+			err = db.Insert(m.table, m.values)
+		}
+		if err != nil {
+			fmt.Println("child error:", err)
+			os.Exit(1)
+		}
+		acked++
+		fmt.Println("acked", i)
+		// Pace the stream so the signal lands mid-flight.
+		time.Sleep(time.Millisecond)
+	}
+	// The drain under test: stop admitting, apply everything queued, sync
+	// the log. After this returns, every ack above is a durability promise.
+	if err := db.Close(); err != nil {
+		fmt.Println("child error:", err)
+		os.Exit(1)
+	}
+	fmt.Println("closed", acked)
+	os.Exit(0)
+}
+
+func TestGracefulShutdownSIGTERM(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("needs SIGTERM")
+	}
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	cmd := exec.Command(os.Args[0], "-test.run=TestGracefulShutdownChild$", "-test.v")
+	cmd.Env = append(os.Environ(), termChildEnv+"=1", termWALDirEnv+"="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Wait()                                                          //nolint:errcheck
+	deadline := time.AfterFunc(60*time.Second, func() { cmd.Process.Kill() }) //nolint:errcheck
+	defer deadline.Stop()
+
+	// Count acks until the signal point, then keep scanning for the
+	// child's own final tally — it may legitimately ack a few more between
+	// our SIGTERM and its loop noticing.
+	acks, closed := 0, -1
+	signalled := false
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "child error:"):
+			t.Fatalf("child failed: %s", line)
+		case strings.HasPrefix(line, "acked "):
+			acks++
+			if !signalled && acks >= termSignalAfter {
+				if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+					t.Fatal(err)
+				}
+				signalled = true
+			}
+		case strings.HasPrefix(line, "closed "):
+			n, err := strconv.Atoi(strings.TrimPrefix(line, "closed "))
+			if err != nil {
+				t.Fatalf("bad tally line %q: %v", line, err)
+			}
+			closed = n
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("child did not exit cleanly after SIGTERM: %v", err)
+	}
+	if !signalled {
+		t.Fatalf("child finished all %d mutations before the parent could signal", termStreamLen)
+	}
+	if closed < termSignalAfter || closed >= termStreamLen {
+		t.Fatalf("child reported %d acked mutations, want a mid-stream tally in [%d, %d)",
+			closed, termSignalAfter, termStreamLen)
+	}
+
+	// Zero loss, zero invention: the log holds exactly the acked prefix.
+	durable := 0
+	err = wal.Dump(dir, 0, func(lsn uint64, payload []byte) error {
+		if _, derr := wal.DecodeMutations(payload); derr != nil {
+			return fmt.Errorf("lsn %d: %w", lsn, derr)
+		}
+		durable++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if durable != closed {
+		t.Fatalf("graceful drain lost acks: child acked %d, log holds %d", closed, durable)
+	}
+
+	muts := mutationStream(termStreamLen)
+	s, data := fixture(1200, 78)
+	ref, err := deepdb.LearnDataset(ctx, s, data,
+		deepdb.WithMaxSamples(8000), deepdb.WithSyncUpdates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyStream(t, ref, muts[:closed])
+
+	s2, data2 := fixture(1200, 78)
+	rec, err := deepdb.LearnDataset(ctx, s2, data2,
+		deepdb.WithMaxSamples(8000), deepdb.WithWAL(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got := rec.UpdateStats().WAL.Replayed; got != uint64(closed) {
+		t.Fatalf("recovery replayed %d records, want %d", got, closed)
+	}
+	for i, q := range equivalenceWorkload {
+		a, err := ref.ExecuteQuery(ctx, q)
+		if err != nil {
+			t.Fatalf("query %d ref: %v", i, err)
+		}
+		b, err := rec.ExecuteQuery(ctx, q)
+		if err != nil {
+			t.Fatalf("query %d recovered: %v", i, err)
+		}
+		if normResult(a) != normResult(b) {
+			t.Fatalf("query %d diverged after graceful shutdown\n  ref:       %v\n  recovered: %v", i, a, b)
+		}
+	}
+}

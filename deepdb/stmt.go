@@ -30,7 +30,7 @@ import (
 // execution time, which works model-only via the dictionaries persisted in
 // the model file.
 type Stmt struct {
-	db      *DB
+	db      stmtHost
 	q       query.Query
 	shape   string
 	nparams int
@@ -42,16 +42,29 @@ type Stmt struct {
 	gen  uint64
 }
 
+// stmtHost is the part of a database handle the read path needs: a
+// snapshot to run against, a (cached) plan for it, and the default
+// confidence level. Both *DB and *ShardedDB implement it, so prepared
+// statements — and the shared query helpers in deepdb.go — work unchanged
+// over either.
+type stmtHost interface {
+	snapshotNow() *snapshot
+	planFor(s *snapshot, shape string, q query.Query) (*core.Plan, error)
+	defaultConfidence() float64
+}
+
 // Prepare parses the SQL template (which may contain `?` placeholders as
 // comparison values), validates it and compiles its plan eagerly, so shape
 // errors surface here rather than at execution.
-func (db *DB) Prepare(sql string) (*Stmt, error) {
-	snap := db.snapshotNow()
+func (db *DB) Prepare(sql string) (*Stmt, error) { return prepareOn(db, sql) }
+
+func prepareOn(h stmtHost, sql string) (*Stmt, error) {
+	snap := h.snapshotNow()
 	q, err := query.Parse(sql, resolver(snap.ens))
 	if err != nil {
 		return nil, err
 	}
-	s := &Stmt{db: db, q: q, shape: q.ShapeKey(), nparams: q.NumParams(),
+	s := &Stmt{db: h, q: q, shape: q.ShapeKey(), nparams: q.NumParams(),
 		paramCols: paramColumns(q)}
 	p, err := s.planOn(snap)
 	if err != nil {
@@ -119,7 +132,7 @@ func (s *Stmt) Exec(ctx context.Context, params ...any) (Result, error) {
 }
 
 func (s *Stmt) execOn(ctx context.Context, snap *snapshot, vals []any, opts []ExecOption) (Result, error) {
-	eo := s.db.execOpts(opts)
+	eo := resolveExec(opts)
 	p, err := s.planOn(snap)
 	if err != nil {
 		return Result{}, err
@@ -145,7 +158,7 @@ func (s *Stmt) execOn(ctx context.Context, snap *snapshot, vals []any, opts []Ex
 // bit-identical to calling Exec once per set against the same snapshot;
 // the first error aborts the batch.
 func (s *Stmt) ExecBatch(ctx context.Context, batch [][]any, opts ...ExecOption) ([]Result, error) {
-	eo := s.db.execOpts(opts)
+	eo := resolveExec(opts)
 	snap := s.db.snapshotNow()
 	p, err := s.planOn(snap)
 	if err != nil {
@@ -177,7 +190,7 @@ func (s *Stmt) ExecBatch(ctx context.Context, batch [][]any, opts ...ExecOption)
 // are ignored). Arguments follow the Exec convention.
 func (s *Stmt) Estimate(ctx context.Context, params ...any) (Estimate, error) {
 	vals, opts := splitArgs(params)
-	eo := s.db.execOpts(opts)
+	eo := resolveExec(opts)
 	snap := s.db.snapshotNow()
 	p, err := s.planOn(snap)
 	if err != nil {
@@ -191,7 +204,7 @@ func (s *Stmt) Estimate(ctx context.Context, params ...any) (Estimate, error) {
 	if err != nil {
 		return Estimate{}, err
 	}
-	return wrapEstimate(est, eo.level(s.db)), nil
+	return wrapEstimate(est, eo.levelOr(s.db.defaultConfidence())), nil
 }
 
 // Explain renders the plan the statement executes.

@@ -5,11 +5,14 @@
 // because a published snapshot may be in the hands of any number of
 // lock-free readers.
 //
-// Three rules, all scoped to the facade package:
+// Three rules, scoped to the facade package and to the sharded serving
+// tier (internal/shard), whose per-shard snapshot pointers follow the
+// same protocol:
 //
 //  1. The `snap` atomic.Pointer field may appear only as the receiver of
 //     .Load() or .Store(…); and .Store is confined to the construction and
-//     publication functions (newDB, publishLocked). Anything else — taking
+//     publication functions (newDB, newShard, publishLocked). Anything
+//     else — taking
 //     its address, copying it, Swap/CompareAndSwap — bypasses the
 //     single-publisher protocol.
 //  2. Fields of the snapshot struct are assigned only in composite
@@ -36,14 +39,18 @@ var Analyzer = &analysis.Analyzer{
 	Name: "snapdiscipline",
 	Doc: "enforces snapshot discipline in the deepdb facade: atomic snapshot " +
 		"loads only, no writes to published snapshots, mutations only through CoW clones",
-	Scope: map[string]bool{"repro/deepdb": true},
-	Run:   run,
+	Scope: map[string]bool{
+		"repro/deepdb":         true,
+		"repro/internal/shard": true,
+	},
+	Run: run,
 }
 
 // storeAllowed lists the only functions that may publish (Store) a
-// snapshot: construction, and the one publication helper whose contract
+// snapshot: construction (newDB for the facade, newShard for the sharded
+// tier) and the one publication helper per package whose contract
 // documents the applyMu requirement.
-var storeAllowed = map[string]bool{"newDB": true, "publishLocked": true}
+var storeAllowed = map[string]bool{"newDB": true, "newShard": true, "publishLocked": true}
 
 // mutating are the *ensemble.Ensemble methods that change model state
 // in place.
@@ -118,7 +125,7 @@ func checkSnapAccess(pass *analysis.Pass, fn *ast.FuncDecl) {
 						if storeAllowed[fn.Name.Name] || pass.Suppressed(n.Pos(), "snapshotsafe") {
 							return true
 						}
-						pass.Reportf(n.Pos(), "snapshot published outside publishLocked/newDB: call publishLocked (under applyMu) instead of %s.Store", render(nodeExpr(n)))
+						pass.Reportf(n.Pos(), "snapshot published outside a construction/publication function (newDB, newShard, publishLocked): call publishLocked (under applyMu) instead of %s.Store", render(nodeExpr(n)))
 						return true
 					}
 				}

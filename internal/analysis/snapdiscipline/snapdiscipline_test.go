@@ -10,3 +10,7 @@ import (
 func TestSnapdiscipline(t *testing.T) {
 	analysistest.Run(t, "testdata", snapdiscipline.Analyzer, "repro/deepdb")
 }
+
+func TestSnapdisciplineShard(t *testing.T) {
+	analysistest.Run(t, "testdata", snapdiscipline.Analyzer, "repro/internal/shard")
+}

@@ -42,7 +42,7 @@ func (db *DB) GoodRead() uint64 {
 
 // BadStoreElsewhere publishes outside publishLocked/newDB.
 func (db *DB) BadStoreElsewhere(s *snapshot) {
-	db.snap.Store(s) // want `snapshot published outside publishLocked/newDB`
+	db.snap.Store(s) // want `snapshot published outside a construction/publication function`
 }
 
 // BadAddress leaks the atomic pointer itself.

@@ -48,6 +48,19 @@ const (
 	StrategyMedian
 )
 
+// BatchEvaluator is an optional dispatch hook for the batched executor:
+// when set on an Engine, every chunk of SPN inference requests goes
+// through it instead of straight to the RSPN's in-process model. The
+// sharded serving tier uses this to offload evaluation to shard replica
+// processes. Implementations must fill out[i] with the answer to reqs[i]
+// and must be bit-identical to r.EvaluateRequests — the usual way to
+// guarantee that is to proxy to a replica holding the same model and fall
+// back to the local model on any failure. Calls may arrive concurrently
+// (one per evaluation chunk, up to Engine.Parallelism at a time).
+type BatchEvaluator interface {
+	EvaluateRSPN(ctx context.Context, r *rspn.RSPN, reqs []spn.Request, out []float64) error
+}
+
 // Engine evaluates queries against an RSPN ensemble. The query path is
 // read-only, so one Engine may serve concurrent queries from multiple
 // goroutines — as long as no ensemble update runs at the same time (the
@@ -65,6 +78,9 @@ type Engine struct {
 	// whose estimate needs Theorem 2, a branch that recurses) each get
 	// their own workers. Values <= 1 run sequentially.
 	Parallelism int
+	// Eval, when non-nil, routes every evaluation chunk through the hook
+	// instead of the in-process model. nil keeps the direct path.
+	Eval BatchEvaluator
 }
 
 // New returns an engine with the paper's defaults.

@@ -515,6 +515,63 @@ func (p *Plan) NumParams() int { return p.nparams }
 // Query returns the compiled template.
 func (p *Plan) Query() query.Query { return p.q }
 
+// RSPNs returns every ensemble member the plan's estimators can touch, in
+// first-use order — the routing metadata a sharded serving tier needs to
+// know which shards a query fans out to. The walk covers the cardinality
+// terms plus, when the Execute side compiles cleanly, the group gates and
+// aggregate members; a plan whose Execute side cannot compile still
+// reports its cardinality members (estimate-only serving stays routable).
+func (p *Plan) RSPNs() []*rspn.RSPN {
+	var out []*rspn.RSPN
+	seen := map[*rspn.RSPN]bool{}
+	add := func(r *rspn.RSPN) {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	var walkCount func(n *countNode)
+	walkCount = func(n *countNode) {
+		if n == nil {
+			return
+		}
+		switch n.kind {
+		case ckSingle:
+			add(n.single.r)
+		case ckMedian:
+			for _, c := range n.median {
+				add(c.r)
+			}
+		default: // ckTheorem2
+			add(n.left.r)
+			for _, br := range n.branches {
+				walkCount(br.node)
+			}
+		}
+	}
+	for _, t := range p.card {
+		walkCount(t.node)
+	}
+	if p.ensureExec() == nil {
+		for _, t := range p.count {
+			walkCount(t.node)
+		}
+		for _, s := range p.sum {
+			if s.direct != nil {
+				add(s.direct.r)
+			}
+			walkCount(s.cnt)
+			if s.avg != nil {
+				add(s.avg.r)
+			}
+		}
+		if p.avg != nil {
+			add(p.avg.r)
+		}
+	}
+	return out
+}
+
 // ---- execution entry points ----
 //
 // Execution itself — the batched gather/evaluate/resolve walk — lives in

@@ -86,8 +86,12 @@ func (b *batcher) addRequest(r *rspn.RSPN, req spn.Request) valRef {
 // execution, and the chunks are fanned over up to `parallelism` workers —
 // the WithParallelism fan-out now spans individual expectations rather
 // than whole groups or branches, so load balances evenly. Each chunk is
-// one pass over its model's flat arrays.
-func (b *batcher) run(ctx context.Context, parallelism int) error {
+// one pass over its model's flat arrays — or one eng.Eval dispatch when
+// the engine carries an evaluator hook; chunk boundaries are identical
+// either way, so the hook sees exactly the request groups the in-process
+// path would evaluate.
+func (b *batcher) run(ctx context.Context, eng *Engine) error {
+	parallelism := eng.Parallelism
 	total := 0
 	for _, g := range b.order {
 		total += len(g.reqs)
@@ -125,12 +129,18 @@ func (b *batcher) run(ctx context.Context, parallelism int) error {
 			chunks = append(chunks, chunk{g: g, lo: lo, hi: hi})
 		}
 	}
+	eval := func(ck chunk) error {
+		if eng.Eval != nil {
+			return eng.Eval.EvaluateRSPN(ctx, ck.g.r, ck.g.reqs[ck.lo:ck.hi], ck.g.vals[ck.lo:ck.hi])
+		}
+		return ck.g.r.EvaluateRequests(ck.g.reqs[ck.lo:ck.hi], ck.g.vals[ck.lo:ck.hi])
+	}
 	if parallelism <= 1 {
 		for _, ck := range chunks {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := ck.g.r.EvaluateRequests(ck.g.reqs[ck.lo:ck.hi], ck.g.vals[ck.lo:ck.hi]); err != nil {
+			if err := eval(ck); err != nil {
 				return err
 			}
 		}
@@ -140,8 +150,7 @@ func (b *batcher) run(ctx context.Context, parallelism int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		ck := chunks[i]
-		return ck.g.r.EvaluateRequests(ck.g.reqs[ck.lo:ck.hi], ck.g.vals[ck.lo:ck.hi])
+		return eval(chunks[i])
 	})
 }
 
@@ -522,7 +531,7 @@ func (p *Plan) ExecuteBatch(ctx context.Context, opts ExecOpts, queries []query.
 			}
 			resolvers[i] = res
 		}
-		if err := b.run(ctx, p.eng.Parallelism); err != nil {
+		if err := b.run(ctx, p.eng); err != nil {
 			return nil, err
 		}
 		out := make([]AQPResult, len(queries))
@@ -571,7 +580,7 @@ func (p *Plan) executeGroupsBatch(ctx context.Context, queries []query.Query, le
 			gates[i] = res
 		}
 	}
-	if err := b.run(ctx, p.eng.Parallelism); err != nil {
+	if err := b.run(ctx, p.eng); err != nil {
 		return nil, err
 	}
 	counts := make([]Estimate, len(gates))
@@ -601,7 +610,7 @@ func (p *Plan) executeGroupsBatch(ctx context.Context, queries []query.Query, le
 				aggs[i] = res
 			}
 		}
-		if err := b2.run(ctx, p.eng.Parallelism); err != nil {
+		if err := b2.run(ctx, p.eng); err != nil {
 			return nil, err
 		}
 	}
@@ -649,7 +658,7 @@ func (p *Plan) EstimateCardinalityQuery(ctx context.Context, q query.Query) (Est
 	if err != nil {
 		return Estimate{}, err
 	}
-	if err := b.run(ctx, p.eng.Parallelism); err != nil {
+	if err := b.run(ctx, p.eng); err != nil {
 		return Estimate{}, err
 	}
 	return res()

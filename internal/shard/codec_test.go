@@ -1,0 +1,59 @@
+package shard
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/spn"
+)
+
+// TestEvalCodecRoundTrip: the binary /eval framing must survive every
+// request shape the batcher produces, including the open-ended ranges
+// (±Inf bounds) that range predicates compile to — which is why the codec
+// ships raw Float64bits rather than a textual float encoding.
+func TestEvalCodecRoundTrip(t *testing.T) {
+	reqs := []spn.Request{
+		{Cols: []spn.ColQuery{
+			{Col: 0, Fn: spn.FnOne, Ranges: []spn.Range{{Lo: math.Inf(-1), Hi: 40, HiIncl: true}}},
+			{Col: 2, Fn: spn.FnIdent, Ranges: []spn.Range{{Lo: 50, Hi: math.Inf(1), LoIncl: true}}},
+		}},
+		{Cols: []spn.ColQuery{
+			{Col: 1, Fn: spn.FnSquare, ExcludeNull: true,
+				Ranges: []spn.Range{{Lo: 0, Hi: 1, LoIncl: true, HiIncl: false}, {Lo: 7, Hi: 7, LoIncl: true, HiIncl: true}}},
+		}},
+		{Cols: []spn.ColQuery{{Col: 3, Fn: spn.FnInv}}},
+		{},
+	}
+	payload := encodeEvalRequest(5, 123456789, reqs)
+	local, ops, got, err := decodeEvalRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local != 5 || ops != 123456789 {
+		t.Fatalf("header (local %d, ops %d), want (5, 123456789)", local, ops)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("decoded %d requests, want %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		// Normalize: an empty column list may decode as nil.
+		if len(reqs[i].Cols) == 0 && len(got[i].Cols) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(reqs[i], got[i]) {
+			t.Fatalf("request %d changed over the wire:\n  sent %+v\n  got  %+v", i, reqs[i], got[i])
+		}
+	}
+}
+
+func TestEvalCodecRejectsCorruptPayloads(t *testing.T) {
+	payload := encodeEvalRequest(0, 7, []spn.Request{
+		{Cols: []spn.ColQuery{{Col: 0, Fn: spn.FnOne, Ranges: []spn.Range{{Lo: 1, Hi: 2}}}}},
+	})
+	for _, n := range []int{0, 1, len(payload) / 2, len(payload) - 1} {
+		if _, _, _, err := decodeEvalRequest(payload[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", n)
+		}
+	}
+}

@@ -1,0 +1,372 @@
+package shard
+
+// remote.go is the process-replica face of a shard: an HTTP server over
+// one Shard (evaluate, apply, flush, health) plus the client and the
+// core.BatchEvaluator implementation the router plugs into its engine.
+//
+// The wire format is binary with IEEE-754 bit patterns for every float —
+// predicate ranges routinely carry ±Inf (spn.FullRange), which JSON cannot
+// represent. Correctness never depends on the replica: the router holds
+// the full models locally and the evaluator falls back to the local member
+// on any remote failure (connection error, replica at a different ops
+// token, decode mismatch), so sharded-with-replicas execution stays
+// bit-identical to single-process execution unconditionally. Replicas are
+// an offload, not an availability risk.
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ensemble"
+	"repro/internal/rspn"
+	"repro/internal/spn"
+	"repro/internal/wal"
+)
+
+// maxEvalBody bounds /eval and /apply request bodies.
+const maxEvalBody = 8 << 20
+
+// ---- eval payload codec ----
+
+// encodeEvalRequest frames one evaluation call: the shard-local member
+// index, the ops token the caller's view was composed at, and the request
+// batch.
+func encodeEvalRequest(local int, ops uint64, reqs []spn.Request) []byte {
+	var b bytes.Buffer
+	putUvarint(&b, uint64(local))
+	putUvarint(&b, ops)
+	putUvarint(&b, uint64(len(reqs)))
+	for _, req := range reqs {
+		putUvarint(&b, uint64(len(req.Cols)))
+		for _, c := range req.Cols {
+			putUvarint(&b, uint64(c.Col))
+			b.WriteByte(byte(c.Fn))
+			var flags byte
+			if c.ExcludeNull {
+				flags |= 1
+			}
+			b.WriteByte(flags)
+			putUvarint(&b, uint64(len(c.Ranges)))
+			for _, r := range c.Ranges {
+				putFloat(&b, r.Lo)
+				putFloat(&b, r.Hi)
+				var incl byte
+				if r.LoIncl {
+					incl |= 1
+				}
+				if r.HiIncl {
+					incl |= 2
+				}
+				b.WriteByte(incl)
+			}
+		}
+	}
+	return b.Bytes()
+}
+
+func decodeEvalRequest(payload []byte) (local int, ops uint64, reqs []spn.Request, err error) {
+	r := bytes.NewReader(payload)
+	l, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	ops, err = binary.ReadUvarint(r)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if n > uint64(len(payload)) {
+		return 0, 0, nil, fmt.Errorf("shard: eval request count %d exceeds payload", n)
+	}
+	reqs = make([]spn.Request, n)
+	for i := range reqs {
+		nc, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if nc > uint64(len(payload)) {
+			return 0, 0, nil, fmt.Errorf("shard: eval column count %d exceeds payload", nc)
+		}
+		cols := make([]spn.ColQuery, nc)
+		for j := range cols {
+			ci, err := binary.ReadUvarint(r)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			fn, err := r.ReadByte()
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			flags, err := r.ReadByte()
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			nr, err := binary.ReadUvarint(r)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			if nr > uint64(len(payload)) {
+				return 0, 0, nil, fmt.Errorf("shard: eval range count %d exceeds payload", nr)
+			}
+			ranges := make([]spn.Range, nr)
+			for k := range ranges {
+				lo, err := getFloat(r)
+				if err != nil {
+					return 0, 0, nil, err
+				}
+				hi, err := getFloat(r)
+				if err != nil {
+					return 0, 0, nil, err
+				}
+				incl, err := r.ReadByte()
+				if err != nil {
+					return 0, 0, nil, err
+				}
+				ranges[k] = spn.Range{Lo: lo, Hi: hi, LoIncl: incl&1 != 0, HiIncl: incl&2 != 0}
+			}
+			if nr == 0 {
+				ranges = nil
+			}
+			cols[j] = spn.ColQuery{Col: int(ci), Fn: spn.Fn(fn), Ranges: ranges, ExcludeNull: flags&1 != 0}
+		}
+		reqs[i] = spn.Request{Cols: cols}
+	}
+	return int(l), ops, reqs, nil
+}
+
+func putUvarint(b *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	b.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+func putFloat(b *bytes.Buffer, f float64) {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], math.Float64bits(f))
+	b.Write(tmp[:])
+}
+
+func getFloat(r *bytes.Reader) (float64, error) {
+	var tmp [8]byte
+	if _, err := io.ReadFull(r, tmp[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(tmp[:])), nil
+}
+
+// ---- server ----
+
+// NewServer returns the HTTP interface of one shard replica:
+//
+//	POST /eval    binary request batch -> binary values (409 on ops skew)
+//	POST /apply   wal-encoded mutations, applied synchronously
+//	POST /flush   drain the update queue
+//	GET  /healthz shard id, members, gen, ops, queue depth
+func NewServer(s *Shard) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/eval", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEvalBody))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		local, wantOps, reqs, err := decodeEvalRequest(payload)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ens, _, ops := s.View()
+		if ops != wantOps {
+			// The caller's composed view and this replica disagree on
+			// stream progress; answering would mix states. The router
+			// falls back to its local model.
+			http.Error(w, fmt.Sprintf("ops skew: have %d, want %d", ops, wantOps), http.StatusConflict)
+			return
+		}
+		if local < 0 || local >= len(ens.RSPNs) {
+			http.Error(w, fmt.Sprintf("no local member %d", local), http.StatusBadRequest)
+			return
+		}
+		out := make([]float64, len(reqs))
+		if err := ens.RSPNs[local].EvaluateRequests(reqs, out); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		var b bytes.Buffer
+		for _, v := range out {
+			putFloat(&b, v)
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(b.Bytes()) //nolint:errcheck // best-effort response
+	})
+	mux.HandleFunc("/apply", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxEvalBody))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		muts, err := wal.DecodeMutations(payload)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.ApplySync(muts); err != nil {
+			// Per-mutation failures still advanced ops; report them without
+			// failing the replication stream.
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprintln(w, err.Error())
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/flush", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := s.Flush(r.Context()); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Stats()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "shard %d members %v gen %d ops %d queue %d\n",
+			st.ID, st.Members, st.Gen, st.Ops, st.Queue.QueueDepth)
+	})
+	return mux
+}
+
+// ---- client ----
+
+// Client talks to one shard replica server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the replica at base (e.g.
+// "http://127.0.0.1:9301").
+func NewClient(base string) *Client {
+	return &Client{base: base, hc: &http.Client{Timeout: 10 * time.Second}}
+}
+
+// Base returns the replica's base URL.
+func (c *Client) Base() string { return c.base }
+
+// Eval answers the request batch on the replica's local member, filling
+// out. Any transport, status or framing problem is an error — the caller
+// falls back to its local model.
+func (c *Client) Eval(ctx context.Context, local int, ops uint64, reqs []spn.Request, out []float64) error {
+	body := encodeEvalRequest(local, ops, reqs)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/eval", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("shard eval: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, int64(8*len(out))+1))
+	if err != nil {
+		return err
+	}
+	if len(raw) != 8*len(out) {
+		return fmt.Errorf("shard eval: got %d bytes, want %d", len(raw), 8*len(out))
+	}
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(raw[8*i:]))
+	}
+	return nil
+}
+
+// Apply replicates one mutation group to the replica synchronously.
+func (c *Client) Apply(ctx context.Context, muts []ensemble.Mutation) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/apply",
+		bytes.NewReader(wal.EncodeMutations(muts)))
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("shard apply: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// ---- router-side evaluator ----
+
+// RemoteEvaluator implements core.BatchEvaluator over a set of replica
+// bindings: members bound to a replica are evaluated there, everything
+// else — and every remote failure — on the local model. Bindings are
+// immutable after construction (the router builds a fresh evaluator per
+// composed view), so concurrent evaluation chunks need no locking.
+type RemoteEvaluator struct {
+	refs map[*rspn.RSPN]remoteRef
+	hits atomic.Uint64
+	miss atomic.Uint64
+}
+
+type remoteRef struct {
+	c     *Client
+	local int
+	ops   uint64
+}
+
+// NewRemoteEvaluator returns an evaluator with no bindings.
+func NewRemoteEvaluator() *RemoteEvaluator {
+	return &RemoteEvaluator{refs: map[*rspn.RSPN]remoteRef{}}
+}
+
+// Bind routes r to the replica at c, as that replica's local member index,
+// valid for views composed at the given ops token.
+func (e *RemoteEvaluator) Bind(r *rspn.RSPN, c *Client, local int, ops uint64) {
+	e.refs[r] = remoteRef{c: c, local: local, ops: ops}
+}
+
+// Hits counts chunks answered remotely; Fallbacks counts chunks that fell
+// back to the local model after a remote failure.
+func (e *RemoteEvaluator) Hits() uint64      { return e.hits.Load() }
+func (e *RemoteEvaluator) Fallbacks() uint64 { return e.miss.Load() }
+
+// EvaluateRSPN implements core.BatchEvaluator.
+func (e *RemoteEvaluator) EvaluateRSPN(ctx context.Context, r *rspn.RSPN, reqs []spn.Request, out []float64) error {
+	if ref, ok := e.refs[r]; ok {
+		if err := ref.c.Eval(ctx, ref.local, ref.ops, reqs, out); err == nil {
+			e.hits.Add(1)
+			return nil
+		}
+		e.miss.Add(1)
+	}
+	return r.EvaluateRequests(reqs, out)
+}

@@ -1,0 +1,145 @@
+package shard_test
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/ensemble"
+	"repro/internal/shard"
+	"repro/internal/spn"
+)
+
+func evalReqs() []spn.Request {
+	return []spn.Request{
+		{Cols: []spn.ColQuery{{Col: 0, Fn: spn.FnOne,
+			Ranges: []spn.Range{{Lo: math.Inf(-1), Hi: 2, HiIncl: true}}}}},
+		{Cols: []spn.ColQuery{{Col: 1, Fn: spn.FnIdent}}},
+		{},
+	}
+}
+
+// replica starts one in-process shard behind its HTTP interface.
+func replica(t *testing.T) (*shard.Shard, *shard.Client) {
+	t.Helper()
+	ens := fixture(t)
+	members := shard.Partition(ens, 1)
+	sh, err := shard.New(0, members[0], ens, shard.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sh.Close() })
+	srv := httptest.NewServer(shard.NewServer(sh))
+	t.Cleanup(srv.Close)
+	return sh, shard.NewClient(srv.URL)
+}
+
+func TestClientEvalMatchesLocal(t *testing.T) {
+	sh, c := replica(t)
+	ens, _, ops := sh.View()
+	reqs := evalReqs()
+	want := make([]float64, len(reqs))
+	if err := ens.RSPNs[0].EvaluateRequests(reqs, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, len(reqs))
+	if err := c.Eval(context.Background(), 0, ops, reqs, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("value %d: remote %v != local %v (must be bit-identical)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestClientEvalRefusesOpsSkew(t *testing.T) {
+	sh, c := replica(t)
+	_, _, ops := sh.View()
+	out := make([]float64, 1)
+	err := c.Eval(context.Background(), 0, ops+1, evalReqs()[:1], out)
+	if err == nil {
+		t.Fatal("replica answered a request for a stream position it has not reached")
+	}
+	if !strings.Contains(err.Error(), "409") {
+		t.Fatalf("want a 409 Conflict, got: %v", err)
+	}
+}
+
+func TestClientApplyAdvancesReplica(t *testing.T) {
+	sh, c := replica(t)
+	_, _, before := sh.View()
+	muts := broadcast(t)
+	if err := c.Apply(context.Background(), muts); err != nil {
+		t.Fatal(err)
+	}
+	_, _, after := sh.View()
+	if after != before+uint64(len(muts)) {
+		t.Fatalf("ops %d -> %d after applying %d mutations", before, after, len(muts))
+	}
+	// A batch with a deterministic per-mutation failure comes back 202,
+	// not an error, and still advances the stream position.
+	bad := []ensemble.Mutation{{Op: ensemble.OpDelete, Table: "orders", PK: 999}}
+	if err := c.Apply(context.Background(), bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, got := sh.View(); got != after+1 {
+		t.Fatalf("ops %d -> %d after a failing batch, want +1", after, got)
+	}
+}
+
+func TestRemoteEvaluatorOffloadAndFallback(t *testing.T) {
+	sh, c := replica(t)
+	ens, _, ops := sh.View()
+	r := ens.RSPNs[0]
+	reqs := evalReqs()
+	want := make([]float64, len(reqs))
+	if err := r.EvaluateRequests(reqs, want); err != nil {
+		t.Fatal(err)
+	}
+	check := func(t *testing.T, e *shard.RemoteEvaluator) {
+		t.Helper()
+		got := make([]float64, len(reqs))
+		if err := e.EvaluateRSPN(context.Background(), r, reqs, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("value %d: %v != %v", i, got[i], want[i])
+			}
+		}
+	}
+	t.Run("bound and aligned: served remotely", func(t *testing.T) {
+		e := shard.NewRemoteEvaluator()
+		e.Bind(r, c, 0, ops)
+		check(t, e)
+		if e.Hits() != 1 || e.Fallbacks() != 0 {
+			t.Fatalf("hits %d fallbacks %d, want 1/0", e.Hits(), e.Fallbacks())
+		}
+	})
+	t.Run("ops skew: local fallback, same bits", func(t *testing.T) {
+		e := shard.NewRemoteEvaluator()
+		e.Bind(r, c, 0, ops+1)
+		check(t, e)
+		if e.Hits() != 0 || e.Fallbacks() != 1 {
+			t.Fatalf("hits %d fallbacks %d, want 0/1", e.Hits(), e.Fallbacks())
+		}
+	})
+	t.Run("dead replica: local fallback, same bits", func(t *testing.T) {
+		e := shard.NewRemoteEvaluator()
+		e.Bind(r, shard.NewClient("http://127.0.0.1:1"), 0, ops)
+		check(t, e)
+		if e.Fallbacks() != 1 {
+			t.Fatalf("fallbacks %d, want 1", e.Fallbacks())
+		}
+	})
+	t.Run("unbound member: evaluated locally without counting", func(t *testing.T) {
+		e := shard.NewRemoteEvaluator()
+		check(t, e)
+		if e.Hits() != 0 || e.Fallbacks() != 0 {
+			t.Fatalf("hits %d fallbacks %d, want 0/0", e.Hits(), e.Fallbacks())
+		}
+	})
+}

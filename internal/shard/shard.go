@@ -1,0 +1,399 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ensemble"
+	"repro/internal/pipeline"
+	"repro/internal/wal"
+)
+
+// ErrQueueFull reports a shed mutation group: the shard's update queue had
+// no free slot and the caller asked not to block.
+var ErrQueueFull = pipeline.ErrQueueFull
+
+// snapshot is one immutable published state of a shard: its sub-ensemble,
+// a publication counter, and the cumulative mutation count. Like the
+// facade's snapshots it is never mutated after publication — the applier
+// clones and publishes a successor — so readers (the router's compose
+// path, remote /eval handlers) use it without coordination.
+type snapshot struct {
+	ens *ensemble.Ensemble
+	gen uint64
+	// ops counts every mutation this shard has processed, applied or
+	// failed. Failures are deterministic under an identical broadcast
+	// stream, so equal ops across shards means equal progress — the
+	// router's alignment token for composing a consistent merged view.
+	ops uint64
+}
+
+// Config sizes one shard's update machinery.
+type Config struct {
+	// QueueSize and MaxBatch mirror the facade pipeline's bounds
+	// (defaults 1024 / 256).
+	QueueSize int
+	MaxBatch  int
+	// WALDir, when set, gives the shard a durable log of its own; existing
+	// records past the checkpoint are replayed on construction.
+	WALDir     string
+	Durability wal.Durability
+	// CloseTimeout bounds the drain on Close (<= 0 waits without bound).
+	CloseTimeout time.Duration
+}
+
+// Group is one queue item: the mutations of one caller-level operation,
+// applied as one indivisible unit, plus the shard-WAL position they were
+// logged at (0 without a WAL).
+type Group struct {
+	Muts []ensemble.Mutation
+	lsn  uint64
+}
+
+// Shard owns one partition of the ensemble: a sub-ensemble served through
+// an atomic snapshot pointer, an update pipeline applying broadcast
+// mutations to copy-on-write clones, and optionally its own WAL. It is the
+// facade DB's apply machinery in miniature, minus the query path — queries
+// run on the router's composed view (or reach the shard through the remote
+// /eval interface).
+type Shard struct {
+	id      int
+	members []int
+	cfg     Config
+
+	// snap is the current published snapshot; stored only by newShard and
+	// publishLocked (the same discipline deepdb-lint enforces on the
+	// facade).
+	snap atomic.Pointer[snapshot]
+
+	// applyMu serializes apply+publish (the applier, ApplySync, Publish).
+	applyMu sync.Mutex
+
+	pipeMu sync.Mutex
+	pipe   *pipeline.Pipeline[Group]
+	closed bool
+
+	walMu    sync.Mutex
+	wal      *wal.Log
+	applyLSN atomic.Uint64
+}
+
+// New builds the shard over the given members (global indices into the
+// full ensemble) and replays its WAL if one is configured.
+func New(id int, members []int, full *ensemble.Ensemble, cfg Config) (*Shard, error) {
+	return newShard(id, members, full, cfg)
+}
+
+func newShard(id int, members []int, full *ensemble.Ensemble, cfg Config) (*Shard, error) {
+	sub, err := full.Subset(members)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", id, err)
+	}
+	if cfg.QueueSize < 1 {
+		cfg.QueueSize = 1024
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 256
+	}
+	s := &Shard{id: id, members: append([]int(nil), members...), cfg: cfg}
+	s.snap.Store(&snapshot{ens: sub})
+	if cfg.WALDir != "" {
+		if err := s.openWAL(); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", id, err)
+		}
+	}
+	return s, nil
+}
+
+// openWAL opens the shard's log and replays every record past the
+// checkpoint, batching like the applier. Per-mutation apply errors are
+// dropped (deferred-async semantics, as in the facade); decode failures
+// abort.
+func (s *Shard) openWAL() error {
+	l, err := wal.Open(s.cfg.WALDir, wal.Options{Durability: s.cfg.Durability})
+	if err != nil {
+		return err
+	}
+	var pending []ensemble.Mutation
+	groups := 0
+	var last uint64
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		s.applyMu.Lock()
+		s.applyLocked(pending) //nolint:errcheck // deferred-async semantics
+		s.storeApplyLSN(last)
+		s.applyMu.Unlock()
+		pending, groups = pending[:0], 0
+	}
+	rerr := l.Replay(func(lsn uint64, payload []byte) error {
+		muts, err := wal.DecodeMutations(payload)
+		if err != nil {
+			return err
+		}
+		pending = append(pending, muts...)
+		groups++
+		last = lsn
+		if groups >= s.cfg.MaxBatch {
+			flush()
+		}
+		return nil
+	})
+	if rerr != nil {
+		l.Close() //nolint:errcheck // the open itself failed
+		return rerr
+	}
+	flush()
+	s.wal = l
+	return nil
+}
+
+// ID returns the shard's index in the partition.
+func (s *Shard) ID() int { return s.id }
+
+// Members returns the shard's global member indices (sorted; do not
+// mutate).
+func (s *Shard) Members() []int { return s.members }
+
+// View returns the current published state: the sub-ensemble, the
+// publication counter and the alignment token.
+func (s *Shard) View() (ens *ensemble.Ensemble, gen, ops uint64) {
+	sn := s.snap.Load()
+	return sn.ens, sn.gen, sn.ops
+}
+
+// publishLocked publishes the next snapshot. Callers hold applyMu.
+func (s *Shard) publishLocked(ens *ensemble.Ensemble, ops uint64) {
+	cur := s.snap.Load()
+	s.snap.Store(&snapshot{ens: ens, gen: cur.gen + 1, ops: ops})
+}
+
+// applyLocked clones the touched state, applies the batch and publishes.
+// The snapshot is published even when nothing applied — ops must advance
+// by the processed count either way, or shards whose streams contain the
+// same failing mutation would never realign. Callers hold applyMu.
+func (s *Shard) applyLocked(muts []ensemble.Mutation) error {
+	cur := s.snap.Load()
+	next := cur.ens.CloneForUpdate(muts)
+	applied, err := next.Apply(muts)
+	if applied == 0 {
+		// Nothing changed: keep serving the current ensemble (the clone
+		// would be bit-identical) but still advance ops.
+		next = cur.ens
+	}
+	s.publishLocked(next, cur.ops+uint64(len(muts)))
+	return err
+}
+
+func (s *Shard) storeApplyLSN(lsn uint64) {
+	for {
+		cur := s.applyLSN.Load()
+		if lsn <= cur || s.applyLSN.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// pipeline lazily starts the background applier.
+func (s *Shard) pipeline() (*pipeline.Pipeline[Group], error) {
+	s.pipeMu.Lock()
+	defer s.pipeMu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("shard %d: closed", s.id)
+	}
+	if s.pipe == nil {
+		s.pipe = pipeline.New(s.cfg.QueueSize, s.cfg.MaxBatch, func(groups []Group) error {
+			n := 0
+			var last uint64
+			for _, g := range groups {
+				n += len(g.Muts)
+				if g.lsn > last {
+					last = g.lsn
+				}
+			}
+			muts := make([]ensemble.Mutation, 0, n)
+			for _, g := range groups {
+				muts = append(muts, g.Muts...)
+			}
+			s.applyMu.Lock()
+			err := s.applyLocked(muts)
+			s.storeApplyLSN(last)
+			s.applyMu.Unlock()
+			return err
+		})
+	}
+	return s.pipe, nil
+}
+
+// HasCapacity reports whether the update queue has a free slot — the
+// router's admission check before a broadcast.
+func (s *Shard) HasCapacity() bool {
+	pipe, err := s.pipeline()
+	if err != nil {
+		return false
+	}
+	return pipe.HasCapacity()
+}
+
+// Enqueue logs (when a WAL is attached) and queues one mutation group,
+// blocking when the queue is full. Append and enqueue happen under one
+// lock so LSN order equals apply order.
+func (s *Shard) Enqueue(muts []ensemble.Mutation) error {
+	pipe, err := s.pipeline()
+	if err != nil {
+		return err
+	}
+	if s.wal == nil {
+		return pipe.Enqueue(Group{Muts: muts})
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	lsn, err := s.wal.Append(wal.EncodeMutations(muts))
+	if err != nil {
+		return err
+	}
+	return pipe.Enqueue(Group{Muts: muts, lsn: lsn})
+}
+
+// TryEnqueue is Enqueue that sheds with ErrQueueFull instead of blocking.
+// With a WAL, capacity is checked before the append — a 429'd group must
+// not linger in the log, or replay would apply a mutation the client was
+// told to retry.
+func (s *Shard) TryEnqueue(muts []ensemble.Mutation) error {
+	pipe, err := s.pipeline()
+	if err != nil {
+		return err
+	}
+	if s.wal == nil {
+		return pipe.TryEnqueue(Group{Muts: muts})
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if !pipe.HasCapacity() {
+		return ErrQueueFull
+	}
+	lsn, err := s.wal.Append(wal.EncodeMutations(muts))
+	if err != nil {
+		return err
+	}
+	// The slot checked above can only have been taken by a Flush barrier
+	// (mutation producers also hold walMu), so this blocks at most one
+	// apply cycle.
+	return pipe.Enqueue(Group{Muts: muts, lsn: lsn})
+}
+
+// ApplySync logs and applies one group before returning — the remote
+// /apply path, which keeps a replica in lockstep with the router's
+// broadcast order (the router serializes broadcasts, so arrival order is
+// stream order).
+func (s *Shard) ApplySync(muts []ensemble.Mutation) error {
+	var lsn uint64
+	if s.wal != nil {
+		s.walMu.Lock()
+		defer s.walMu.Unlock()
+		l, err := s.wal.Append(wal.EncodeMutations(muts))
+		if err != nil {
+			return err
+		}
+		lsn = l
+	}
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	err := s.applyLocked(muts)
+	s.storeApplyLSN(lsn)
+	return err
+}
+
+// Publish swaps in a reloaded sub-ensemble through the normal publication
+// path. ops is preserved: a model swap is not stream progress, and keeping
+// the token lets the router hold its previous composed view until every
+// shard has swapped — readers see all-old or all-new, never a mix.
+func (s *Shard) Publish(ens *ensemble.Ensemble) {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	cur := s.snap.Load()
+	s.publishLocked(ens, cur.ops)
+}
+
+// Checkpoint truncates the shard's WAL at the given LSN — records at or
+// below it are covered by a persisted artifact and must not replay again.
+// No-op without a WAL.
+func (s *Shard) Checkpoint(lsn uint64) error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Checkpoint(lsn)
+}
+
+// AppliedLSN returns the apply watermark (0 without a WAL).
+func (s *Shard) AppliedLSN() uint64 { return s.applyLSN.Load() }
+
+// Flush blocks until every group enqueued before the call has been applied
+// and published, then reports the first deferred apply error.
+func (s *Shard) Flush(ctx context.Context) error {
+	s.pipeMu.Lock()
+	pipe := s.pipe
+	s.pipeMu.Unlock()
+	if pipe == nil {
+		return nil
+	}
+	return pipe.Flush(ctx)
+}
+
+// Close drains the pipeline (bounded by Config.CloseTimeout) and closes
+// the WAL. Idempotent; the published snapshot stays readable.
+func (s *Shard) Close() error {
+	s.pipeMu.Lock()
+	if s.closed {
+		s.pipeMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	pipe := s.pipe
+	s.pipeMu.Unlock()
+	var err error
+	if pipe != nil {
+		err = pipe.CloseTimeout(s.cfg.CloseTimeout)
+	}
+	if s.wal != nil {
+		if werr := s.wal.Close(); err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// Stats is a point-in-time health view of one shard.
+type Stats struct {
+	ID      int
+	Members []int
+	Gen     uint64
+	Ops     uint64
+	Queue   pipeline.Stats
+	// WALAppliedLSN is the apply watermark (0 without a WAL); WAL carries
+	// the log's own counters when one is attached.
+	WALAppliedLSN uint64
+	WAL           *wal.Stats
+}
+
+// Stats reports the shard's counters.
+func (s *Shard) Stats() Stats {
+	_, gen, ops := s.View()
+	out := Stats{ID: s.id, Members: s.members, Gen: gen, Ops: ops}
+	s.pipeMu.Lock()
+	pipe := s.pipe
+	s.pipeMu.Unlock()
+	if pipe != nil {
+		out.Queue = pipe.Stats()
+	}
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		out.WAL = &ws
+		out.WALAppliedLSN = s.applyLSN.Load()
+	}
+	return out
+}

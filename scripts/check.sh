@@ -66,10 +66,19 @@ go test -race -shuffle=on -count=1 ./...
 
 echo "== crash-recovery smoke =="
 # The SIGKILL subprocess test is the durability gate: a child is killed
-# mid-stream and recovery must be bit-identical. It runs as part of the
-# suite above too; this dedicated invocation keeps it from being filtered
-# out and reruns it without the cache.
-go test -run 'TestCrashRecoverySIGKILL' -count=1 ./deepdb
+# mid-stream and recovery must be bit-identical; its SIGTERM counterpart
+# gates the graceful drain (zero acked rows lost under batched
+# durability). Both run as part of the suite above too; this dedicated
+# invocation keeps them from being filtered out and reruns them without
+# the cache.
+go test -run 'TestCrashRecoverySIGKILL|TestGracefulShutdownSIGTERM' -count=1 ./deepdb
+
+echo "== router-vs-single equivalence smoke =="
+# The sharded serving tier's correctness bar: the fan-out router must
+# answer bit-identically to a single process across every query class,
+# both at the facade (after a broadcast mutation stream) and over HTTP.
+go test -run 'TestShardedMatchesSingleBitwise' -count=1 ./deepdb
+go test -run 'TestShardedServeEquivalence' -count=1 ./cmd/deepdb
 
 echo "== benchmark smoke (1 iteration each) =="
 # The root package includes the update-pipeline benches (UpdateApply*,
