@@ -1,7 +1,8 @@
 // Command deepdb-lint is the repository's invariant multichecker: it runs
 // the project-specific analyzers under internal/analysis/… (determinism of
 // map iteration, snapshot discipline, WAL ordering, context propagation,
-// suppression-directive grammar) over Go packages and fails when any
+// hard-coded timeout budgets, suppression-directive grammar) over Go
+// packages and fails when any
 // unsuppressed finding remains.
 //
 // Two invocation modes:
@@ -28,6 +29,7 @@ import (
 	"repro/internal/analysis/detmap"
 	"repro/internal/analysis/directive"
 	"repro/internal/analysis/driver"
+	"repro/internal/analysis/hardtimeout"
 	"repro/internal/analysis/load"
 	"repro/internal/analysis/snapdiscipline"
 	"repro/internal/analysis/walorder"
@@ -39,6 +41,7 @@ var analyzers = []*analysis.Analyzer{
 	snapdiscipline.Analyzer,
 	walorder.Analyzer,
 	ctxloop.Analyzer,
+	hardtimeout.Analyzer,
 	directive.Analyzer,
 }
 

@@ -57,8 +57,13 @@ import (
 	"time"
 
 	"repro/deepdb"
+	"repro/internal/fault"
 	"repro/internal/rspn"
 )
+
+// shutdownTimeout bounds the graceful drain of in-flight requests after
+// SIGINT/SIGTERM (both `deepdb serve` and `deepdb shard` use it).
+const shutdownTimeout = 10 * time.Second
 
 func cmdServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
@@ -78,8 +83,21 @@ func cmdServe(ctx context.Context, args []string) error {
 	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request wall-clock budget; exceeding it answers 503 (0 disables)")
 	maxBody := fs.Int64("max-body", 1<<20, "largest accepted request body in bytes")
 	maxInflight := fs.Int("max-inflight", 0, "bound on concurrently served requests; beyond it requests are shed with 429 (0 unlimited; /healthz is exempt)")
+	// Deliberately undocumented in -h output prose: chaos-run injection.
+	// The spec grammar is internal/fault's; e.g.
+	//   -fault-spec 'point=shard.eval;kind=latency;d=50ms;prob=0.1;seed=7'
+	faultSpec := fs.String("fault-spec", "", "activate a fault-injection schedule for this process (chaos testing)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *faultSpec != "" {
+		sched, err := fault.Parse(*faultSpec)
+		if err != nil {
+			return err
+		}
+		fault.Enable(sched)
+		defer fault.Disable()
+		fmt.Fprintf(os.Stderr, "deepdb: FAULT INJECTION ACTIVE: %s\n", *faultSpec)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -152,7 +170,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	done := make(chan error, 1)
 	go func() {
 		<-sigCtx.Done()
-		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		shutCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 		defer cancel()
 		done <- srv.Shutdown(shutCtx)
 	}()
@@ -522,11 +540,17 @@ func (s *serveHandler) handleInsert(w http.ResponseWriter, r *http.Request) {
 
 // writeMutationErr maps backpressure to 429 + Retry-After (the update
 // queue is full and the backend shed instead of blocking — the client
-// should back off and retry) and everything else to 400.
+// should back off and retry), lost WAL durability to 503 (the fail-stop
+// policy rejects writes until the process is restarted on a healthy disk;
+// reads keep serving), and everything else to 400.
 func (s *serveHandler) writeMutationErr(w http.ResponseWriter, err error) {
 	if errors.Is(err, deepdb.ErrQueueFull) {
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		return
+	}
+	if errors.Is(err, deepdb.ErrDurabilityLost) {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
@@ -617,8 +641,13 @@ type apiUpdateStats struct {
 	LastBatch       int    `json:"last_batch"`
 	LastApplyMicros int64  `json:"last_apply_us"`
 	ApplyLagMicros  int64  `json:"apply_lag_us"`
-	// WAL is present only when the server runs with -wal.
-	WAL *apiWALStats `json:"wal,omitempty"`
+	// WAL is present only when the server runs with -wal. DurabilityLost
+	// reports a failed WAL: writes 503 under the fail-stop policy, or are
+	// volatile under degrade-volatile; either way /healthz flips to
+	// "degraded".
+	WAL            *apiWALStats `json:"wal,omitempty"`
+	DurabilityLost bool         `json:"durability_lost,omitempty"`
+	LastWALError   string       `json:"last_wal_error,omitempty"`
 	// Drift is present when base tables are attached; one entry per
 	// ensemble member.
 	Drift            []apiDriftStat `json:"drift,omitempty"`
@@ -667,6 +696,13 @@ type apiShardStat struct {
 	WALAppliedLSN uint64       `json:"wal_applied_lsn,omitempty"`
 	WAL           *apiWALStats `json:"wal,omitempty"`
 	Peer          string       `json:"peer,omitempty"`
+	// Peer binding health (only with -shard-peers): breaker position,
+	// request/probe outcome counters, most recent failure.
+	PeerHealthy   bool   `json:"peer_healthy,omitempty"`
+	PeerState     string `json:"peer_state,omitempty"`
+	PeerOK        uint64 `json:"peer_ok,omitempty"`
+	PeerFailed    uint64 `json:"peer_failed,omitempty"`
+	PeerLastError string `json:"peer_last_error,omitempty"`
 }
 
 func (s *serveHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -688,9 +724,18 @@ func (s *serveHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 				WALAppliedLSN: ss.WALAppliedLSN,
 				WAL:           apiWAL(ss.WAL),
 				Peer:          ss.Peer,
+				PeerHealthy:   ss.PeerHealthy,
+				PeerState:     ss.PeerState,
+				PeerOK:        ss.PeerOK,
+				PeerFailed:    ss.PeerFailed,
+				PeerLastError: ss.PeerLastError,
 			})
 		}
 		peerHits, peerFalls = sh.PeerStats()
+	}
+	status := "ok"
+	if st.DurabilityLost {
+		status = "degraded"
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Status       string         `json:"status"`
@@ -703,7 +748,7 @@ func (s *serveHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		PeerFalls    uint64         `json:"peer_fallbacks,omitempty"`
 		Updates      apiUpdateStats `json:"updates"`
 	}{
-		Status:       "ok",
+		Status:       status,
 		Models:       len(s.db.Models()),
 		Tables:       len(s.db.Schema().Tables),
 		DataAttached: s.db.Data() != nil,
@@ -724,6 +769,8 @@ func (s *serveHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			LastApplyMicros:  st.LastApplyDuration.Microseconds(),
 			ApplyLagMicros:   st.ApplyLag.Microseconds(),
 			WAL:              apiWAL(st.WAL),
+			DurabilityLost:   st.DurabilityLost,
+			LastWALError:     st.LastWALError,
 			Drift:            apiDrift(st.Drift),
 			Relearns:         st.Relearns,
 			RelearnErrors:    st.RelearnErrors,

@@ -25,7 +25,6 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
-	"time"
 
 	"repro/deepdb"
 	"repro/internal/ensemble"
@@ -88,7 +87,7 @@ func cmdShard(ctx context.Context, args []string) error {
 	done := make(chan error, 1)
 	go func() {
 		<-sigCtx.Done()
-		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		shutCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 		defer cancel()
 		done <- srv.Shutdown(shutCtx)
 	}()

@@ -39,6 +39,7 @@ package deepdb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -121,6 +122,13 @@ type DB struct {
 	relearnFails atomic.Uint64
 	relearnErrMu sync.Mutex
 	relearnErr   string
+
+	// durabilityLost latches once a WAL append or fsync has failed; what
+	// happens to writes after that is the WithWALErrorPolicy decision.
+	// walErrMu/walErr record the cause for UpdateStats and /healthz.
+	durabilityLost atomic.Bool
+	walErrMu       sync.Mutex
+	walErr         string
 }
 
 // updateGroup is one pipeline queue item: the mutations of one
@@ -137,6 +145,15 @@ type updateGroup struct {
 // logged, not enqueued — and the caller should retry later. Serving
 // front-ends map it to 429 + Retry-After. Test with errors.Is.
 var ErrQueueFull = pipeline.ErrQueueFull
+
+// ErrDurabilityLost is returned by Insert/Delete/Update once the WAL has
+// failed (disk full, I/O error) and the DB runs the default WALFailStop
+// policy: the mutation was NOT accepted anywhere and writes stay rejected
+// until the process restarts on a healthy disk. Serving front-ends map it
+// to 503. Under WALDegradeVolatile writes keep succeeding instead, and
+// UpdateStats.DurabilityLost / a "degraded" /healthz carry the warning.
+// Test with errors.Is.
+var ErrDurabilityLost = errors.New("deepdb: WAL durability lost, writes are not crash-safe")
 
 // Learn builds a DB over the schema's CSV files in dataDir (one
 // <table>.csv per schema table, with a header row). Cancelling ctx aborts
@@ -574,11 +591,46 @@ func (db *DB) mutateAll(muts []ensemble.Mutation) error {
 		// a Flush barrier (blocks briefly, never sheds spuriously).
 		return ErrQueueFull
 	}
+	if db.durabilityLost.Load() {
+		return db.mutateDegradedLocked(pipe, muts)
+	}
 	lsn, err := db.wal.Append(wal.EncodeMutations(muts))
 	if err != nil {
-		return err
+		db.latchWALError(err)
+		return db.mutateDegradedLocked(pipe, muts)
 	}
 	return pipe.Enqueue(updateGroup{muts: muts, lsn: lsn})
+}
+
+// mutateDegradedLocked is the write path once WAL durability is lost
+// (walMu held, capacity already checked). WALFailStop rejects the write;
+// WALDegradeVolatile admits it to the in-memory pipeline only — the
+// health surfaces already latched the loss loudly, and the group carries
+// no LSN so a post-restart replay stops at the last durable record.
+func (db *DB) mutateDegradedLocked(pipe *pipeline.Pipeline[updateGroup], muts []ensemble.Mutation) error {
+	if db.cfg.walPolicy != WALDegradeVolatile {
+		return fmt.Errorf("%w: %s", ErrDurabilityLost, db.lastWALError())
+	}
+	//deepdb:walordered durability already lost and latched; volatile-by-policy groups get no LSN, so replay order is unaffected
+	return pipe.Enqueue(updateGroup{muts: muts})
+}
+
+// latchWALError records the first WAL failure and flips the DB into its
+// degraded-durability state.
+func (db *DB) latchWALError(err error) {
+	db.walErrMu.Lock()
+	if db.walErr == "" {
+		db.walErr = err.Error()
+	}
+	db.walErrMu.Unlock()
+	db.durabilityLost.Store(true)
+}
+
+// lastWALError renders the latched WAL failure ("" while healthy).
+func (db *DB) lastWALError() string {
+	db.walErrMu.Lock()
+	defer db.walErrMu.Unlock()
+	return db.walErr
 }
 
 // mutateSync is the WithSyncUpdates write path: log (when a WAL is
@@ -590,10 +642,20 @@ func (db *DB) mutateSync(muts []ensemble.Mutation) error {
 	if db.wal != nil {
 		db.walMu.Lock()
 		defer db.walMu.Unlock()
-		var err error
-		lsn, err = db.wal.Append(wal.EncodeMutations(muts))
-		if err != nil {
-			return err
+		if db.durabilityLost.Load() {
+			if db.cfg.walPolicy != WALDegradeVolatile {
+				return fmt.Errorf("%w: %s", ErrDurabilityLost, db.lastWALError())
+			}
+		} else {
+			var err error
+			lsn, err = db.wal.Append(wal.EncodeMutations(muts))
+			if err != nil {
+				db.latchWALError(err)
+				if db.cfg.walPolicy != WALDegradeVolatile {
+					return fmt.Errorf("%w: %w", ErrDurabilityLost, err)
+				}
+				lsn = 0 // volatile by policy: apply without a durable record
+			}
 		}
 	}
 	db.applyMu.Lock()
@@ -762,6 +824,11 @@ type UpdateStats struct {
 	ApplyLag          time.Duration
 	// WAL describes the write-ahead log (nil without WithWAL).
 	WAL *WALStats
+	// DurabilityLost reports that the WAL has failed: under WALFailStop
+	// writes are being rejected, under WALDegradeVolatile they are accepted
+	// into memory only. LastWALError renders the failure that tripped it.
+	DurabilityLost bool
+	LastWALError   string
 	// Drift lists per-member staleness (nil when drift tracking is off —
 	// i.e. no base tables attached); Relearns counts completed background
 	// re-learn hot-swaps, RelearnErrors failed attempts (LastRelearnError
@@ -827,6 +894,8 @@ func (db *DB) UpdateStats() UpdateStats {
 			Segments:          ws.Segments,
 			SizeBytes:         ws.SizeBytes,
 		}
+		out.DurabilityLost = db.durabilityLost.Load()
+		out.LastWALError = db.lastWALError()
 	}
 	if d := db.snapshotNow().ens.Drift; d != nil {
 		for _, sc := range d.Scores() {

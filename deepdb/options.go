@@ -71,6 +71,38 @@ func ParseDurability(s string) (Durability, bool) {
 // to drain before giving up with an error.
 const defaultCloseTimeout = 30 * time.Second
 
+// WALErrorPolicy decides what happens to writes after the write-ahead log
+// fails (disk full, I/O error on append or fsync) — see WithWALErrorPolicy.
+type WALErrorPolicy int
+
+const (
+	// WALFailStop rejects every write once the WAL cannot persist it:
+	// mutations return ErrDurabilityLost (the serving tier turns that into
+	// 503) until the process is restarted against a healthy disk. No
+	// acknowledged write is ever less durable than the configured mode
+	// promises. The default.
+	WALFailStop WALErrorPolicy = iota
+	// WALDegradeVolatile keeps accepting writes into the in-memory pipeline
+	// after a WAL failure, sacrificing crash-durability for availability.
+	// The DB latches a loud health flag (UpdateStats.DurabilityLost, and
+	// "degraded" on /healthz) so operators see the trade the moment it is
+	// taken; a restart recovers only up to the last durable record.
+	WALDegradeVolatile
+)
+
+func (p WALErrorPolicy) String() string {
+	if p == WALDegradeVolatile {
+		return "degrade-volatile"
+	}
+	return "fail-stop"
+}
+
+// Defaults for the sharded tier's peer hardening knobs. The zero values
+// in config mean "use these"; the With* options override per DB.
+const (
+	defaultPeerProbeInterval = 2 * time.Second
+)
+
 // config is the resolved option set of one DB.
 type config struct {
 	ens          ensemble.Config
@@ -91,6 +123,15 @@ type config struct {
 	shards       int
 	shardPeers   []string
 	nonBlocking  bool
+	walPolicy    WALErrorPolicy
+
+	// Peer hardening knobs (sharded tier with replicas). Zero = default.
+	peerAttempts      int
+	peerBackoff       time.Duration
+	peerBreakThresh   int
+	peerBreakCooldown time.Duration
+	peerProbeInterval time.Duration
+	peerProbeDisabled bool
 }
 
 // driftThresholds assembles the re-learn trigger configuration.
@@ -313,6 +354,51 @@ func WithShards(n int) Option {
 // bit-identical with or without peers.
 func WithShardPeers(urls ...string) Option {
 	return func(c *config) { c.shardPeers = append([]string(nil), urls...) }
+}
+
+// WithWALErrorPolicy decides how the DB behaves once the WAL fails
+// (default WALFailStop: reject writes with ErrDurabilityLost;
+// WALDegradeVolatile: keep serving writes in memory under a loud health
+// flag). Only meaningful together with WithWAL.
+func WithWALErrorPolicy(p WALErrorPolicy) Option {
+	return func(c *config) { c.walPolicy = p }
+}
+
+// WithPeerRetries sets the per-request attempt budget and base backoff for
+// replica /eval calls (defaults live in internal/shard: 3 attempts, 25ms
+// jittered exponential backoff). Non-positive values keep the defaults.
+func WithPeerRetries(attempts int, backoff time.Duration) Option {
+	return func(c *config) {
+		c.peerAttempts = attempts
+		c.peerBackoff = backoff
+	}
+}
+
+// WithPeerBreaker configures the per-peer circuit breaker: `threshold`
+// consecutive failures open it for `cooldown`, during which requests to
+// that replica fail fast to the local model; a health probe (or half-open
+// trial) re-closes it after the peer heals. Non-positive values keep the
+// defaults (5 failures, 2s cooldown).
+func WithPeerBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *config) {
+		c.peerBreakThresh = threshold
+		c.peerBreakCooldown = cooldown
+	}
+}
+
+// WithPeerProbeInterval sets how often the router actively probes each
+// replica's /healthz (default 2s), feeding the per-peer breaker and the
+// health surfaces even when no query traffic flows. d <= 0 disables
+// active probing (the breaker then relies on query traffic alone).
+func WithPeerProbeInterval(d time.Duration) Option {
+	return func(c *config) {
+		if d <= 0 {
+			c.peerProbeDisabled = true
+			return
+		}
+		c.peerProbeDisabled = false
+		c.peerProbeInterval = d
+	}
 }
 
 // WithNonBlockingUpdates makes Insert/Delete/Update shed with ErrQueueFull

@@ -43,6 +43,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ensemble"
@@ -80,6 +81,16 @@ type ShardedDB struct {
 	// composed view's evaluator.
 	peerHits  atomic.Uint64
 	peerFalls atomic.Uint64
+
+	// probeStop/probeWG control the background peer health prober.
+	probeStop chan struct{}
+	probeWG   sync.WaitGroup
+
+	// durabilityLost latches once any shard's WAL failed; walErrMu/walErr
+	// record the first cause (see WithWALErrorPolicy).
+	durabilityLost atomic.Bool
+	walErrMu       sync.Mutex
+	walErr         string
 }
 
 // LearnDatasetSharded is LearnDataset with the resulting ensemble
@@ -155,9 +166,16 @@ func newShardedDB(ens *ensemble.Ensemble, cfg config) (*ShardedDB, error) {
 	}
 	if len(cfg.shardPeers) > 0 {
 		db.peers = make([]*shard.Client, len(db.shards))
+		var copts []shard.ClientOption
+		if cfg.peerAttempts > 0 || cfg.peerBackoff > 0 {
+			copts = append(copts, shard.WithRetry(cfg.peerAttempts, cfg.peerBackoff))
+		}
+		if cfg.peerBreakThresh > 0 || cfg.peerBreakCooldown > 0 {
+			copts = append(copts, shard.WithBreaker(cfg.peerBreakThresh, cfg.peerBreakCooldown))
+		}
 		for i := range db.shards {
 			if i < len(cfg.shardPeers) && cfg.shardPeers[i] != "" {
-				db.peers[i] = shard.NewClient(cfg.shardPeers[i])
+				db.peers[i] = shard.NewClient(cfg.shardPeers[i], copts...)
 			}
 		}
 	}
@@ -176,7 +194,43 @@ func newShardedDB(ens *ensemble.Ensemble, cfg config) (*ShardedDB, error) {
 		return nil, fmt.Errorf("deepdb: shard WALs replay to different positions (crash between per-shard appends); reconcile the shard-<i> WAL directories before reopening")
 	}
 	db.publishLocked(composed, ops)
+	db.startProber()
 	return db, nil
+}
+
+// startProber launches the background peer health prober: every probe
+// interval each bound replica's /healthz is checked and the outcome feeds
+// its circuit breaker and health flag, so a dead peer's breaker opens (and
+// re-closes after heal) even when no query traffic flows. No-op without
+// peers or under WithPeerProbeInterval(<= 0).
+func (db *ShardedDB) startProber() {
+	if db.peers == nil || db.cfg.peerProbeDisabled {
+		return
+	}
+	interval := db.cfg.peerProbeInterval
+	if interval <= 0 {
+		interval = defaultPeerProbeInterval
+	}
+	db.probeStop = make(chan struct{})
+	db.probeWG.Add(1)
+	go func() {
+		defer db.probeWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-db.probeStop:
+				return
+			case <-t.C:
+				for _, c := range db.peers {
+					if c == nil {
+						continue
+					}
+					c.Probe(context.Background()) //nolint:errcheck // outcome lands in the breaker and health surfaces
+				}
+			}
+		}
+	}()
 }
 
 // publishLocked publishes ens as the next composed snapshot generation,
@@ -411,14 +465,40 @@ func (db *ShardedDB) mutateAll(muts []ensemble.Mutation) error {
 	// shard has a free slot, so a shed group leaves no trace anywhere and
 	// the shards' streams stay identical. Under mutMu no other producer can
 	// steal the checked slots; a concurrent Flush barrier can, which makes
-	// the Enqueue below block for at most one apply cycle — never shed.
+	// the EnqueueLogged below block for at most one apply cycle — never shed.
 	for _, sh := range db.shards {
 		if !sh.HasCapacity() {
 			return ErrQueueFull
 		}
 	}
-	for _, sh := range db.shards {
-		if err := sh.Enqueue(muts); err != nil {
+	// The broadcast is split into a log-everywhere phase and an
+	// enqueue-everywhere phase so a WAL failure on shard k surfaces before
+	// ANY shard has been mutated: under WALFailStop the group is rejected
+	// with no shard applying it (shards 0..k-1 carry a logged-but-never-
+	// acked tail record, which the compose-or-refuse check catches on the
+	// next open — see the runbook); under WALDegradeVolatile the group is
+	// admitted everywhere without an LSN and serving continues in memory.
+	lsns := make([]uint64, len(db.shards))
+	if db.durabilityLost.Load() {
+		if db.cfg.walPolicy != WALDegradeVolatile {
+			return fmt.Errorf("%w: %s", ErrDurabilityLost, db.lastWALError())
+		}
+	} else {
+		for i, sh := range db.shards {
+			lsn, err := sh.Log(muts)
+			if err != nil {
+				db.latchWALError(i, err)
+				if db.cfg.walPolicy != WALDegradeVolatile {
+					return fmt.Errorf("%w: %w", ErrDurabilityLost, err)
+				}
+				clear(lsns) // the group is volatile on every shard
+				break
+			}
+			lsns[i] = lsn
+		}
+	}
+	for i, sh := range db.shards {
+		if err := sh.EnqueueLogged(muts, lsns[i]); err != nil {
 			return err
 		}
 	}
@@ -426,11 +506,32 @@ func (db *ShardedDB) mutateAll(muts []ensemble.Mutation) error {
 	return nil
 }
 
+// latchWALError records shard i's WAL failure and flips the router into
+// its degraded-durability state.
+func (db *ShardedDB) latchWALError(i int, err error) {
+	db.walErrMu.Lock()
+	if db.walErr == "" {
+		db.walErr = fmt.Sprintf("shard %d: %s", i, err.Error())
+	}
+	db.walErrMu.Unlock()
+	db.durabilityLost.Store(true)
+}
+
+// lastWALError renders the latched WAL failure ("" while healthy).
+func (db *ShardedDB) lastWALError() string {
+	db.walErrMu.Lock()
+	defer db.walErrMu.Unlock()
+	return db.walErr
+}
+
 // forwardPeers replicates the group to every bound replica, best-effort: a
 // failed or slow replica simply falls out of ops sync, its /eval calls
 // start answering 409, and the router serves those members locally until
 // the operator catches the replica up. Called under mutMu so replicas see
-// broadcasts in stream order.
+// broadcasts in stream order. Each forward is bounded (the client caps an
+// attempt at its per-attempt timeout) and breaker-gated, so a dead replica
+// costs the write path nothing once its breaker opens — before this, a
+// hung replica could stall every broadcast for the full client timeout.
 func (db *ShardedDB) forwardPeers(muts []ensemble.Mutation) {
 	if db.peers == nil {
 		return
@@ -549,6 +650,10 @@ func (db *ShardedDB) Close() error {
 	}
 	db.closed = true
 	db.mutMu.Unlock()
+	if db.probeStop != nil {
+		close(db.probeStop)
+		db.probeWG.Wait()
+	}
 	var first error
 	for _, sh := range db.shards {
 		if err := sh.Close(); err != nil && first == nil {
@@ -581,8 +686,18 @@ type ShardStat struct {
 	// WAL carries the log's counters when one is attached.
 	WALAppliedLSN uint64
 	WAL           *WALStats
-	// Peer is the bound replica's base URL ("" when none).
-	Peer string
+	// Peer is the bound replica's base URL ("" when none). The fields
+	// below describe that binding's health: PeerHealthy is the outcome of
+	// the most recent request or probe, PeerState the circuit breaker's
+	// position ("closed", "open", "half-open"), PeerOK/PeerFailed count
+	// completed requests and probes by outcome, and PeerLastError renders
+	// the most recent failure.
+	Peer          string
+	PeerHealthy   bool
+	PeerState     string
+	PeerOK        uint64
+	PeerFailed    uint64
+	PeerLastError string
 }
 
 // ShardStats reports per-shard health, in shard order.
@@ -619,7 +734,13 @@ func (db *ShardedDB) ShardStats() []ShardStat {
 			}
 		}
 		if db.peers != nil && db.peers[i] != nil {
-			out[i].Peer = db.peers[i].Base()
+			c := db.peers[i]
+			out[i].Peer = c.Base()
+			out[i].PeerHealthy = c.Healthy()
+			out[i].PeerState = c.BreakerState().String()
+			out[i].PeerOK = c.OK()
+			out[i].PeerFailed = c.Failed()
+			out[i].PeerLastError = c.LastError()
 		}
 	}
 	return out
@@ -650,5 +771,7 @@ func (db *ShardedDB) UpdateStats() UpdateStats {
 			out.LastError = st.LastError
 		}
 	}
+	out.DurabilityLost = db.durabilityLost.Load()
+	out.LastWALError = db.lastWALError()
 	return out
 }

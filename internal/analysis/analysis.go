@@ -106,6 +106,7 @@ var DirectiveNames = map[string]bool{
 	"snapshotsafe":   true, // snapdiscipline: snapshot access proven safe by other means
 	"walordered":     true, // walorder: WAL append/enqueue ordering established elsewhere
 	"nocancel":       true, // ctxloop: loop bounds are metadata-sized, not data-sized
+	"hardtimeout":    true, // hardtimeout: an inline duration literal is deliberate here
 }
 
 // A Directive is one parsed //deepdb:<name> <justification> comment.

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // ErrQueueFull is returned by TryEnqueue when the queue has no free slot.
@@ -254,7 +256,15 @@ func (p *Pipeline[T]) run() {
 		var err error
 		if len(muts) > 0 {
 			start := time.Now()
-			err = p.apply(muts)
+			// Injected applier faults fail the batch without running the
+			// apply callback: the facade's applyLSN never advances, so WAL
+			// replay recovers the batch on restart exactly as it would
+			// after an organic applier failure.
+			if r := fault.Check(fault.PipelineApply); r.Err != nil {
+				err = r.Err
+			} else {
+				err = p.apply(muts)
+			}
 			p.mu.Lock()
 			p.stats.Applied += uint64(len(muts))
 			p.stats.Batches++

@@ -1,0 +1,143 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests fail fast until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is in flight; its outcome decides
+	// between reopening and closing.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-peer circuit breaker: `threshold` consecutive failures
+// open it, fail-fasting every request for `cooldown`; after that a single
+// probe request is let through (half-open) and its outcome either closes
+// the breaker or re-opens it for another cooldown. A dead replica stops
+// eating an RPC round-trip (or a retry ladder) per query — the router
+// falls back to local evaluation immediately — while the periodic health
+// prober keeps supplying probes so the breaker re-closes after heal even
+// with no query traffic.
+//
+// A nil *Breaker is valid and never trips; all methods are nil-safe.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker (re-)opened
+	probing  bool      // a half-open probe is in flight
+}
+
+// NewBreaker returns a closed breaker. Non-positive threshold or cooldown
+// fall back to defaults (defaultBreakerThreshold / defaultBreakerCooldown).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = defaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may proceed. In the open state it starts
+// returning true again once the cooldown has elapsed — but only for one
+// request at a time (the half-open probe); a true return must be paired
+// with a Success or Failure call.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful request, closing the breaker.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// Failure records a failed request. A failed half-open probe re-opens the
+// breaker for a fresh cooldown; `threshold` consecutive failures while
+// closed open it.
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.fails = 0
+		}
+	default: // already open (e.g. a late in-flight failure): restamp
+		b.openedAt = b.now()
+	}
+}
+
+// State returns the current state (re-evaluating an elapsed cooldown as
+// half-open would be a lie — the transition happens in Allow).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

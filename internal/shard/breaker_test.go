@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(threshold, cooldown)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker denied request %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after 2/3 failures, want closed", b.State())
+	}
+	b.Allow()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after 3/3 failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request inside cooldown")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second)
+	b.Allow()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe denied")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// Only one probe at a time.
+	if b.Allow() {
+		t.Fatal("second concurrent probe allowed in half-open")
+	}
+
+	// Failed probe: back to open for a fresh cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatalf("failed probe did not re-open (state %v)", b.State())
+	}
+
+	// Heal: elapsed cooldown, successful probe closes it.
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe denied after fresh cooldown")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after successful probe, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker denied request after heal")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second)
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Success()
+	b.Allow()
+	b.Failure()
+	b.Allow()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v: success did not reset the consecutive-failure streak", b.State())
+	}
+}
+
+func TestBreakerNilIsNoop(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker denied a request")
+	}
+	b.Success()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("nil breaker state = %v, want closed", b.State())
+	}
+}

@@ -286,6 +286,34 @@ func (s *Shard) TryEnqueue(muts []ensemble.Mutation) error {
 	return pipe.Enqueue(Group{Muts: muts, lsn: lsn})
 }
 
+// Log durably appends one mutation group to the shard's WAL without
+// queueing it, returning the assigned LSN (0 when the shard has no WAL).
+// Paired with EnqueueLogged it lets the router split a broadcast into a
+// log-everywhere phase and an enqueue-everywhere phase, so a WAL failure
+// on shard k surfaces before any shard has been mutated. Callers must
+// serialize Log/EnqueueLogged pairs across producers (the router's
+// broadcast lock does) — the shard's own walMu only orders the individual
+// calls.
+func (s *Shard) Log(muts []ensemble.Mutation) (uint64, error) {
+	if s.wal == nil {
+		return 0, nil
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	return s.wal.Append(wal.EncodeMutations(muts))
+}
+
+// EnqueueLogged queues a group previously appended by Log (lsn 0 for
+// WAL-less shards), blocking when the queue is full. See Log for the
+// serialization contract.
+func (s *Shard) EnqueueLogged(muts []ensemble.Mutation, lsn uint64) error {
+	pipe, err := s.pipeline()
+	if err != nil {
+		return err
+	}
+	return pipe.Enqueue(Group{Muts: muts, lsn: lsn})
+}
+
 // ApplySync logs and applies one group before returning — the remote
 // /apply path, which keeps a replica in lockstep with the router's
 // broadcast order (the router serializes broadcasts, so arrival order is

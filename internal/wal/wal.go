@@ -40,6 +40,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // Durability selects how aggressively appends reach stable storage.
@@ -152,6 +154,7 @@ type Log struct {
 	sinceIn int  // appends since the last inline sync (Batched)
 	started bool // any Append happened (Replay is only valid before)
 	closed  bool
+	ioErr   error // wedge latch: the segment file is in an unknown state
 
 	stopc chan struct{}
 	wg    sync.WaitGroup
@@ -255,50 +258,94 @@ func Open(dir string, opts Options) (*Log, error) {
 
 // Append writes one record and returns its LSN, honoring the configured
 // durability mode. The payload is opaque to the log.
+//
+// The LSN watermark, segment metadata and stats advance only after the
+// record has cleared the configured durability barrier: a failed write or
+// fsync rolls the segment file back to its pre-append shape and the next
+// Append reuses the same LSN, so an errored Append leaves no trace and an
+// LSN returned without error is never reassigned. If the file cannot be
+// rolled back (or a torn write left a partial record behind) the log
+// wedges: every later Append fails fast with the original error and the
+// caller must reopen the log, which re-runs torn-tail repair.
 func (l *Log) Append(payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, fmt.Errorf("wal: closed")
 	}
+	if l.ioErr != nil {
+		return 0, fmt.Errorf("wal: log wedged by earlier I/O failure: %w", l.ioErr)
+	}
 	l.started = true
 	lsn := l.nextLSN
-	var hdr [recHeaderSize]byte
-	binary.BigEndian.PutUint64(hdr[0:8], lsn)
-	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(payload)))
-	crc := crc32.Update(0, crcTable, hdr[0:12])
+	rec := make([]byte, recHeaderSize+len(payload))
+	binary.BigEndian.PutUint64(rec[0:8], lsn)
+	binary.BigEndian.PutUint32(rec[8:12], uint32(len(payload)))
+	copy(rec[recHeaderSize:], payload)
+	crc := crc32.Update(0, crcTable, rec[0:12])
 	crc = crc32.Update(crc, crcTable, payload)
-	binary.BigEndian.PutUint32(hdr[12:16], crc)
-	if _, err := l.f.Write(hdr[:]); err != nil {
-		return 0, fmt.Errorf("wal: %w", err)
-	}
-	if _, err := l.f.Write(payload); err != nil {
-		return 0, fmt.Errorf("wal: %w", err)
-	}
-	l.nextLSN++
-	active := &l.segs[len(l.segs)-1]
-	active.last = lsn
-	active.records++
-	active.bytes += int64(recHeaderSize + len(payload))
-	l.stats.Appended++
-	l.stats.LastLSN = lsn
-	l.stats.SizeBytes += int64(recHeaderSize + len(payload))
+	binary.BigEndian.PutUint32(rec[12:16], crc)
 
+	active := &l.segs[len(l.segs)-1]
+	start := active.bytes // == current file size; rollback target
+
+	if r := fault.Check(fault.WALAppendWrite); r.Err != nil {
+		if r.Torn > 0 {
+			// Persist a prefix of the record and wedge: the on-disk
+			// aftermath of a crash mid-write. Reopen repairs via torn-tail
+			// truncation.
+			if n := min(r.Torn, len(rec)); n > 0 {
+				_, _ = l.f.Write(rec[:n])
+			}
+			l.ioErr = r.Err
+			return 0, fmt.Errorf("wal: %w", r.Err)
+		}
+		return 0, fmt.Errorf("wal: %w", r.Err)
+	}
+	if _, err := l.f.Write(rec); err != nil {
+		l.rollbackLocked(start, err)
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+
+	// Durability barrier before commit.
 	switch l.opts.Durability {
 	case Sync:
-		if err := l.f.Sync(); err != nil {
-			return 0, fmt.Errorf("wal: %w", err)
+		serr := fault.Check(fault.WALAppendSync).Err
+		if serr == nil {
+			serr = l.f.Sync()
+		}
+		if serr != nil {
+			l.rollbackLocked(start, serr)
+			return 0, fmt.Errorf("wal: %w", serr)
 		}
 		l.stats.Synced++
 	case Batched:
-		l.dirty = true
-		l.sinceIn++
-		if l.sinceIn >= l.opts.SyncEvery {
-			if err := l.syncLocked(); err != nil {
-				return 0, err
+		if l.sinceIn+1 >= l.opts.SyncEvery {
+			serr := fault.Check(fault.WALAppendSync).Err
+			if serr == nil {
+				serr = l.f.Sync()
 			}
+			if serr != nil {
+				l.rollbackLocked(start, serr)
+				return 0, fmt.Errorf("wal: %w", serr)
+			}
+			l.stats.Synced++
+			l.dirty = false
+			l.sinceIn = 0
+		} else {
+			l.dirty = true
+			l.sinceIn++
 		}
 	}
+
+	l.nextLSN++
+	active.last = lsn
+	active.records++
+	active.bytes += int64(len(rec))
+	l.stats.Appended++
+	l.stats.LastLSN = lsn
+	l.stats.SizeBytes += int64(len(rec))
+
 	if active.bytes >= l.opts.SegmentBytes {
 		if err := l.rotateLocked(); err != nil {
 			return 0, err
@@ -307,12 +354,30 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	return lsn, nil
 }
 
+// rollbackLocked restores the active segment to its pre-append size after
+// a failed write or fsync, so the aborted record leaves no bytes behind
+// and the next append lands at the same offset with the same LSN. If the
+// restore itself fails the segment tail is in an unknown state and the log
+// wedges with cause.
+func (l *Log) rollbackLocked(start int64, cause error) {
+	if err := l.f.Truncate(start); err != nil {
+		l.ioErr = fmt.Errorf("%w (and rollback truncate failed: %v)", cause, err)
+		return
+	}
+	if _, err := l.f.Seek(start, 0); err != nil {
+		l.ioErr = fmt.Errorf("%w (and rollback seek failed: %v)", cause, err)
+	}
+}
+
 // Sync flushes outstanding appends to stable storage.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return fmt.Errorf("wal: closed")
+	}
+	if l.ioErr != nil {
+		return fmt.Errorf("wal: log wedged by earlier I/O failure: %w", l.ioErr)
 	}
 	return l.syncLocked()
 }

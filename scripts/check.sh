@@ -30,8 +30,9 @@ go build ./...
 
 echo "== deepdb-lint (invariant suite) =="
 # Project-specific analyzers (determinism, snapshot discipline, WAL
-# ordering, ctx propagation, directive grammar) run through the vet
-# driver so per-package results are cached by the go build cache.
+# ordering, ctx propagation, hard-coded timeouts, directive grammar) run
+# through the vet driver so per-package results are cached by the go
+# build cache.
 mkdir -p bin
 go build -o bin/deepdb-lint ./cmd/deepdb-lint
 go vet -vettool="$(pwd)/bin/deepdb-lint" ./...
@@ -79,6 +80,16 @@ echo "== router-vs-single equivalence smoke =="
 # both at the facade (after a broadcast mutation stream) and over HTTP.
 go test -run 'TestShardedMatchesSingleBitwise' -count=1 ./deepdb
 go test -run 'TestShardedServeEquivalence' -count=1 ./cmd/deepdb
+
+echo "== chaos (seeded fault injection) =="
+# The fault-injection suite: deterministic, seeded schedules drive the WAL
+# append/fsync path, the async applier and the shard RPC client through
+# injected EIO/ENOSPC, torn writes, partitions, timeouts and latency, and
+# assert the hardening invariants — no acked-write loss, bit-identical
+# estimates to a fault-free run, breaker open-then-reconverge after heal.
+# These run inside the full suite above too; the dedicated invocation
+# keeps the chaos bar visible and uncached even when the suite is filtered.
+go test -race -short -count=1 -run '^TestChaos' ./internal/wal ./internal/pipeline ./deepdb
 
 echo "== benchmark smoke (1 iteration each) =="
 # The root package includes the update-pipeline benches (UpdateApply*,
