@@ -42,11 +42,13 @@ package main
 // can always probe).
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	netpprof "net/http/pprof"
 	"os"
@@ -72,6 +74,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	dataDir := fs.String("data", "", "optional data directory (only needed if clients use exact-execution features)")
 	parallel := fs.Int("parallel", 0, "per-query fan-out parallelism (<=1 sequential)")
 	cache := fs.Int("cache", 0, "plan cache size (0 keeps the default)")
+	resultCache := fs.Int("result-cache", 0, "cross-query result cache size in entries (0 disables; hits skip evaluation entirely and are invalidated by every published snapshot)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the serving process to this file (finalized at shutdown)")
 	withPprof := fs.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/ for live hot-path diagnosis")
 	readonly := fs.Bool("readonly", false, "reject /insert, /delete and /flush (serve a frozen snapshot)")
@@ -122,6 +125,9 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 	if *cache > 0 {
 		opts = append(opts, deepdb.WithPlanCacheSize(*cache))
+	}
+	if *resultCache > 0 {
+		opts = append(opts, deepdb.WithResultCacheSize(*resultCache))
 	}
 	if *walDir != "" {
 		opts = append(opts, deepdb.WithWAL(*walDir))
@@ -207,6 +213,7 @@ func withPprofEndpoints(h http.Handler) http.Handler {
 type backend interface {
 	Prepare(sql string) (*deepdb.Stmt, error)
 	Query(ctx context.Context, sql string, opts ...deepdb.ExecOption) (deepdb.Result, error)
+	QueryRows(ctx context.Context, sql string, opts ...deepdb.ExecOption) (*deepdb.Rows, error)
 	EstimateCardinality(ctx context.Context, sql string, opts ...deepdb.ExecOption) (deepdb.Estimate, error)
 	Explain(ctx context.Context, sql string) (string, error)
 	ResolveLabel(column, literal string) (float64, error)
@@ -369,22 +376,24 @@ func (req apiRequest) paramArgs() []any {
 	return args
 }
 
+// streamFlushRows is how many streamed result rows are written between
+// flushes of the chunked response.
+const streamFlushRows = 256
+
 func (s *serveHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	req, ok := s.decodeRequest(w, r)
 	if !ok {
 		return
 	}
 	start := time.Now()
+	if len(req.Params) == 0 {
+		s.streamQuery(w, r, req, start)
+		return
+	}
 	var res deepdb.Result
-	var err error
-	if len(req.Params) > 0 {
-		var stmt *deepdb.Stmt
-		stmt, err = s.db.Prepare(req.SQL)
-		if err == nil {
-			res, err = stmt.Exec(r.Context(), req.paramArgs()...)
-		}
-	} else {
-		res, err = s.db.Query(r.Context(), req.SQL, req.execOpts()...)
+	stmt, err := s.db.Prepare(req.SQL)
+	if err == nil {
+		res, err = stmt.Exec(r.Context(), req.paramArgs()...)
 	}
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
@@ -399,6 +408,60 @@ func (s *serveHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Groups    []apiGroup `json:"groups"`
 		ElapsedUS int64      `json:"elapsed_us"`
 	}{groups, time.Since(start).Microseconds()})
+}
+
+// streamQuery answers the parameterless /query path through the streaming
+// read API: grouped results are evaluated chunk by chunk and their rows
+// written (and flushed) incrementally, so a GROUP BY over millions of keys
+// is served in bounded memory instead of being materialized in the
+// response buffer. The bytes written are identical to the buffered path's
+// encoding of the same result — same field order, same escaping, same
+// trailing newline — with elapsed_us stamped at stream end. Ungrouped
+// queries execute eagerly inside QueryRows (keeping their result-cache
+// benefit) and emit their single row the same way.
+//
+// An execution error after rows have streamed cannot change the status
+// code anymore; the object is closed with an "error" member instead of
+// elapsed_us, which also leaves the JSON well-formed for the client.
+func (s *serveHandler) streamQuery(w http.ResponseWriter, r *http.Request, req apiRequest, start time.Time) {
+	rows, err := s.db.QueryRows(r.Context(), req.SQL, req.execOpts()...)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	io.WriteString(w, `{"groups":[`) //nolint:errcheck // client gone = write errors, nothing to do
+	n := 0
+	for rows.Next() {
+		g := rows.Row()
+		if n > 0 {
+			io.WriteString(w, ",") //nolint:errcheck
+		}
+		buf.Reset()
+		//nolint:errcheck // encoding to a bytes.Buffer cannot fail for this type
+		enc.Encode(apiGroup{Key: g.Key, Labels: g.Labels,
+			Value: g.Value, Variance: g.Variance, CILow: g.CILow, CIHigh: g.CIHigh})
+		w.Write(bytes.TrimSuffix(buf.Bytes(), []byte("\n"))) //nolint:errcheck
+		n++
+		if n%streamFlushRows == 0 && flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := rows.Err(); err != nil {
+		buf.Reset()
+		enc.Encode(err.Error()) //nolint:errcheck
+		fmt.Fprintf(w, `],"error":%s}`+"\n", bytes.TrimSuffix(buf.Bytes(), []byte("\n")))
+		return
+	}
+	fmt.Fprintf(w, `],"elapsed_us":%d}`+"\n", time.Since(start).Microseconds())
+	if flusher != nil {
+		flusher.Flush()
+	}
 }
 
 func (s *serveHandler) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -648,6 +711,15 @@ type apiUpdateStats struct {
 	WAL            *apiWALStats `json:"wal,omitempty"`
 	DurabilityLost bool         `json:"durability_lost,omitempty"`
 	LastWALError   string       `json:"last_wal_error,omitempty"`
+	// Plan- and result-cache observability: lookup counters and current
+	// entry counts (see the README's cache invalidation table).
+	PlanCacheHits        uint64 `json:"plan_cache_hits"`
+	PlanCacheMisses      uint64 `json:"plan_cache_misses"`
+	PlanCacheSize        int    `json:"plan_cache_size"`
+	ResultCacheHits      uint64 `json:"result_cache_hits"`
+	ResultCacheMisses    uint64 `json:"result_cache_misses"`
+	ResultCacheEvictions uint64 `json:"result_cache_evictions"`
+	ResultCacheSize      int    `json:"result_cache_size"`
 	// Drift is present when base tables are attached; one entry per
 	// ensemble member.
 	Drift            []apiDriftStat `json:"drift,omitempty"`
@@ -757,24 +829,31 @@ func (s *serveHandler) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		PeerHits:     peerHits,
 		PeerFalls:    peerFalls,
 		Updates: apiUpdateStats{
-			Generation:       st.Generation,
-			SyncUpdates:      st.SyncUpdates,
-			QueueDepth:       st.QueueDepth,
-			Enqueued:         st.Enqueued,
-			Applied:          st.Applied,
-			Batches:          st.Batches,
-			Errors:           st.Errors,
-			LastError:        st.LastError,
-			LastBatch:        st.LastBatch,
-			LastApplyMicros:  st.LastApplyDuration.Microseconds(),
-			ApplyLagMicros:   st.ApplyLag.Microseconds(),
-			WAL:              apiWAL(st.WAL),
-			DurabilityLost:   st.DurabilityLost,
-			LastWALError:     st.LastWALError,
-			Drift:            apiDrift(st.Drift),
-			Relearns:         st.Relearns,
-			RelearnErrors:    st.RelearnErrors,
-			LastRelearnError: st.LastRelearnError,
+			Generation:           st.Generation,
+			SyncUpdates:          st.SyncUpdates,
+			QueueDepth:           st.QueueDepth,
+			Enqueued:             st.Enqueued,
+			Applied:              st.Applied,
+			Batches:              st.Batches,
+			Errors:               st.Errors,
+			LastError:            st.LastError,
+			LastBatch:            st.LastBatch,
+			LastApplyMicros:      st.LastApplyDuration.Microseconds(),
+			ApplyLagMicros:       st.ApplyLag.Microseconds(),
+			WAL:                  apiWAL(st.WAL),
+			DurabilityLost:       st.DurabilityLost,
+			LastWALError:         st.LastWALError,
+			PlanCacheHits:        st.PlanCacheHits,
+			PlanCacheMisses:      st.PlanCacheMisses,
+			PlanCacheSize:        st.PlanCacheSize,
+			ResultCacheHits:      st.ResultCacheHits,
+			ResultCacheMisses:    st.ResultCacheMisses,
+			ResultCacheEvictions: st.ResultCacheEvictions,
+			ResultCacheSize:      st.ResultCacheSize,
+			Drift:                apiDrift(st.Drift),
+			Relearns:             st.Relearns,
+			RelearnErrors:        st.RelearnErrors,
+			LastRelearnError:     st.LastRelearnError,
 		},
 	})
 }

@@ -1,0 +1,132 @@
+package main
+
+// serve_stream_test.go pins the wire contract of the streaming /query
+// path: the bytes a parameterless (streamed) request produces must be
+// identical to the buffered encoder's output for the same result — same
+// field order, same escaping, same framing — except for the trailing
+// elapsed_us measurement, and the stream must actually go out chunked.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// rawPost posts a JSON body and returns the raw response bytes.
+func rawPost(t *testing.T, srv *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// stripElapsed cuts a /query response off at its elapsed_us member, which
+// legitimately differs per request; everything before it must match.
+func stripElapsed(t *testing.T, raw []byte) string {
+	t.Helper()
+	i := bytes.LastIndex(raw, []byte(`,"elapsed_us":`))
+	if i < 0 {
+		t.Fatalf("response missing elapsed_us: %s", raw)
+	}
+	return string(raw[:i])
+}
+
+// TestServeQueryStreamedMatchesBuffered compares every query class across
+// the two /query execution paths: parameterless requests stream row by
+// row, parameterized requests buffer through the prepared-statement path.
+// The same logical query must produce identical bytes either way.
+func TestServeQueryStreamedMatchesBuffered(t *testing.T) {
+	db := serveFixture(t)
+	srv := httptest.NewServer(newServeHandler(db, false))
+	defer srv.Close()
+
+	cases := []struct {
+		name     string
+		streamed string // literal SQL, runs the streaming path
+		buffered string // same query as a template + params, runs buffered
+	}{
+		{
+			"grouped-count",
+			`{"sql": "SELECT COUNT(*) FROM customer WHERE c_age >= 30 GROUP BY c_region"}`,
+			`{"sql": "SELECT COUNT(*) FROM customer WHERE c_age >= ? GROUP BY c_region", "params": [30]}`,
+		},
+		{
+			"grouped-join-avg",
+			`{"sql": "SELECT AVG(o_amount) FROM customer JOIN orders WHERE c_age < 55 GROUP BY c_region"}`,
+			`{"sql": "SELECT AVG(o_amount) FROM customer JOIN orders WHERE c_age < ? GROUP BY c_region", "params": [55]}`,
+		},
+		{
+			"grouped-string-predicate",
+			`{"sql": "SELECT COUNT(*) FROM customer WHERE c_region = 'EU' GROUP BY c_region"}`,
+			`{"sql": "SELECT COUNT(*) FROM customer WHERE c_region = ? GROUP BY c_region", "params": ["EU"]}`,
+		},
+		{
+			"ungrouped",
+			`{"sql": "SELECT COUNT(*) FROM customer WHERE c_age >= 40"}`,
+			`{"sql": "SELECT COUNT(*) FROM customer WHERE c_age >= ?", "params": [40]}`,
+		},
+		{
+			"confidence-override",
+			`{"sql": "SELECT COUNT(*) FROM customer WHERE c_age >= 40 GROUP BY c_region", "confidence": 0.8}`,
+			`{"sql": "SELECT COUNT(*) FROM customer WHERE c_age >= ? GROUP BY c_region", "params": [40], "confidence": 0.8}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sResp, sRaw := rawPost(t, srv, "/query", tc.streamed)
+			bResp, bRaw := rawPost(t, srv, "/query", tc.buffered)
+			if sResp.StatusCode != http.StatusOK || bResp.StatusCode != http.StatusOK {
+				t.Fatalf("status streamed=%d buffered=%d\nstreamed: %s\nbuffered: %s",
+					sResp.StatusCode, bResp.StatusCode, sRaw, bRaw)
+			}
+			if got, want := stripElapsed(t, sRaw), stripElapsed(t, bRaw); got != want {
+				t.Fatalf("streamed bytes differ from buffered\n  streamed: %s\n  buffered: %s", got, want)
+			}
+			// Both must be complete JSON documents ending in the buffered
+			// encoder's trailing newline.
+			for _, raw := range [][]byte{sRaw, bRaw} {
+				if !bytes.HasSuffix(raw, []byte("}\n")) {
+					t.Fatalf("response not newline-terminated: %q", raw)
+				}
+				var doc struct {
+					Groups    []apiGroup `json:"groups"`
+					ElapsedUS int64      `json:"elapsed_us"`
+					Error     string     `json:"error"`
+				}
+				if err := json.Unmarshal(raw, &doc); err != nil {
+					t.Fatalf("response not valid JSON: %v\n%s", err, raw)
+				}
+				if doc.Error != "" {
+					t.Fatalf("unexpected error member: %s", doc.Error)
+				}
+			}
+			// The streaming path must not buffer the whole response behind
+			// a Content-Length: it goes out chunked.
+			if len(sResp.TransferEncoding) == 0 || sResp.TransferEncoding[0] != "chunked" {
+				t.Fatalf("streamed response not chunked: TransferEncoding=%v", sResp.TransferEncoding)
+			}
+		})
+	}
+
+	// A parse error on the streaming path still answers a regular 400
+	// JSON error document (nothing has been streamed yet).
+	resp, raw := rawPost(t, srv, "/query", `{"sql": "SELECT NONSENSE"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad sql: status %d, body %s", resp.StatusCode, raw)
+	}
+	var e apiError
+	if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+		t.Fatalf("bad sql: malformed error body %s", raw)
+	}
+}

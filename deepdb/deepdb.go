@@ -86,6 +86,11 @@ type DB struct {
 	// disabled via WithPlanCacheSize(0)), tagged with the snapshot
 	// generation they were compiled at.
 	plans *planCache
+	// resCache caches finished query results and cardinality estimates
+	// across calls (nil unless WithResultCacheSize enabled it), keyed on
+	// (shape, bound literal values, confidence level) and tagged with the
+	// snapshot generation like cached plans.
+	resCache *resultCache
 
 	// applyMu serializes everything that mutates model state and
 	// publishes snapshots: the background applier, synchronous updates,
@@ -221,7 +226,8 @@ func Open(ctx context.Context, modelPath string, opts ...Option) (*DB, error) {
 }
 
 func newDB(ens *ensemble.Ensemble, cfg config) (*DB, error) {
-	db := &DB{cfg: cfg, plans: newPlanCache(cfg.planCache), tableVer: map[string]uint64{}}
+	db := &DB{cfg: cfg, plans: newPlanCache(cfg.planCache),
+		resCache: newResultCache(cfg.resultCache), tableVer: map[string]uint64{}}
 	if ens.Tables != nil {
 		// Drift tracking baselines against the pre-replay state, so
 		// mutations recovered from the WAL count toward staleness exactly
@@ -253,6 +259,9 @@ func (db *DB) snapshotNow() *snapshot { return db.snap.Load() }
 
 // defaultConfidence returns the DB-wide confidence-interval level.
 func (db *DB) defaultConfidence() float64 { return db.cfg.confidence }
+
+// results returns the cross-query result cache (nil when disabled).
+func (db *DB) results() *resultCache { return db.resCache }
 
 // publishLocked atomically publishes ens as the next snapshot generation.
 // Callers must hold applyMu.
@@ -289,6 +298,15 @@ func (db *DB) PlanCacheLen() int {
 		return 0
 	}
 	return db.plans.size()
+}
+
+// ResultCacheLen reports how many query results and cardinality estimates
+// are currently cached (0 unless WithResultCacheSize enabled the cache).
+func (db *DB) ResultCacheLen() int {
+	if db.resCache == nil {
+		return 0
+	}
+	return db.resCache.size()
 }
 
 // Save writes the model (ensemble, dependency and per-table statistics,
@@ -409,8 +427,27 @@ func (db *DB) ExecuteQuery(ctx context.Context, q query.Query, opts ...ExecOptio
 }
 
 func executeQueryOn(ctx context.Context, h stmtHost, s *snapshot, q query.Query, opts []ExecOption) (Result, error) {
-	eo := resolveExec(opts)
-	p, err := h.planFor(s, "", q)
+	return executeQueryShaped(ctx, h, s, "", q, resolveExec(opts))
+}
+
+// executeQueryShaped is the shared execution path of Query/ExecuteQuery and
+// Stmt.Exec: result-cache lookup, plan lookup, execution, store. shape may
+// be "" (computed on demand); prepared statements pass their precomputed
+// key. Cache hits return without touching the models and are bit-identical
+// to executing (the cached value IS an execution's value).
+func executeQueryShaped(ctx context.Context, h stmtHost, s *snapshot, shape string, q query.Query, eo execOpts) (Result, error) {
+	rc := h.results()
+	var key []byte
+	if rc != nil {
+		if shape == "" {
+			shape = q.ShapeKey()
+		}
+		key = resultKey(nsQuery, shape, q, eo.levelOr(h.defaultConfidence()))
+		if res, ok := rc.getResult(key, s.gen); ok {
+			return res, nil
+		}
+	}
+	p, err := h.planFor(s, shape, q)
 	if err != nil {
 		return Result{}, err
 	}
@@ -418,7 +455,11 @@ func executeQueryOn(ctx context.Context, h stmtHost, s *snapshot, q query.Query,
 	if err != nil {
 		return Result{}, err
 	}
-	return wrapResult(s.ens, q, res), nil
+	out := wrapResult(s.ens, q, res)
+	if rc != nil {
+		rc.putResult(key, s.gen, out)
+	}
+	return out, nil
 }
 
 // EstimateCardinality estimates COUNT(*) over the query's join with its
@@ -439,8 +480,26 @@ func (db *DB) EstimateCardinalityQuery(ctx context.Context, q query.Query, opts 
 }
 
 func estimateCardinalityOn(ctx context.Context, h stmtHost, s *snapshot, q query.Query, opts []ExecOption) (Estimate, error) {
-	eo := resolveExec(opts)
-	p, err := h.planFor(s, "", q)
+	return estimateCardinalityShaped(ctx, h, s, "", q, resolveExec(opts))
+}
+
+// estimateCardinalityShaped is the shared cardinality path of
+// EstimateCardinality and Stmt.Estimate, with the same result-cache
+// protocol as executeQueryShaped under the estimate namespace.
+func estimateCardinalityShaped(ctx context.Context, h stmtHost, s *snapshot, shape string, q query.Query, eo execOpts) (Estimate, error) {
+	level := eo.levelOr(h.defaultConfidence())
+	rc := h.results()
+	var key []byte
+	if rc != nil {
+		if shape == "" {
+			shape = q.ShapeKey()
+		}
+		key = resultKey(nsEstimate, shape, q, level)
+		if est, ok := rc.getEstimate(key, s.gen); ok {
+			return est, nil
+		}
+	}
+	p, err := h.planFor(s, shape, q)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -448,7 +507,11 @@ func estimateCardinalityOn(ctx context.Context, h stmtHost, s *snapshot, q query
 	if err != nil {
 		return Estimate{}, err
 	}
-	return wrapEstimate(est, eo.levelOr(h.defaultConfidence())), nil
+	out := wrapEstimate(est, level)
+	if rc != nil {
+		rc.putEstimate(key, s.gen, out)
+	}
+	return out, nil
 }
 
 // Explain renders the execution plan for the SQL query — which compilation
@@ -829,6 +892,20 @@ type UpdateStats struct {
 	// into memory only. LastWALError renders the failure that tripped it.
 	DurabilityLost bool
 	LastWALError   string
+	// PlanCacheHits/PlanCacheMisses count plan-cache lookups (a
+	// stale-generation entry counts as a miss); PlanCacheSize is the
+	// current entry count. All zero with WithPlanCacheSize(0).
+	PlanCacheHits   uint64
+	PlanCacheMisses uint64
+	PlanCacheSize   int
+	// ResultCacheHits/ResultCacheMisses/ResultCacheEvictions count
+	// result-cache lookups and LRU/stale-generation evictions;
+	// ResultCacheSize is the current entry count. All zero unless
+	// WithResultCacheSize enabled the cache.
+	ResultCacheHits      uint64
+	ResultCacheMisses    uint64
+	ResultCacheEvictions uint64
+	ResultCacheSize      int
 	// Drift lists per-member staleness (nil when drift tracking is off —
 	// i.e. no base tables attached); Relearns counts completed background
 	// re-learn hot-swaps, RelearnErrors failed attempts (LastRelearnError
@@ -876,9 +953,23 @@ type DriftStat struct {
 	Relearns uint64
 }
 
+// fillCacheStats copies the plan- and result-cache counters into a stats
+// snapshot (shared by DB.UpdateStats and ShardedDB.UpdateStats).
+func fillCacheStats(out *UpdateStats, plans *planCache, results *resultCache) {
+	if plans != nil {
+		out.PlanCacheHits, out.PlanCacheMisses = plans.stats()
+		out.PlanCacheSize = plans.size()
+	}
+	if results != nil {
+		out.ResultCacheHits, out.ResultCacheMisses, out.ResultCacheEvictions = results.stats()
+		out.ResultCacheSize = results.size()
+	}
+}
+
 // UpdateStats reports the update pipeline's counters.
 func (db *DB) UpdateStats() UpdateStats {
 	out := UpdateStats{Generation: db.Generation(), SyncUpdates: db.cfg.syncUpdates}
+	fillCacheStats(&out, db.plans, db.resCache)
 	if db.wal != nil {
 		ws := db.wal.Stats()
 		out.WAL = &WALStats{

@@ -112,6 +112,7 @@ type config struct {
 	dataDir      string
 	dataset      Dataset
 	planCache    int
+	resultCache  int
 	syncUpdates  bool
 	queueSize    int
 	maxBatch     int
@@ -249,6 +250,21 @@ func WithConfidenceLevel(level float64) Option {
 // (every unprepared call compiles from scratch).
 func WithPlanCacheSize(n int) Option {
 	return func(c *config) { c.planCache = n }
+}
+
+// WithResultCacheSize enables the cross-query result cache and bounds it
+// to roughly n entries (LRU, hash-sharded; default 0 = disabled). The
+// cache sits in front of plan execution: a repeated Query,
+// EstimateCardinality or Stmt.Exec/ExecBatch/Estimate call with the same
+// query shape, the same bound literal values and the same effective
+// confidence level is answered from the cache, bit-identical to executing
+// it. Entries are tagged with the snapshot generation, so any published
+// snapshot — an update batch, Reload, a background re-learn hot-swap,
+// CheckStaleness — invalidates them wholesale; a hit never serves an
+// estimate computed against a superseded model state. Streaming reads
+// (QueryRows) bypass the cache.
+func WithResultCacheSize(n int) Option {
+	return func(c *config) { c.resultCache = n }
 }
 
 // WithSyncUpdates makes Insert/Delete/Update apply and publish their
@@ -415,6 +431,7 @@ func WithNonBlockingUpdates() Option {
 // execOpts is the resolved per-call option set.
 type execOpts struct {
 	confidence float64 // 0 = DB default
+	groupChunk int     // 0 = core.DefaultGroupChunk (streaming reads only)
 }
 
 // ExecOption customizes a single query execution (Query, ExecuteQuery,
@@ -425,6 +442,14 @@ type ExecOption func(*execOpts)
 // AtConfidence overrides the confidence-interval level for one call.
 func AtConfidence(level float64) ExecOption {
 	return func(o *execOpts) { o.confidence = level }
+}
+
+// WithGroupChunk sets how many group keys a streaming read (QueryRows)
+// gates and aggregates per evaluation round (default 256). Larger chunks
+// amortize model passes; smaller ones bound memory tighter and yield first
+// rows sooner. Ignored by non-streaming calls.
+func WithGroupChunk(n int) ExecOption {
+	return func(o *execOpts) { o.groupChunk = n }
 }
 
 // resolveExec folds the per-call options into one set.

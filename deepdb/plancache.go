@@ -3,6 +3,7 @@ package deepdb
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -20,6 +21,11 @@ import (
 // The cache has its own mutex because it is read and written by many
 // concurrent lock-free queries.
 type planCache struct {
+	// hits/misses count lookups (a stale-generation entry is a miss);
+	// observability only — see UpdateStats and /healthz.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+
 	mu  sync.Mutex
 	cap int
 	m   map[string]*list.Element
@@ -48,6 +54,7 @@ func (c *planCache) get(key string, gen uint64) *core.Plan {
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
 	if !ok {
+		c.misses.Add(1)
 		return nil
 	}
 	en := el.Value.(*planEntry)
@@ -56,9 +63,11 @@ func (c *planCache) get(key string, gen uint64) *core.Plan {
 			c.lru.Remove(el)
 			delete(c.m, key)
 		}
+		c.misses.Add(1)
 		return nil
 	}
 	c.lru.MoveToFront(el)
+	c.hits.Add(1)
 	return en.plan
 }
 
@@ -90,4 +99,9 @@ func (c *planCache) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
+}
+
+// stats snapshots the lookup counters.
+func (c *planCache) stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
 }

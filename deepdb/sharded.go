@@ -71,6 +71,10 @@ type ShardedDB struct {
 	viewMu sync.Mutex
 
 	plans *planCache
+	// resCache is the cross-query result cache (nil unless enabled);
+	// coherence rides on the composed snapshot's generation, which moves
+	// whenever the shards recompose at a new aligned ops token.
+	resCache *resultCache
 
 	// mutMu serializes broadcasts so every shard — and every replica —
 	// observes the identical mutation stream in the identical order.
@@ -140,10 +144,11 @@ func newShardedDB(ens *ensemble.Ensemble, cfg config) (*ShardedDB, error) {
 	}
 	members := shard.Partition(ens, n)
 	db := &ShardedDB{
-		cfg:     cfg,
-		total:   len(ens.RSPNs),
-		members: members,
-		plans:   newPlanCache(cfg.planCache),
+		cfg:      cfg,
+		total:    len(ens.RSPNs),
+		members:  members,
+		plans:    newPlanCache(cfg.planCache),
+		resCache: newResultCache(cfg.resultCache),
 	}
 	for i, m := range members {
 		scfg := shard.Config{
@@ -296,6 +301,9 @@ func (db *ShardedDB) snapshotNow() *snapshot {
 // defaultConfidence returns the DB-wide confidence-interval level.
 func (db *ShardedDB) defaultConfidence() float64 { return db.cfg.confidence }
 
+// results returns the cross-query result cache (nil when disabled).
+func (db *ShardedDB) results() *resultCache { return db.resCache }
+
 // planFor consults the plan cache under the composed snapshot's generation,
 // exactly like DB.planFor — shard count is invisible to compilation.
 func (db *ShardedDB) planFor(s *snapshot, shape string, q query.Query) (*core.Plan, error) {
@@ -340,6 +348,15 @@ func (db *ShardedDB) Generation() uint64 { return db.snapshotNow().gen }
 
 // Shards returns the number of partitions serving this DB.
 func (db *ShardedDB) Shards() int { return len(db.shards) }
+
+// ResultCacheLen reports how many query results and cardinality estimates
+// are currently cached (0 unless WithResultCacheSize enabled the cache).
+func (db *ShardedDB) ResultCacheLen() int {
+	if db.resCache == nil {
+		return 0
+	}
+	return db.resCache.size()
+}
 
 // PlanCacheLen reports how many compiled plans are currently cached.
 func (db *ShardedDB) PlanCacheLen() int {
@@ -761,6 +778,7 @@ func (db *ShardedDB) PeerStats() (hits, fallbacks uint64) {
 // shape /healthz reports (per-shard detail is in ShardStats).
 func (db *ShardedDB) UpdateStats() UpdateStats {
 	out := UpdateStats{Generation: db.Generation()}
+	fillCacheStats(&out, db.plans, db.resCache)
 	for _, st := range db.ShardStats() {
 		out.QueueDepth += st.QueueDepth
 		out.Enqueued += st.Enqueued

@@ -51,6 +51,8 @@ type stmtHost interface {
 	snapshotNow() *snapshot
 	planFor(s *snapshot, shape string, q query.Query) (*core.Plan, error)
 	defaultConfidence() float64
+	// results returns the cross-query result cache (nil when disabled).
+	results() *resultCache
 }
 
 // Prepare parses the SQL template (which may contain `?` placeholders as
@@ -133,11 +135,21 @@ func (s *Stmt) Exec(ctx context.Context, params ...any) (Result, error) {
 
 func (s *Stmt) execOn(ctx context.Context, snap *snapshot, vals []any, opts []ExecOption) (Result, error) {
 	eo := resolveExec(opts)
-	p, err := s.planOn(snap)
+	q, err := s.bindOn(snap, vals)
 	if err != nil {
 		return Result{}, err
 	}
-	q, err := s.bindOn(snap, vals)
+	// Result-cache hit: skip the plan lookup and the evaluation entirely
+	// (the cached value is a previous execution's, bit-identical).
+	rc := s.db.results()
+	var key []byte
+	if rc != nil {
+		key = resultKey(nsQuery, s.shape, q, eo.levelOr(s.db.defaultConfidence()))
+		if res, ok := rc.getResult(key, snap.gen); ok {
+			return res, nil
+		}
+	}
+	p, err := s.planOn(snap)
 	if err != nil {
 		return Result{}, err
 	}
@@ -145,7 +157,11 @@ func (s *Stmt) execOn(ctx context.Context, snap *snapshot, vals []any, opts []Ex
 	if err != nil {
 		return Result{}, err
 	}
-	return wrapResult(snap.ens, q, res), nil
+	out := wrapResult(snap.ens, q, res)
+	if rc != nil {
+		rc.putResult(key, snap.gen, out)
+	}
+	return out, nil
 }
 
 // ExecBatch runs the statement once per parameter set against one
@@ -160,10 +176,6 @@ func (s *Stmt) execOn(ctx context.Context, snap *snapshot, vals []any, opts []Ex
 func (s *Stmt) ExecBatch(ctx context.Context, batch [][]any, opts ...ExecOption) ([]Result, error) {
 	eo := resolveExec(opts)
 	snap := s.db.snapshotNow()
-	p, err := s.planOn(snap)
-	if err != nil {
-		return nil, err
-	}
 	// Bind everything up front so an arity or type error in any set
 	// surfaces before work starts.
 	queries := make([]query.Query, len(batch))
@@ -174,13 +186,49 @@ func (s *Stmt) ExecBatch(ctx context.Context, batch [][]any, opts ...ExecOption)
 		}
 		queries[i] = q
 	}
-	ress, err := p.ExecuteBatch(ctx, eo.core(), queries)
+	// Resolve cache hits per entry and batch-execute only the misses:
+	// ExecuteBatch is bit-identical to one-at-a-time execution, so the
+	// subset batch produces exactly the values the full batch would.
+	out := make([]Result, len(batch))
+	missIdx := make([]int, 0, len(batch))
+	rc := s.db.results()
+	var keys [][]byte
+	if rc != nil {
+		level := eo.levelOr(s.db.defaultConfidence())
+		keys = make([][]byte, len(batch))
+		for i := range queries {
+			keys[i] = resultKey(nsQuery, s.shape, queries[i], level)
+			if res, ok := rc.getResult(keys[i], snap.gen); ok {
+				out[i] = res
+				continue
+			}
+			missIdx = append(missIdx, i)
+		}
+		if len(missIdx) == 0 {
+			return out, nil
+		}
+	} else {
+		for i := range queries {
+			missIdx = append(missIdx, i)
+		}
+	}
+	p, err := s.planOn(snap)
+	if err != nil {
+		return nil, err
+	}
+	missQs := make([]query.Query, len(missIdx))
+	for j, i := range missIdx {
+		missQs[j] = queries[i]
+	}
+	ress, err := p.ExecuteBatch(ctx, eo.core(), missQs)
 	if err != nil {
 		return nil, fmt.Errorf("deepdb: %w", err)
 	}
-	out := make([]Result, len(batch))
-	for i, res := range ress {
-		out[i] = wrapResult(snap.ens, queries[i], res)
+	for j, i := range missIdx {
+		out[i] = wrapResult(snap.ens, queries[i], ress[j])
+		if rc != nil {
+			rc.putResult(keys[i], snap.gen, out[i])
+		}
 	}
 	return out, nil
 }
@@ -192,11 +240,20 @@ func (s *Stmt) Estimate(ctx context.Context, params ...any) (Estimate, error) {
 	vals, opts := splitArgs(params)
 	eo := resolveExec(opts)
 	snap := s.db.snapshotNow()
-	p, err := s.planOn(snap)
+	q, err := s.bindOn(snap, vals)
 	if err != nil {
 		return Estimate{}, err
 	}
-	q, err := s.bindOn(snap, vals)
+	level := eo.levelOr(s.db.defaultConfidence())
+	rc := s.db.results()
+	var key []byte
+	if rc != nil {
+		key = resultKey(nsEstimate, s.shape, q, level)
+		if est, ok := rc.getEstimate(key, snap.gen); ok {
+			return est, nil
+		}
+	}
+	p, err := s.planOn(snap)
 	if err != nil {
 		return Estimate{}, err
 	}
@@ -204,7 +261,11 @@ func (s *Stmt) Estimate(ctx context.Context, params ...any) (Estimate, error) {
 	if err != nil {
 		return Estimate{}, err
 	}
-	return wrapEstimate(est, eo.levelOr(s.db.defaultConfidence())), nil
+	out := wrapEstimate(est, level)
+	if rc != nil {
+		rc.putEstimate(key, snap.gen, out)
+	}
+	return out, nil
 }
 
 // Explain renders the plan the statement executes.

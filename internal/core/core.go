@@ -63,10 +63,21 @@ func groupFilters(cols []string, key []float64) []query.Predicate {
 	return out
 }
 
-// groupKeys enumerates the cartesian product of the distinct values of the
-// group-by columns as stored in the models' leaves.
-func (e *Engine) groupKeys(q query.Query) ([][]float64, error) {
-	const maxGroups = 100000
+// maxMaterializedGroups bounds the group count of the materializing
+// execution paths (Execute/ExecuteBatch build one binding per group up
+// front). The streaming iterator (ExecuteGroupsIter) has no such bound:
+// it enumerates keys lazily and holds one chunk at a time.
+const maxMaterializedGroups = 100000
+
+// maxEnumerableGroups is the sanity bound on the group-by cartesian
+// product itself — beyond it even lazy enumeration is useless, and the
+// product risks integer overflow.
+const maxEnumerableGroups = 1 << 40
+
+// groupColValues returns, per group-by column, the sorted distinct values
+// as stored in the models' leaves — the per-axis factors of the group-key
+// cartesian product.
+func (e *Engine) groupColValues(q query.Query) ([][]float64, error) {
 	perCol := make([][]float64, len(q.GroupBy))
 	for i, col := range q.GroupBy {
 		vals, err := e.columnValues(col)
@@ -79,24 +90,36 @@ func (e *Engine) groupKeys(q query.Query) ([][]float64, error) {
 		sort.Float64s(vals)
 		perCol[i] = vals
 	}
+	return perCol, nil
+}
+
+// groupKeyCount returns the size of the cartesian product.
+func groupKeyCount(perCol [][]float64) (int, error) {
 	total := 1
 	for _, vals := range perCol {
 		total *= len(vals)
-		if total > maxGroups {
-			return nil, fmt.Errorf("core: group-by produces more than %d groups", maxGroups)
+		if total > maxEnumerableGroups {
+			return 0, fmt.Errorf("core: group-by produces more than %d groups", maxEnumerableGroups)
 		}
 	}
-	keys := [][]float64{{}}
-	for _, vals := range perCol {
-		var next [][]float64
-		for _, k := range keys {
-			for _, v := range vals {
-				next = append(next, append(append([]float64(nil), k...), v))
-			}
-		}
-		keys = next
+	return total, nil
+}
+
+// groupKeyAt decodes key number ki of the cartesian product in
+// lexicographic order (the last column varies fastest — exactly the order
+// the former eager enumeration produced), appending into buf.
+func groupKeyAt(perCol [][]float64, ki int, buf []float64) []float64 {
+	n := len(perCol)
+	if cap(buf) < n {
+		buf = make([]float64, n)
 	}
-	return keys, nil
+	buf = buf[:n]
+	for c := n - 1; c >= 0; c-- {
+		vals := perCol[c]
+		buf[c] = vals[ki%len(vals)]
+		ki /= len(vals)
+	}
+	return buf
 }
 
 // columnValues returns the distinct values of a column from the first model

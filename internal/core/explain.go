@@ -39,7 +39,7 @@ func (p *Plan) Explain() string {
 	}
 	if len(p.groupCols) > 0 {
 		fmt.Fprintf(&b, "group-by: one estimate per key combination of %s (%d keys enumerated from model leaves)\n",
-			strings.Join(p.groupCols, ", "), len(p.groupKeys))
+			strings.Join(p.groupCols, ", "), p.numGroups)
 	}
 	if k := len(p.q.Disjunction); k > 0 {
 		fmt.Fprintf(&b, "disjunction: inclusion-exclusion over %d OR-terms (%d conjunctive sub-queries; the fully-conjoined term is shown)\n",

@@ -49,9 +49,14 @@ type Plan struct {
 
 	// Grouped execution: per-group estimators are compiled from the group
 	// template (the query with its group columns as extra equality
-	// filters, values bound per key at execution).
+	// filters, values bound per key at execution). Group keys are the
+	// cartesian product of groupVals (sorted distinct values per column),
+	// enumerated lazily by index — numGroups may exceed what the
+	// materializing paths accept, and only the streaming iterator visits
+	// such plans' keys.
 	groupCols []string
-	groupKeys [][]float64
+	groupVals [][]float64
+	numGroups int
 	count     []signedCount // per-group COUNT / existence gate / AVG divisor
 
 	// Aggregate estimators (nil unless the aggregate needs them).
@@ -201,7 +206,11 @@ func (p *Plan) compileExec(q query.Query) error {
 	if len(q.GroupBy) > 0 {
 		var err error
 		p.groupCols = q.GroupBy
-		p.groupKeys, err = e.groupKeys(q)
+		p.groupVals, err = e.groupColValues(q)
+		if err != nil {
+			return err
+		}
+		p.numGroups, err = groupKeyCount(p.groupVals)
 		if err != nil {
 			return err
 		}

@@ -562,15 +562,20 @@ func batchEntryErr(batchLen, i int, err error) error {
 // pair in one batch; stage two evaluates the aggregate of every surviving
 // group (skipped entirely for COUNT queries, whose gate is the answer).
 func (p *Plan) executeGroupsBatch(ctx context.Context, queries []query.Query, level float64) ([]AQPResult, error) {
-	nk := len(p.groupKeys)
+	nk := p.numGroups
+	if nk > maxMaterializedGroups {
+		return nil, fmt.Errorf("core: group-by produces more than %d groups (stream them with ExecuteGroupsIter)", maxMaterializedGroups)
+	}
 	bindings := make([][]query.Predicate, len(queries)*nk)
 	gates := make([]estimator, len(queries)*nk)
 	b := newBatcher(2 * len(queries) * nk)
+	var keyBuf []float64
 	for qi, q := range queries {
-		for ki, key := range p.groupKeys {
-			preds := make([]query.Predicate, 0, len(q.Filters)+len(key))
+		for ki := 0; ki < nk; ki++ {
+			keyBuf = groupKeyAt(p.groupVals, ki, keyBuf)
+			preds := make([]query.Predicate, 0, len(q.Filters)+len(keyBuf))
 			preds = append(preds, q.Filters...)
-			preds = append(preds, groupFilters(p.groupCols, key)...)
+			preds = append(preds, groupFilters(p.groupCols, keyBuf)...)
 			i := qi*nk + ki
 			bindings[i] = preds
 			res, err := p.enqueueCount(b, p.count, preds, q.Disjunction)
@@ -598,7 +603,7 @@ func (p *Plan) executeGroupsBatch(ctx context.Context, queries []query.Query, le
 	if p.q.Aggregate != query.Count {
 		b2 := newBatcher(2 * len(queries) * nk)
 		for qi, q := range queries {
-			for ki := range p.groupKeys {
+			for ki := 0; ki < nk; ki++ {
 				i := qi*nk + ki
 				if !live[i] {
 					continue
@@ -617,7 +622,7 @@ func (p *Plan) executeGroupsBatch(ctx context.Context, queries []query.Query, le
 	out := make([]AQPResult, len(queries))
 	for qi := range queries {
 		var groups []AQPGroup
-		for ki, key := range p.groupKeys {
+		for ki := 0; ki < nk; ki++ {
 			i := qi*nk + ki
 			if !live[i] {
 				continue
@@ -630,7 +635,7 @@ func (p *Plan) executeGroupsBatch(ctx context.Context, queries []query.Query, le
 					return nil, batchEntryErr(len(queries), qi, err)
 				}
 			}
-			groups = append(groups, finish(key, est, level))
+			groups = append(groups, finish(groupKeyAt(p.groupVals, ki, nil), est, level))
 		}
 		sort.Slice(groups, func(i, j int) bool {
 			a, b := groups[i].Key, groups[j].Key

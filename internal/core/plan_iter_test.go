@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// collectIter drains a GroupIter into a slice.
+func collectIter(t *testing.T, it *GroupIter) []AQPGroup {
+	t.Helper()
+	var out []AQPGroup
+	for it.Next() {
+		out = append(out, it.Group())
+	}
+	if err := it.Err(); err != nil {
+		t.Fatalf("iterator error: %v", err)
+	}
+	return out
+}
+
+// sameBits asserts two floats share a bit pattern.
+func sameBits(t *testing.T, what string, a, b float64) {
+	t.Helper()
+	if math.Float64bits(a) != math.Float64bits(b) {
+		t.Fatalf("%s differs: %v (%x) vs %v (%x)", what, a, math.Float64bits(a), b, math.Float64bits(b))
+	}
+}
+
+// assertGroupsIdentical asserts two row sets are bitwise identical,
+// keys included, in the same order.
+func assertGroupsIdentical(t *testing.T, got, want []AQPGroup) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("row count differs: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i].Key) != len(want[i].Key) {
+			t.Fatalf("row %d key length differs", i)
+		}
+		for k := range want[i].Key {
+			sameBits(t, "key", got[i].Key[k], want[i].Key[k])
+		}
+		sameBits(t, "value", got[i].Estimate.Value, want[i].Estimate.Value)
+		sameBits(t, "variance", got[i].Estimate.Variance, want[i].Estimate.Variance)
+		sameBits(t, "ci low", got[i].CILow, want[i].CILow)
+		sameBits(t, "ci high", got[i].CIHigh, want[i].CIHigh)
+	}
+}
+
+// TestGroupIterMatchesMaterialized streams grouped queries at several
+// chunk sizes (including chunk=1 and chunk far beyond the key count) and
+// asserts the rows are bit-identical to the materializing path's, in the
+// same order.
+func TestGroupIterMatchesMaterialized(t *testing.T) {
+	for _, joint := range []bool{false, true} {
+		e, _, _ := exactEnsemble(t, joint)
+		queries := []query.Query{
+			{Aggregate: query.Count, Tables: []string{"customer"}, GroupBy: []string{"c_region"}},
+			{Aggregate: query.Avg, AggColumn: "c_age", Tables: []string{"customer"}, GroupBy: []string{"c_region"}},
+			{Aggregate: query.Sum, AggColumn: "c_age", Tables: []string{"customer"}, GroupBy: []string{"c_region"}},
+			{Aggregate: query.Count, Tables: []string{"customer", "orders"},
+				GroupBy: []string{"c_region", "o_channel"}},
+			{Aggregate: query.Avg, AggColumn: "c_age", Tables: []string{"customer", "orders"},
+				GroupBy: []string{"o_channel"}},
+			// Ungrouped: the iterator must yield the single row.
+			{Aggregate: query.Count, Tables: []string{"customer"}},
+		}
+		for qi, q := range queries {
+			p, err := e.Compile(q)
+			if err != nil {
+				t.Fatalf("joint=%v query %d: compile: %v", joint, qi, err)
+			}
+			want, err := p.ExecuteQuery(context.Background(), ExecOpts{}, q)
+			if err != nil {
+				t.Fatalf("joint=%v query %d: execute: %v", joint, qi, err)
+			}
+			for _, chunk := range []int{0, 1, 2, 3, 1 << 20} {
+				it, err := p.ExecuteGroupsIter(context.Background(), ExecOpts{}, q, chunk)
+				if err != nil {
+					t.Fatalf("joint=%v query %d chunk %d: iter: %v", joint, qi, chunk, err)
+				}
+				got := collectIter(t, it)
+				if len(want.Groups) != len(got) {
+					t.Fatalf("joint=%v query %d chunk %d: got %d rows, want %d",
+						joint, qi, chunk, len(got), len(want.Groups))
+				}
+				assertGroupsIdentical(t, got, want.Groups)
+			}
+		}
+	}
+}
+
+// TestGroupIterConfidenceLevel asserts the iterator honors the execution
+// confidence level the same way the materializing path does.
+func TestGroupIterConfidenceLevel(t *testing.T) {
+	e, _, _ := exactEnsemble(t, true)
+	q := query.Query{Aggregate: query.Avg, AggColumn: "c_age",
+		Tables: []string{"customer"}, GroupBy: []string{"c_region"}}
+	p, err := e.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ExecOpts{ConfidenceLevel: 0.8}
+	want, err := p.ExecuteQuery(context.Background(), opts, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := p.ExecuteGroupsIter(context.Background(), opts, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGroupsIdentical(t, collectIter(t, it), want.Groups)
+}
+
+// TestGroupIterCancel asserts a canceled context surfaces through Err.
+func TestGroupIterCancel(t *testing.T) {
+	e, _, _ := exactEnsemble(t, true)
+	q := query.Query{Aggregate: query.Count, Tables: []string{"customer"}, GroupBy: []string{"c_region"}}
+	p, err := e.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	it, err := p.ExecuteGroupsIter(ctx, ExecOpts{}, q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it.Next() {
+	}
+	if it.Err() == nil {
+		t.Fatal("expected context error from canceled iterator")
+	}
+}

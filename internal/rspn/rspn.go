@@ -325,10 +325,19 @@ func (r *RSPN) translateFD(p query.Predicate) (query.Predicate, error) {
 		// Collect determinant values whose dependent value satisfies p, in
 		// sorted order so downstream float summation is deterministic.
 		var allowed []float64
-		//deepdb:orderinvariant allowed is fully sorted below before use
-		for depVal, dets := range fd.Inverse {
-			if p.Matches(depVal) {
-				allowed = append(allowed, dets...)
+		if p.Op == query.Eq {
+			// Point lookup instead of a dictionary scan: equality is the
+			// hot case (group-by gating binds one Eq per group column per
+			// candidate key). Map lookup and p.Matches agree exactly —
+			// float keys hash by ==, so ±0 unify and NaN matches neither
+			// way — and a single key can never produce duplicates.
+			allowed = append(allowed, fd.Inverse[p.Value]...)
+		} else {
+			//deepdb:orderinvariant allowed is fully sorted below before use
+			for depVal, dets := range fd.Inverse {
+				if p.Matches(depVal) {
+					allowed = append(allowed, dets...)
+				}
 			}
 		}
 		sort.Float64s(allowed)

@@ -46,6 +46,15 @@ type Compiled struct {
 	leafCol []int32 // parallel to nodes; -1 for internal nodes
 	scope   []uint64
 	root    int32
+
+	// Binned-leaf moment slabs: one contiguous backing array per moment
+	// order, shared by every binned leaf of the model. Each binned leaf's
+	// Bin* slices are re-pointed at compile time to views into these slabs
+	// (leafOff[i] is node i's base offset, -1 for non-binned nodes), so
+	// the tree walk, in-place updates (Leaf.Add) and the flat evaluator's
+	// kernels all read and write the same memory — no copy can go stale.
+	binW, binSum, binSq, binInv, binIn2 []float64
+	leafOff                             []int32
 }
 
 // compileTree flattens a (validated) SPN tree over numCols columns.
@@ -62,7 +71,63 @@ func compileTree(root *Node, numCols int) *Compiled {
 	c.scope = make([]uint64, 0, n*c.words)
 	c.root = c.flatten(root)
 	c.childOff = append(c.childOff, int32(len(c.childIdx)))
+	c.buildSlabs()
 	return c
+}
+
+// buildSlabs gathers every binned leaf's per-bin aggregates into the
+// contiguous structure-of-arrays slabs and re-points the leaves' slices at
+// slab views. Updates never resize a binned leaf's arrays (the structure
+// is fixed, Section 5.2), so the views stay valid for the model's life;
+// Leaf.clone copies bin data into fresh arrays and SPN.Clone recompiles,
+// so clones get their own slabs.
+func (c *Compiled) buildSlabs() {
+	total := 0
+	for _, lf := range c.leaf {
+		if lf != nil && lf.Binned {
+			total += len(lf.BinW)
+		}
+	}
+	c.leafOff = make([]int32, len(c.leaf))
+	for i := range c.leafOff {
+		c.leafOff[i] = -1
+	}
+	if total == 0 {
+		return
+	}
+	c.binW = make([]float64, 0, total)
+	c.binSum = make([]float64, 0, total)
+	c.binSq = make([]float64, 0, total)
+	c.binInv = make([]float64, 0, total)
+	c.binIn2 = make([]float64, 0, total)
+	seen := make(map[*Leaf]int32, len(c.leaf))
+	for i, lf := range c.leaf {
+		if lf == nil || !lf.Binned {
+			continue
+		}
+		// A hand-built tree may reference one leaf from several nodes;
+		// slab it once so every view aliases the same region.
+		if off, ok := seen[lf]; ok {
+			c.leafOff[i] = off
+			continue
+		}
+		off := int32(len(c.binW))
+		end := int(off) + len(lf.BinW)
+		c.binW = append(c.binW, lf.BinW...)
+		c.binSum = append(c.binSum, lf.BinSum...)
+		c.binSq = append(c.binSq, lf.BinSq...)
+		c.binInv = append(c.binInv, lf.BinInv...)
+		c.binIn2 = append(c.binIn2, lf.BinIn2...)
+		// Full-slice-capped views: an (impossible) append on a leaf slice
+		// could never clobber the next leaf's bins.
+		lf.BinW = c.binW[off:end:end]
+		lf.BinSum = c.binSum[off:end:end]
+		lf.BinSq = c.binSq[off:end:end]
+		lf.BinInv = c.binInv[off:end:end]
+		lf.BinIn2 = c.binIn2[off:end:end]
+		c.leafOff[i] = off
+		seen[lf] = off
+	}
 }
 
 // flatten emits the subtree in postorder and returns the node's index.
@@ -146,6 +211,7 @@ type evalScratch struct {
 	union  []uint64
 	active []bool
 	vals   []float64
+	kept   []int32 // product-node child list under a uniform batch mask
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
@@ -208,6 +274,10 @@ func (c *Compiled) EvaluateBatch(reqs []Request, out []float64) error {
 	}
 	if len(out) < nb {
 		return fmt.Errorf("spn: result buffer holds %d values for %d requests", len(out), nb)
+	}
+	if nb == 1 {
+		// Singleton batches skip the per-request phase loops entirely.
+		return c.evalSingle(&reqs[0], out)
 	}
 	n := len(c.kind)
 	w := c.words
@@ -279,7 +349,44 @@ func (c *Compiled) EvaluateBatch(reqs []Request, out []float64) error {
 	}
 
 	// Bottom-up evaluation; vals[i*nb+b] is node i's value for request b.
+	// The word count and batch-mask shape pick the kernel: one-word scope
+	// bitsets (<= 64 columns, the common case) drop the per-child slice
+	// construction, and a batch whose requests all constrain the same
+	// column set (every plan batch: bindings differ in values, not shape)
+	// resolves each product node's reachable-child list once instead of
+	// once per request. All variants perform the same multiplications and
+	// additions in the same order, so results stay bitwise identical.
 	vals := grow(&sc.vals, n*nb)
+	if w == 1 {
+		uniform := true
+		for b := 1; b < nb; b++ {
+			if masks[b] != masks[0] {
+				uniform = false
+				break
+			}
+		}
+		c.bottomUpOneWord(reqs, colRef, masks, union[0], active, vals, uniform, sc)
+	} else {
+		c.bottomUpGeneric(reqs, colRef, masks, union, active, vals)
+	}
+
+	rootBase := int(c.root) * nb
+	for b := 0; b < nb; b++ {
+		v := vals[rootBase+b]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("spn: non-finite inference result")
+		}
+		out[b] = v
+	}
+	return nil
+}
+
+// bottomUpGeneric is the reference bottom-up sweep for models with more
+// than 64 columns (multi-word scope bitsets).
+func (c *Compiled) bottomUpGeneric(reqs []Request, colRef []int32, masks, union []uint64, active []bool, vals []float64) {
+	nb := len(reqs)
+	w := c.words
+	n := len(c.kind)
 	for i := 0; i < n; i++ {
 		if !active[i] {
 			continue
@@ -288,8 +395,17 @@ func (c *Compiled) EvaluateBatch(reqs []Request, out []float64) error {
 		lo, hi := c.childOff[i], c.childOff[i+1]
 		switch c.kind[i] {
 		case LeafKind:
+			col := int(c.leafCol[i])
+			row := vals[base : base+nb]
+			if union[col>>6]&(1<<(uint(col)&63)) == 0 {
+				// No request constrains this column: every value is 1.
+				for b := range row {
+					row[b] = 1
+				}
+				continue
+			}
 			lf := c.leaf[i]
-			colBase := int(c.leafCol[i]) * nb
+			colBase := col * nb
 			// Adjacent requests in a plan batch frequently constrain a
 			// column identically (GROUP BY bindings share every filter but
 			// the group key; variance requests share every range): reuse
@@ -302,9 +418,9 @@ func (c *Compiled) EvaluateBatch(reqs []Request, out []float64) error {
 					if prevQ == nil || !sameColQuery(prevQ, q) {
 						prevQ, prevV = q, lf.moment(q)
 					}
-					vals[base+b] = prevV
+					row[b] = prevV
 				} else {
-					vals[base+b] = 1
+					row[b] = 1
 				}
 			}
 		case ProductKind:
@@ -324,28 +440,221 @@ func (c *Compiled) EvaluateBatch(reqs []Request, out []float64) error {
 				vals[base+b] = acc
 			}
 		case SumKind:
+			c.sumRow(vals, base, nb, lo, hi)
+		}
+	}
+}
+
+// bottomUpOneWord is the bottom-up sweep specialized for single-word scope
+// bitsets; with a uniform batch mask it additionally resolves product
+// nodes' reachable children once per node (sc.kept) instead of per
+// request.
+func (c *Compiled) bottomUpOneWord(reqs []Request, colRef []int32, masks []uint64, union uint64, active []bool, vals []float64, uniform bool, sc *evalScratch) {
+	nb := len(reqs)
+	n := len(c.kind)
+	for i := 0; i < n; i++ {
+		if !active[i] {
+			continue
+		}
+		base := i * nb
+		lo, hi := c.childOff[i], c.childOff[i+1]
+		switch c.kind[i] {
+		case LeafKind:
+			col := int(c.leafCol[i])
+			row := vals[base : base+nb]
+			if union&(1<<(uint(col)&63)) == 0 {
+				for b := range row {
+					row[b] = 1
+				}
+				continue
+			}
+			lf := c.leaf[i]
+			colBase := col * nb
+			var prevQ *ColQuery
+			var prevV float64
 			for b := 0; b < nb; b++ {
-				acc := 0.0
+				if ref := colRef[colBase+b]; ref >= 0 {
+					q := &reqs[b].Cols[ref]
+					if prevQ == nil || !sameColQuery(prevQ, q) {
+						prevQ, prevV = q, lf.moment(q)
+					}
+					row[b] = prevV
+				} else {
+					row[b] = 1
+				}
+			}
+		case ProductKind:
+			if uniform {
+				// One shared mask: the per-request scope checks collapse
+				// into one reachable-child list. Each request still
+				// multiplies the same children in the same order (with the
+				// same zero short-circuit), so values are unchanged.
+				kept := sc.kept[:0]
 				for k := lo; k < hi; k++ {
-					wt := c.weight[k]
-					if wt == 0 {
+					ci := c.childIdx[k]
+					if c.scope[ci]&masks[0] != 0 {
+						kept = append(kept, ci)
+					}
+				}
+				sc.kept = kept
+				for b := 0; b < nb; b++ {
+					acc := 1.0
+					for _, ci := range kept {
+						acc *= vals[int(ci)*nb+b]
+						if acc == 0 {
+							break
+						}
+					}
+					vals[base+b] = acc
+				}
+				continue
+			}
+			for b := 0; b < nb; b++ {
+				mb := masks[b]
+				acc := 1.0
+				for k := lo; k < hi; k++ {
+					ci := int(c.childIdx[k])
+					if c.scope[ci]&mb == 0 {
 						continue
 					}
-					acc += wt * vals[int(c.childIdx[k])*nb+b]
+					acc *= vals[ci*nb+b]
+					if acc == 0 {
+						break
+					}
 				}
 				vals[base+b] = acc
+			}
+		case SumKind:
+			c.sumRow(vals, base, nb, lo, hi)
+		}
+	}
+}
+
+// sumRow computes one sum node's value row: row[b] accumulates
+// weight[k]*child_k[b] over children in ascending k. Walking children in
+// the outer loop streams each child's contiguous value row (instead of
+// striding across rows per request); per request the additions still
+// happen in ascending child order, so the sums are bitwise identical to
+// the request-outer formulation.
+func (c *Compiled) sumRow(vals []float64, base, nb int, lo, hi int32) {
+	row := vals[base : base+nb]
+	for b := range row {
+		row[b] = 0
+	}
+	for k := lo; k < hi; k++ {
+		wt := c.weight[k]
+		if wt == 0 {
+			continue
+		}
+		cb := int(c.childIdx[k]) * nb
+		child := vals[cb : cb+nb]
+		for b := range row {
+			row[b] += wt * child[b]
+		}
+	}
+}
+
+// evalSingle answers one request without the batched phase loops: a dense
+// column-reference row, one scope mask, and scalar node values. It
+// performs the same operations in the same order as a one-request batch
+// (and therefore as the tree walk), so results are bitwise identical.
+func (c *Compiled) evalSingle(req *Request, out []float64) error {
+	n := len(c.kind)
+	w := c.words
+	sc := scratchPool.Get().(*evalScratch)
+	defer scratchPool.Put(sc)
+
+	colRef := grow(&sc.colRef, c.numCols)
+	for i := range colRef {
+		colRef[i] = -1
+	}
+	mask := grow(&sc.masks, w)
+	for i := range mask {
+		mask[i] = 0
+	}
+	for j := range req.Cols {
+		col := req.Cols[j].Col
+		if col < 0 || col >= c.numCols {
+			return fmt.Errorf("spn: column index %d out of range", col)
+		}
+		if colRef[col] >= 0 {
+			return fmt.Errorf("spn: duplicate column %d in request", col)
+		}
+		colRef[col] = int32(j)
+		mask[col>>6] |= 1 << (uint(col) & 63)
+	}
+
+	active := grow(&sc.active, n)
+	for i := range active {
+		active[i] = false
+	}
+	active[c.root] = true
+	for i := n - 1; i >= 0; i-- {
+		if !active[i] {
+			continue
+		}
+		lo, hi := c.childOff[i], c.childOff[i+1]
+		switch c.kind[i] {
+		case ProductKind:
+			for k := lo; k < hi; k++ {
+				ci := c.childIdx[k]
+				if maskIntersects(c.scope[int(ci)*w:int(ci)*w+w], mask) {
+					active[ci] = true
+				}
+			}
+		case SumKind:
+			for k := lo; k < hi; k++ {
+				if c.weight[k] != 0 {
+					active[c.childIdx[k]] = true
+				}
 			}
 		}
 	}
 
-	rootBase := int(c.root) * nb
-	for b := 0; b < nb; b++ {
-		v := vals[rootBase+b]
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("spn: non-finite inference result")
+	vals := grow(&sc.vals, n)
+	for i := 0; i < n; i++ {
+		if !active[i] {
+			continue
 		}
-		out[b] = v
+		lo, hi := c.childOff[i], c.childOff[i+1]
+		switch c.kind[i] {
+		case LeafKind:
+			if ref := colRef[c.leafCol[i]]; ref >= 0 {
+				vals[i] = c.leaf[i].moment(&req.Cols[ref])
+			} else {
+				vals[i] = 1
+			}
+		case ProductKind:
+			acc := 1.0
+			for k := lo; k < hi; k++ {
+				ci := int(c.childIdx[k])
+				if !maskIntersects(c.scope[ci*w:ci*w+w], mask) {
+					continue
+				}
+				acc *= vals[ci]
+				if acc == 0 {
+					break
+				}
+			}
+			vals[i] = acc
+		case SumKind:
+			acc := 0.0
+			for k := lo; k < hi; k++ {
+				wt := c.weight[k]
+				if wt == 0 {
+					continue
+				}
+				acc += wt * vals[int(c.childIdx[k])]
+			}
+			vals[i] = acc
+		}
 	}
+
+	v := vals[c.root]
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("spn: non-finite inference result")
+	}
+	out[0] = v
 	return nil
 }
 

@@ -274,12 +274,12 @@ func (l *Leaf) moment(q *ColQuery) float64 {
 
 func (l *Leaf) exactMass(r Range, fn Fn) float64 {
 	// Locate the first value >= Lo (or > Lo when exclusive).
-	start := sort.Search(len(l.Vals), func(i int) bool {
-		if r.LoIncl {
-			return l.Vals[i] >= r.Lo
-		}
-		return l.Vals[i] > r.Lo
-	})
+	var start int
+	if r.LoIncl {
+		start = searchGE(l.Vals, r.Lo)
+	} else {
+		start = searchGT(l.Vals, r.Lo)
+	}
 	acc := 0.0
 	for i := start; i < len(l.Vals); i++ {
 		v := l.Vals[i]
@@ -296,6 +296,13 @@ func (l *Leaf) exactMass(r Range, fn Fn) float64 {
 // every per-bin aggregate linearly). Only bins overlapping r are visited;
 // the skipped bins contributed exactly zero, so the bounded loop sums the
 // same terms in the same order.
+//
+// The two boundary bins take the general partial-overlap path
+// (binBoundaryMass); every strictly interior bin is fully covered, so its
+// overlap fraction is exactly 1.0 and frac*agg == agg bit for bit — those
+// bins run through the unrolled kernels over the contiguous aggregate
+// rows. The additions happen in the same ascending bin order as the
+// scalar reference loop, so the result is bitwise identical.
 func (l *Leaf) binnedMass(r Range, fn Fn) float64 {
 	if math.IsNaN(r.Lo) || math.IsNaN(r.Hi) {
 		// A NaN bound is an invalid binding; propagate NaN so the root
@@ -303,61 +310,88 @@ func (l *Leaf) binnedMass(r Range, fn Fn) float64 {
 		// instead of silently returning zero mass.
 		return math.NaN()
 	}
-	acc := 0.0
 	n := len(l.BinW)
 	// A bin [Edges[b], Edges[b+1]] overlaps iff Edges[b+1] >= r.Lo and
 	// Edges[b] <= r.Hi.
-	start := sort.SearchFloat64s(l.Edges, r.Lo) - 1
+	start := searchGE(l.Edges, r.Lo) - 1
 	if start < 0 {
 		start = 0
 	}
-	end := sort.Search(len(l.Edges), func(i int) bool { return l.Edges[i] > r.Hi }) - 1
+	end := searchGT(l.Edges, r.Hi) - 1
 	if end > n-1 {
 		end = n - 1
 	}
-	for b := start; b <= end; b++ {
-		lo, hi := l.Edges[b], l.Edges[b+1]
-		overlapLo := math.Max(lo, r.Lo)
-		overlapHi := math.Min(hi, r.Hi)
-		if overlapHi < overlapLo {
-			continue
-		}
-		width := hi - lo
-		var frac float64
-		if width <= 0 {
-			frac = 1
-		} else {
-			frac = (overlapHi - overlapLo) / width
-		}
-		if frac <= 0 {
-			// Point overlap at a shared edge: only counts when the range is
-			// a point query matching the edge; approximate as zero mass for
-			// binned leaves (consistent with a continuous distribution).
-			continue
-		}
-		var agg float64
+	if end < start {
+		return 0
+	}
+	acc := l.binBoundaryMass(start, r, fn, 0)
+	if end == start {
+		return acc
+	}
+	if lo, hi := start+1, end; lo < hi {
 		switch fn {
 		case FnOne:
-			agg = l.BinW[b]
+			acc = sumKernel(l.BinW[lo:hi], acc)
 		case FnIdent:
-			agg = l.BinSum[b]
+			acc = sumKernel(l.BinSum[lo:hi], acc)
 		case FnSquare:
-			agg = l.BinSq[b]
+			acc = sumKernel(l.BinSq[lo:hi], acc)
 		case FnInv:
-			agg = l.BinInv[b]
+			acc = sumKernel(l.BinInv[lo:hi], acc)
 		case FnInvSquare:
-			agg = l.BinIn2[b]
+			acc = sumKernel(l.BinIn2[lo:hi], acc)
 		case FnMax1:
-			// Values below 1 clamp to 1; per-bin the sum is bounded below
-			// by the bin weight.
-			agg = l.BinSum[b]
-			if agg < l.BinW[b] {
-				agg = l.BinW[b]
-			}
+			acc = sumMax1Kernel(l.BinSum[lo:hi], l.BinW[lo:hi], acc)
 		}
-		acc += frac * agg
 	}
-	return acc
+	return l.binBoundaryMass(end, r, fn, acc)
+}
+
+// binBoundaryMass adds bin b's partial-overlap contribution to acc — the
+// scalar reference computation, kept for the (at most two) bins a range
+// only partially covers. Skipped (empty or point) overlaps leave acc
+// untouched, exactly like the reference loop's continue.
+func (l *Leaf) binBoundaryMass(b int, r Range, fn Fn, acc float64) float64 {
+	lo, hi := l.Edges[b], l.Edges[b+1]
+	overlapLo := math.Max(lo, r.Lo)
+	overlapHi := math.Min(hi, r.Hi)
+	if overlapHi < overlapLo {
+		return acc
+	}
+	width := hi - lo
+	var frac float64
+	if width <= 0 {
+		frac = 1
+	} else {
+		frac = (overlapHi - overlapLo) / width
+	}
+	if frac <= 0 {
+		// Point overlap at a shared edge: only counts when the range is
+		// a point query matching the edge; approximate as zero mass for
+		// binned leaves (consistent with a continuous distribution).
+		return acc
+	}
+	var agg float64
+	switch fn {
+	case FnOne:
+		agg = l.BinW[b]
+	case FnIdent:
+		agg = l.BinSum[b]
+	case FnSquare:
+		agg = l.BinSq[b]
+	case FnInv:
+		agg = l.BinInv[b]
+	case FnInvSquare:
+		agg = l.BinIn2[b]
+	case FnMax1:
+		// Values below 1 clamp to 1; per-bin the sum is bounded below
+		// by the bin weight.
+		agg = l.BinSum[b]
+		if agg < l.BinW[b] {
+			agg = l.BinW[b]
+		}
+	}
+	return acc + frac*agg
 }
 
 // Add updates the leaf with one value (NaN = NULL) and weight w (+1 insert,

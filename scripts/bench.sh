@@ -3,8 +3,9 @@
 # in the repo root:
 #
 #   BENCH_query.json — query-path benches: prepared vs unprepared
-#       estimation, batch execution, GROUP BY (batched vs per-group), and
-#       the HTTP serve endpoint.
+#       estimation, batch execution, GROUP BY (batched vs per-group),
+#       result-cache hit vs uncached execution, streamed vs materialized
+#       GROUP BY rows/s, and the HTTP serve endpoint.
 #   BENCH_spn.json   — SPN inference micro-benches: the reference tree
 #       walk vs the compiled flat evaluator, single-request and batched.
 #   BENCH_update.json — update-pipeline benches: apply throughput
@@ -71,7 +72,7 @@ END { print "\n]" }
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'Prepared|Unprepared|GroupByBatched|GroupByPerGroup|ServeEstimate' -benchmem \
+go test -run '^$' -bench 'Prepared|Unprepared|GroupByBatched|GroupByPerGroup|ResultCache|GroupStream|GroupMaterialized|ServeEstimate' -benchmem \
     -benchtime "$benchtime" . ./cmd/deepdb | tee "$tmp"
 parse_bench < "$tmp" > BENCH_query.json
 echo "wrote BENCH_query.json"

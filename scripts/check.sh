@@ -91,6 +91,23 @@ echo "== chaos (seeded fault injection) =="
 # keeps the chaos bar visible and uncached even when the suite is filtered.
 go test -race -short -count=1 -run '^TestChaos' ./internal/wal ./internal/pipeline ./deepdb
 
+echo "== SPN kernel regression guard =="
+# BenchmarkSPNEvalFlatGrouped16 carries the vectorized binned-leaf kernel
+# speedup; fail the gate if it regresses more than 20% against the
+# committed baseline in BENCH_spn.json. The guard measures with a fixed
+# iteration count large enough to smooth scheduler noise.
+baseline=$(awk -F'"ns_per_op": ' '/SPNEvalFlatGrouped16/ {split($2, a, /[,}]/); print a[1]}' BENCH_spn.json)
+current=$(go test -run '^$' -bench 'SPNEvalFlatGrouped16$' -benchtime 20000x ./internal/spn \
+    | awk '$1 ~ /^BenchmarkSPNEvalFlatGrouped16/ {for (i = 2; i < NF; i++) if ($(i + 1) == "ns/op") print $i}')
+awk -v base="$baseline" -v cur="$current" 'BEGIN {
+    if (base == "" || cur == "") { print "kernel guard: missing measurement (baseline=" base ", current=" cur ")"; exit 1 }
+    if (cur + 0 > (base + 0) * 1.2) {
+        printf "SPNEvalFlatGrouped16 regressed: %.0f ns/op vs committed baseline %.0f (+%.0f%%, budget 20%%)\n", cur, base, (cur / base - 1) * 100
+        exit 1
+    }
+    printf "SPNEvalFlatGrouped16: %.0f ns/op (committed baseline %.0f, within 20%%)\n", cur, base
+}'
+
 echo "== benchmark smoke (1 iteration each) =="
 # The root package includes the update-pipeline benches (UpdateApply*,
 # ReaderLatency*), so the smoke also exercises the async applier.
